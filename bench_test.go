@@ -1,0 +1,261 @@
+// Benchmarks, one per table and figure of the paper's evaluation (§4).
+// Each benchmark drives the same code path the corresponding experiment in
+// cmd/dbgc-bench measures, and reports the experiment's headline quantity
+// via b.ReportMetric so `go test -bench` output carries the reproduced
+// numbers. Full sweeps (all scenes × all error bounds) live in
+// cmd/dbgc-bench; benchmarks run one representative configuration each.
+package dbgc_test
+
+import (
+	"testing"
+
+	"dbgc"
+	"dbgc/internal/benchkit"
+	"dbgc/internal/cluster"
+	"dbgc/internal/core"
+	"dbgc/internal/lidar"
+	"dbgc/internal/octree"
+)
+
+func cityFrame(b *testing.B) dbgc.PointCloud {
+	b.Helper()
+	pc, err := benchkit.Frame(lidar.City, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pc
+}
+
+// BenchmarkFig3OctreeVsRadius measures Figure 3: octree compression of the
+// 20 m concentric subset, the radius at which the paper reports ratio ~22
+// and density ~2 points/m³.
+func BenchmarkFig3OctreeVsRadius(b *testing.B) {
+	pc := cityFrame(b)
+	var sub dbgc.PointCloud
+	for _, p := range pc {
+		if p.Norm() <= 20 {
+			sub = append(sub, p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		enc, err := octree.Encode(sub, benchkit.DefaultQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = benchkit.Ratio(len(sub), len(enc.Data))
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkFig9RatioVsErrorBound measures Figure 9's headline cell: DBGC
+// on the city scene at the 2 cm bound.
+func BenchmarkFig9RatioVsErrorBound(b *testing.B) {
+	pc := cityFrame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		data, stats, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = data
+		ratio = stats.CompressionRatio()
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkFig9Baselines covers the baseline codecs of Figure 9 at 2 cm.
+func BenchmarkFig9Baselines(b *testing.B) {
+	pc := cityFrame(b)
+	for _, codec := range dbgc.Codecs() {
+		codec := codec
+		b.Run(codec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				data, err := codec.Compress(pc, benchkit.DefaultQ)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = benchkit.Ratio(len(pc), len(data))
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkFig10OctreeFraction measures Figure 10's 50% manual-split
+// point.
+func BenchmarkFig10OctreeFraction(b *testing.B) {
+	pc := cityFrame(b)
+	opts := dbgc.DefaultOptions(benchkit.DefaultQ)
+	opts.ForceOctreeFraction = 0.5
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		data, _, err := dbgc.Compress(pc, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = benchkit.Ratio(len(pc), len(data))
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkFig11Ablations covers the ablations of Figure 11 on the campus
+// scene at 2 cm.
+func BenchmarkFig11Ablations(b *testing.B) {
+	pc, err := benchkit.Frame(lidar.Campus, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := map[string]func(*dbgc.Options){
+		"Full":        func(o *dbgc.Options) {},
+		"-Radial":     func(o *dbgc.Options) { o.DisableRadialOpt = true },
+		"-Group":      func(o *dbgc.Options) { o.Groups = 1 },
+		"-Conversion": func(o *dbgc.Options) { o.CartesianPolylines = true },
+	}
+	for name, mod := range variants {
+		mod := mod
+		b.Run(name, func(b *testing.B) {
+			opts := dbgc.DefaultOptions(benchkit.DefaultQ)
+			mod(&opts)
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				data, _, err := dbgc.Compress(pc, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = benchkit.Ratio(len(pc), len(data))
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkTable2Outliers covers Table 2's outlier-handling modes on the
+// campus scene.
+func BenchmarkTable2Outliers(b *testing.B) {
+	pc, err := benchkit.Frame(lidar.Campus, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := map[string]core.OutlierMode{
+		"Outlier": core.OutlierQuadtree,
+		"Octree":  core.OutlierOctree,
+		"None":    core.OutlierNone,
+	}
+	for name, mode := range modes {
+		mode := mode
+		b.Run(name, func(b *testing.B) {
+			opts := dbgc.DefaultOptions(benchkit.DefaultQ)
+			opts.OutlierMode = mode
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				data, _, err := dbgc.Compress(pc, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = benchkit.Ratio(len(pc), len(data))
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkFig12Latency measures Figure 12: compression and decompression
+// latency of DBGC on the city scene at 2 cm.
+func BenchmarkFig12Latency(b *testing.B) {
+	pc := cityFrame(b)
+	b.Run("Compress", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	data, _, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Decompress", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dbgc.Decompress(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig13Breakdown exercises the staged pipeline that Figure 13
+// decomposes; stage shares are printed by `dbgc-bench -exp fig13`.
+func BenchmarkFig13Breakdown(b *testing.B) {
+	pc := cityFrame(b)
+	var spaShare float64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := stats.DEN + stats.OCT + stats.COR + stats.ORG + stats.SPA + stats.OUT
+		if total > 0 {
+			spaShare = float64(stats.SPA) / float64(total)
+		}
+	}
+	b.ReportMetric(spaShare*100, "SPA-%")
+}
+
+// BenchmarkClusteringApproxSpeedup compares the exact and approximate
+// clustering of §4.3.
+func BenchmarkClusteringApproxSpeedup(b *testing.B) {
+	pc := cityFrame(b)
+	params := cluster.DefaultParams(benchkit.DefaultQ)
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.CellBased(pc, params)
+		}
+	})
+	b.Run("Approximate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.Approximate(pc, params)
+		}
+	})
+}
+
+// BenchmarkThroughput measures §4.4's sustained compression rate; the
+// sensor produces 10 frames/s, so ns/op below 1e8 means real-time.
+func BenchmarkThroughput(b *testing.B) {
+	pc := cityFrame(b)
+	opts := dbgc.DefaultOptions(benchkit.DefaultQ)
+	var mbps float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, _, err := dbgc.Compress(pc, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = benchkit.BandwidthMbps(len(data), 10)
+	}
+	b.ReportMetric(mbps, "Mbps@10fps")
+}
+
+// BenchmarkTemporalPFrame measures the stream extension: encoding one
+// P-frame of a static capture against the previous decoded frame.
+func BenchmarkTemporalPFrame(b *testing.B) {
+	res, err := benchkit.Temporal(lidar.Campus, 2, benchkit.DefaultQ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	b.ReportMetric(res.Gain, "temporal-gain")
+	// The heavy path is re-running the two-frame experiment.
+	for i := 0; i < b.N; i++ {
+		if _, err := benchkit.Temporal(lidar.Campus, 2, benchkit.DefaultQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// csvOut, when non-empty, is the directory experiment runners write raw
+// rows into (one file per experiment) for plotting.
+var csvOut string
+
+// writeCSV stores rows under csvOut/name.csv; a no-op when CSV output is
+// disabled.
+func writeCSV(name string, header []string, rows [][]string) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func f64(v float64) string { return fmt.Sprintf("%g", v) }

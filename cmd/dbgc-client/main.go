@@ -1,0 +1,102 @@
+// Command dbgc-client is the client half of the DBGC system (Figure 2): it
+// pulls frames from the (simulated) sensor, compresses them, and streams
+// the bit sequences to a dbgc-server over TCP.
+//
+// Usage:
+//
+//	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10] [-q 0.02] [-rate 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+	"dbgc/internal/netproto"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7045", "dbgc-server address")
+	sceneKind := flag.String("scene", string(lidar.City), "scene preset")
+	frames := flag.Int("frames", 10, "number of frames to capture and send")
+	q := flag.Float64("q", 0.02, "error bound in meters")
+	rate := flag.Float64("rate", 10, "sensor frame rate (frames/second); 0 = as fast as possible")
+	queryBox := flag.String("query", "", "after sending, query frame 0 for x0,y0,z0,x1,y1,z1")
+	flag.Parse()
+
+	scene, err := lidar.NewScene(lidar.SceneKind(*sceneKind), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lidar.HDL64E()
+	opts := dbgc.SensorOptions(*q, cfg.Meta())
+
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		log.Fatalf("connecting to server: %v", err)
+	}
+	defer conn.Close()
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+	var totalRaw, totalCompressed int
+	start := time.Now()
+	for seq := 0; seq < *frames; seq++ {
+		frameStart := time.Now()
+		pc := cfg.Simulate(scene, int64(seq+1))
+		data, stats, err := dbgc.Compress(pc, opts)
+		if err != nil {
+			log.Fatalf("compressing frame %d: %v", seq, err)
+		}
+		if err := netproto.Write(conn, netproto.Message{
+			Kind:    netproto.KindCompressed,
+			Seq:     uint64(seq),
+			Payload: data,
+		}); err != nil {
+			log.Fatalf("sending frame %d: %v", seq, err)
+		}
+		totalRaw += pc.RawSize()
+		totalCompressed += len(data)
+		log.Printf("frame %d: %d points, %d bytes (ratio %.2f), compress %v",
+			seq, len(pc), len(data), stats.CompressionRatio(),
+			(stats.DEN + stats.OCT + stats.COR + stats.ORG + stats.SPA + stats.OUT).Round(time.Millisecond))
+		if interval > 0 {
+			if sleep := interval - time.Since(frameStart); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+	if *queryBox != "" {
+		var b dbgc.AABB
+		if _, err := fmt.Sscanf(*queryBox, "%f,%f,%f,%f,%f,%f",
+			&b.Min.X, &b.Min.Y, &b.Min.Z, &b.Max.X, &b.Max.Y, &b.Max.Z); err != nil {
+			log.Fatalf("bad -query %q: %v", *queryBox, err)
+		}
+		if err := netproto.Write(conn, netproto.Message{
+			Kind:    netproto.KindQuery,
+			Payload: netproto.EncodeQuery(netproto.Query{Seq: 0, Box: b}),
+		}); err != nil {
+			log.Fatalf("sending query: %v", err)
+		}
+		resp, err := netproto.Read(conn)
+		if err != nil || resp.Kind != netproto.KindQueryResult {
+			log.Fatalf("query response: kind=%d err=%v", resp.Kind, err)
+		}
+		fmt.Printf("server returned %d points for frame 0 in box %s\n", len(resp.Payload)/16, *queryBox)
+	}
+	if err := netproto.Write(conn, netproto.Message{Kind: netproto.KindBye, Seq: uint64(*frames)}); err != nil {
+		log.Printf("sending bye: %v", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stdout, "sent %d frames in %v: %d raw bytes -> %d compressed (ratio %.2f), avg bandwidth %.2f Mbps\n",
+		*frames, elapsed.Round(time.Millisecond), totalRaw, totalCompressed,
+		float64(totalRaw)/float64(totalCompressed),
+		float64(totalCompressed)*8/elapsed.Seconds()/1e6)
+}

@@ -1,0 +1,153 @@
+// Command dbgc-server is the server half of the DBGC system (Figure 2): it
+// receives compressed frames from clients over TCP, optionally decompresses
+// them, and stores them in a frame store.
+//
+// Usage:
+//
+//	dbgc-server [-listen :7045] [-store frames.db] [-decompress]
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+	"dbgc/internal/netproto"
+	"dbgc/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", ":7045", "address to listen on")
+	storePath := flag.String("store", "frames.db", "frame store file")
+	decompress := flag.Bool("decompress", false, "decompress frames before storing (default stores B directly)")
+	flag.Parse()
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatalf("opening store: %v", err)
+	}
+	defer st.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("dbgc-server listening on %s, storing to %s (decompress=%v)", ln.Addr(), *storePath, *decompress)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go func() {
+			if err := serve(conn, st, *decompress); err != nil {
+				log.Printf("client %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func serve(conn net.Conn, st *store.Store, decompress bool) error {
+	defer conn.Close()
+	for {
+		msg, err := netproto.Read(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reading frame: %w", err)
+		}
+		switch msg.Kind {
+		case netproto.KindBye:
+			return nil
+		case netproto.KindCompressed:
+			if decompress {
+				pc, err := dbgc.Decompress(msg.Payload)
+				if err != nil {
+					return fmt.Errorf("frame %d: %w", msg.Seq, err)
+				}
+				raw := encodeRaw(pc)
+				if err := st.Put(msg.Seq, store.KindDecompressed, raw); err != nil {
+					return err
+				}
+				log.Printf("frame %d: %d bytes -> %d points, stored decompressed", msg.Seq, len(msg.Payload), len(pc))
+			} else {
+				if err := st.Put(msg.Seq, store.KindCompressed, msg.Payload); err != nil {
+					return err
+				}
+				log.Printf("frame %d: stored %d compressed bytes", msg.Seq, len(msg.Payload))
+			}
+		case netproto.KindRaw:
+			if err := st.Put(msg.Seq, store.KindDecompressed, msg.Payload); err != nil {
+				return err
+			}
+			log.Printf("frame %d: stored %d raw bytes", msg.Seq, len(msg.Payload))
+		case netproto.KindQuery:
+			q, err := netproto.DecodeQuery(msg.Payload)
+			if err != nil {
+				return err
+			}
+			pts, err := answerQuery(st, q)
+			if err != nil {
+				log.Printf("query frame %d: %v", q.Seq, err)
+				pts = nil
+			}
+			if err := netproto.Write(conn, netproto.Message{
+				Kind: netproto.KindQueryResult, Seq: q.Seq, Payload: encodeRaw(pts),
+			}); err != nil {
+				return err
+			}
+			log.Printf("query frame %d: %d points in box", q.Seq, len(pts))
+		default:
+			return fmt.Errorf("unknown message kind %d", msg.Kind)
+		}
+	}
+}
+
+// answerQuery resolves a spatial query against the store: compressed
+// frames use the pruning region decoder; raw frames decode and filter.
+func answerQuery(st *store.Store, q netproto.Query) (dbgc.PointCloud, error) {
+	payload, kind, err := st.Get(q.Seq)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case store.KindCompressed:
+		return dbgc.DecompressRegion(payload, q.Box)
+	case store.KindDecompressed:
+		pc, err := lidar.ReadBin(bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		var out dbgc.PointCloud
+		for _, p := range pc {
+			if q.Box.Contains(p) {
+				out = append(out, p)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown stored kind %d", kind)
+	}
+}
+
+func encodeRaw(pc dbgc.PointCloud) []byte {
+	var buf writerBuf
+	if err := lidar.WriteBin(&buf, pc); err != nil {
+		panic(err) // in-memory write cannot fail
+	}
+	return buf.b
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+	"dbgc/internal/stream"
+)
+
+// runPack packs a sequence of .bin frames into a .dbgs stream container.
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	q := fs.Float64("q", 0.02, "per-dimension error bound in meters")
+	fps := fs.Float64("fps", 10, "sensor frame rate recorded in the container")
+	withIntensity := fs.Bool("intensity", false, "carry the intensity channel")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: dbgc pack [-q m] [-fps n] [-intensity] frame1.bin [frame2.bin ...] output.dbgs")
+		os.Exit(2)
+	}
+	inputs := fs.Args()[:fs.NArg()-1]
+	outPath := fs.Arg(fs.NArg() - 1)
+	// Directories expand to their .bin contents in name order.
+	var frames []string
+	for _, in := range inputs {
+		info, err := os.Stat(in)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			frames = append(frames, in)
+			continue
+		}
+		entries, err := os.ReadDir(in)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".bin") {
+				names = append(names, filepath.Join(in, e.Name()))
+			}
+		}
+		sort.Strings(names)
+		frames = append(frames, names...)
+	}
+	if len(frames) == 0 {
+		return errors.New("no input frames")
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	w, err := stream.NewWriter(out, dbgc.DefaultOptions(*q), *fps)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	var rawTotal, compTotal int
+	for _, path := range frames {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var pc dbgc.PointCloud
+		var intens []float32
+		if *withIntensity {
+			pc, intens, err = lidar.ReadBinWithIntensity(f)
+		} else {
+			pc, err = lidar.ReadBin(f)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fstat, err := w.WriteFrame(pc, intens)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rawTotal += pc.RawSize()
+		compTotal += fstat.GeometryBytes + fstat.IntensityBytes
+		fmt.Printf("%s: %d points -> %d bytes (ratio %.2f)\n",
+			path, fstat.Points, fstat.GeometryBytes, fstat.Ratio)
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d frames: %d -> %d bytes (%.2fx)\n",
+		len(frames), rawTotal, compTotal, float64(rawTotal)/float64(compTotal))
+	return nil
+}
+
+// runUnpack extracts a .dbgs container back into .bin frames.
+func runUnpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dbgc unpack input.dbgs output-dir")
+		os.Exit(2)
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	outDir := fs.Arg(1)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	r, err := stream.NewReader(in)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for {
+		fr, err := r.ReadFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("%06d.bin", fr.Seq))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := lidar.WriteBinWithIntensity(f, fr.Cloud, fr.Intensity); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d points\n", path, len(fr.Cloud))
+		n++
+	}
+	fmt.Printf("unpacked %d frames (q=%g, fps=%g)\n", n, r.Q(), r.FPS())
+	return nil
+}

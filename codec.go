@@ -1,0 +1,105 @@
+package dbgc
+
+import (
+	"fmt"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/gpcc"
+	"dbgc/internal/kdtree"
+	"dbgc/internal/octree"
+)
+
+// Codec is a single-frame geometry compressor with an error bound, the
+// interface all methods under comparison in the paper's evaluation share
+// (§4.1): DBGC itself, the baseline Octree, the grouped Octree_i, the
+// Draco-style kd-tree coder, and simplified G-PCC.
+type Codec interface {
+	// Name identifies the codec in benchmark output.
+	Name() string
+	// Compress encodes pc so that every reconstructed coordinate is
+	// within q of its original per dimension (√3·q Euclidean for DBGC's
+	// spherical path).
+	Compress(pc PointCloud, q float64) ([]byte, error)
+	// Decompress reconstructs the cloud.
+	Decompress(data []byte) (PointCloud, error)
+}
+
+// Codecs returns every codec of the paper's evaluation in Figure 9 order:
+// DBGC, Octree, Octree_i, Draco (kd-tree), G-PCC.
+func Codecs() []Codec {
+	return []Codec{
+		dbgcCodec{},
+		octreeCodec{},
+		octreeICodec{},
+		dracoCodec{},
+		gpccCodec{},
+	}
+}
+
+// CodecByName returns the codec with the given Name.
+func CodecByName(name string) (Codec, error) {
+	for _, c := range Codecs() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("dbgc: unknown codec %q", name)
+}
+
+type dbgcCodec struct{}
+
+func (dbgcCodec) Name() string { return "DBGC" }
+
+func (dbgcCodec) Compress(pc PointCloud, q float64) ([]byte, error) {
+	data, _, err := Compress(pc, DefaultOptions(q))
+	return data, err
+}
+
+func (dbgcCodec) Decompress(data []byte) (PointCloud, error) { return Decompress(data) }
+
+type octreeCodec struct{}
+
+func (octreeCodec) Name() string { return "Octree" }
+
+func (octreeCodec) Compress(pc PointCloud, q float64) ([]byte, error) {
+	enc, err := octree.Encode(pc, q)
+	return enc.Data, err
+}
+
+func (octreeCodec) Decompress(data []byte) (PointCloud, error) { return octree.Decode(data) }
+
+type octreeICodec struct{}
+
+func (octreeICodec) Name() string { return "Octree_i" }
+
+func (octreeICodec) Compress(pc PointCloud, q float64) ([]byte, error) {
+	enc, err := octree.EncodeGrouped(pc, q)
+	return enc.Data, err
+}
+
+func (octreeICodec) Decompress(data []byte) (PointCloud, error) { return octree.DecodeGrouped(data) }
+
+type dracoCodec struct{}
+
+func (dracoCodec) Name() string { return "Draco" }
+
+func (dracoCodec) Compress(pc PointCloud, q float64) ([]byte, error) {
+	// Draco exposes quantization bits, not an error bound; the paper maps
+	// q_xyz = Ω / 2^qb (§4.1).
+	qb := kdtree.QuantBitsFor(geom.Bounds(pc).MaxDim(), q)
+	enc, err := kdtree.Encode(pc, qb)
+	return enc.Data, err
+}
+
+func (dracoCodec) Decompress(data []byte) (PointCloud, error) { return kdtree.Decode(data) }
+
+type gpccCodec struct{}
+
+func (gpccCodec) Name() string { return "G-PCC" }
+
+func (gpccCodec) Compress(pc PointCloud, q float64) ([]byte, error) {
+	enc, err := gpcc.Encode(pc, q)
+	return enc.Data, err
+}
+
+func (gpccCodec) Decompress(data []byte) (PointCloud, error) { return gpcc.Decode(data) }

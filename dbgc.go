@@ -1,0 +1,139 @@
+// Package dbgc is a density-based geometry compressor for LiDAR point
+// clouds, a Go implementation of the system described in
+//
+//	Xibo Sun and Qiong Luo.
+//	"Density-Based Geometry Compression for LiDAR Point Clouds."
+//	EDBT 2023.
+//
+// DBGC compresses a single LiDAR frame under a user-given per-point error
+// bound (for example 2 cm, the measurement accuracy of typical sensors).
+// Density-based clustering separates dense points — compressed with an
+// octree — from sparse points, which are organized into polylines in the
+// spherical coordinate space and compressed with delta and entropy coding;
+// remaining outliers are coded with a 2D quadtree. At equal accuracy it
+// compresses large-scale scene clouds substantially better than octree,
+// kd-tree, and G-PCC style coders.
+//
+// # Quickstart
+//
+//	pc := dbgc.PointCloud{{X: 1, Y: 2, Z: 0.5}, ...} // sensor at origin
+//	data, stats, err := dbgc.Compress(pc, dbgc.DefaultOptions(0.02))
+//	...
+//	back, err := dbgc.Decompress(data)
+//
+// The decompressed cloud has exactly as many points as the input;
+// stats.Mapping relates decoded positions to original indices so that
+// per-point error can be verified.
+package dbgc
+
+import (
+	"fmt"
+	"math"
+
+	"dbgc/internal/core"
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+)
+
+// Point is a 3D point in meters, in the sensor frame (the sensor sits at
+// the origin).
+type Point = geom.Point
+
+// PointCloud is a set of points (the paper's PC).
+type PointCloud = geom.PointCloud
+
+// Options configures compression. Construct with DefaultOptions and adjust
+// fields as needed.
+type Options = core.Options
+
+// Stats describes one compression run: the dense/sparse/outlier split,
+// per-section sizes, stage timings, and the one-to-one mapping.
+type Stats = core.Stats
+
+// OutlierMode selects the outlier compressor.
+type OutlierMode = core.OutlierMode
+
+// Outlier compressor choices (§3.6 and Table 2 of the paper).
+const (
+	OutlierQuadtree = core.OutlierQuadtree
+	OutlierOctree   = core.OutlierOctree
+	OutlierNone     = core.OutlierNone
+)
+
+// DefaultOptions returns the default configuration for per-dimension error
+// bound q (meters): k = 10 as in the paper, the surface-bound minPts
+// (⌈πk²/4⌉, see DESIGN.md), 6 geometric radial groups, HDL-64E sensor
+// geometry, quadtree outlier coding, and approximate clustering.
+func DefaultOptions(q float64) Options { return core.DefaultOptions(q) }
+
+// SensorOptions returns DefaultOptions adjusted to a sensor's angular
+// geometry, estimated from cloud metadata when the sensor is unknown.
+func SensorOptions(q float64, meta lidar.Meta) Options {
+	o := core.DefaultOptions(q)
+	if ut := meta.UTheta(); ut > 0 {
+		o.UTheta = ut
+	}
+	if up := meta.UPhi(); up > 0 {
+		o.UPhi = up
+	}
+	return o
+}
+
+// Compress encodes the cloud under the given options and returns the
+// compressed bit sequence together with statistics about the run.
+//
+// Every reconstructed point is within the error bound of its original:
+// per dimension q for octree- and quadtree-coded points, and within
+// Euclidean distance √3·q for spherical-coded points (Theorem 3.2 — the
+// same worst case as independent per-dimension errors of q).
+func Compress(pc PointCloud, opts Options) ([]byte, *Stats, error) {
+	return core.Compress(pc, opts)
+}
+
+// Decompress reconstructs a point cloud from a compressed bit sequence.
+// The result holds exactly as many points as the original cloud, in decode
+// order (dense, polyline, then outlier points).
+func Decompress(data []byte) (PointCloud, error) {
+	return core.Decompress(data)
+}
+
+// AABB is an axis-aligned query box.
+type AABB = geom.AABB
+
+// DecompressRegion reconstructs only the points inside the box, pruning
+// compressed sections that cannot contribute: octree subtrees outside the
+// region are skipped during replay and radial point groups whose shell
+// misses the box are not entropy-decoded at all. Useful when frames are
+// stored compressed and queried spatially.
+func DecompressRegion(data []byte, region AABB) (PointCloud, error) {
+	return core.DecompressRegion(data, region)
+}
+
+// VerifyErrorBound checks that dec is a faithful reconstruction of orig
+// under mapping (from Stats.Mapping): same size, mapping is a permutation,
+// and every point pair within Euclidean distance √3·q. It returns the
+// maximum Euclidean error observed.
+func VerifyErrorBound(orig, dec PointCloud, mapping []int32, q float64) (maxErr float64, err error) {
+	if len(orig) != len(dec) {
+		return 0, fmt.Errorf("dbgc: size mismatch: %d original vs %d decompressed", len(orig), len(dec))
+	}
+	if len(mapping) != len(orig) {
+		return 0, fmt.Errorf("dbgc: mapping has %d entries, want %d", len(mapping), len(orig))
+	}
+	seen := make([]bool, len(orig))
+	bound := math.Sqrt(3) * q * (1 + 1e-9)
+	for j, oi := range mapping {
+		if oi < 0 || int(oi) >= len(orig) || seen[oi] {
+			return 0, fmt.Errorf("dbgc: mapping is not a permutation at position %d", j)
+		}
+		seen[oi] = true
+		d := orig[oi].Dist(dec[j])
+		if d > maxErr {
+			maxErr = d
+		}
+		if d > bound {
+			return maxErr, fmt.Errorf("dbgc: point %d error %v exceeds bound %v", oi, d, bound)
+		}
+	}
+	return maxErr, nil
+}

@@ -1,0 +1,115 @@
+package dbgc_test
+
+import (
+	"math"
+	"testing"
+
+	"dbgc"
+	"dbgc/internal/benchkit"
+	"dbgc/internal/lidar"
+)
+
+// TestPublicAPIRoundTrip exercises the library exactly as a downstream
+// user would: default options, compress, decompress, verify.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	pc, err := benchkit.Frame(lidar.City, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dbgc.DefaultOptions(0.02)
+	data, stats, err := dbgc.Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dbgc.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, err := dbgc.VerifyErrorBound(pc, back, stats.Mapping, opts.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > math.Sqrt(3)*opts.Q*1.0001 {
+		t.Fatalf("max error %v over bound", maxErr)
+	}
+	if r := stats.CompressionRatio(); r < 10 {
+		t.Errorf("city ratio %.2f below expectation", r)
+	}
+}
+
+// TestSensorOptions checks the sensor-metadata constructor.
+func TestSensorOptions(t *testing.T) {
+	meta := lidar.HDL64E().Meta()
+	opts := dbgc.SensorOptions(0.01, meta)
+	if opts.Q != 0.01 {
+		t.Fatalf("Q = %v", opts.Q)
+	}
+	if opts.UTheta != meta.UTheta() || opts.UPhi != meta.UPhi() {
+		t.Fatal("sensor steps not adopted")
+	}
+	// Zero metadata keeps the defaults.
+	opts2 := dbgc.SensorOptions(0.01, lidar.Meta{})
+	if opts2.UTheta <= 0 || opts2.UPhi <= 0 {
+		t.Fatal("defaults lost for empty metadata")
+	}
+}
+
+// TestCodecsRegistry verifies every baseline codec round-trips and is
+// reachable by name.
+func TestCodecsRegistry(t *testing.T) {
+	pc, err := benchkit.Frame(lidar.Road, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := pc[:5000]
+	names := map[string]bool{}
+	for _, codec := range dbgc.Codecs() {
+		names[codec.Name()] = true
+		data, err := codec.Compress(small, 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		back, err := codec.Decompress(data)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if len(back) != len(small) {
+			t.Fatalf("%s: %d points out, %d in", codec.Name(), len(back), len(small))
+		}
+		byName, err := dbgc.CodecByName(codec.Name())
+		if err != nil || byName.Name() != codec.Name() {
+			t.Fatalf("CodecByName(%q): %v", codec.Name(), err)
+		}
+	}
+	for _, want := range []string{"DBGC", "Octree", "Octree_i", "Draco", "G-PCC"} {
+		if !names[want] {
+			t.Fatalf("codec %q missing from registry", want)
+		}
+	}
+	if _, err := dbgc.CodecByName("nope"); err == nil {
+		t.Fatal("expected error for unknown codec")
+	}
+}
+
+// TestVerifyErrorBoundRejects checks the verifier actually rejects bad
+// reconstructions.
+func TestVerifyErrorBoundRejects(t *testing.T) {
+	orig := dbgc.PointCloud{{X: 1}, {X: 2}}
+	// Size mismatch.
+	if _, err := dbgc.VerifyErrorBound(orig, orig[:1], []int32{0}, 0.02); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	// Not a permutation.
+	if _, err := dbgc.VerifyErrorBound(orig, orig, []int32{0, 0}, 0.02); err == nil {
+		t.Fatal("duplicate mapping accepted")
+	}
+	// Error over bound.
+	dec := dbgc.PointCloud{{X: 1.5}, {X: 2}}
+	if _, err := dbgc.VerifyErrorBound(orig, dec, []int32{0, 1}, 0.02); err == nil {
+		t.Fatal("over-bound error accepted")
+	}
+	// Happy path.
+	if _, err := dbgc.VerifyErrorBound(orig, orig, []int32{0, 1}, 0.02); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package dbgc_test
+
+import (
+	"fmt"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+)
+
+// ExampleCompress shows the minimal compress/decompress/verify cycle.
+func ExampleCompress() {
+	// Three points along a wall, sensor at the origin.
+	cloud := dbgc.PointCloud{
+		{X: 5.00, Y: 1.00, Z: -1.2},
+		{X: 5.01, Y: 1.03, Z: -1.2},
+		{X: 5.02, Y: 1.06, Z: -1.2},
+	}
+	data, stats, err := dbgc.Compress(cloud, dbgc.DefaultOptions(0.02))
+	if err != nil {
+		panic(err)
+	}
+	back, err := dbgc.Decompress(data)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := dbgc.VerifyErrorBound(cloud, back, stats.Mapping, 0.02); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(back), "points round-tripped")
+	// Output: 3 points round-tripped
+}
+
+// ExampleSensorOptions adapts the compressor to a sensor's angular
+// geometry.
+func ExampleSensorOptions() {
+	meta := lidar.VLP16().Meta()
+	opts := dbgc.SensorOptions(0.03, meta)
+	fmt.Printf("q=%.0f mm, %d azimuth samples\n", opts.Q*1000, meta.H)
+	// Output: q=30 mm, 1800 azimuth samples
+}
+
+// ExampleCodecByName compresses with a baseline codec from the registry.
+func ExampleCodecByName() {
+	codec, err := dbgc.CodecByName("Octree")
+	if err != nil {
+		panic(err)
+	}
+	cloud := dbgc.PointCloud{{X: 1, Y: 2, Z: 0}, {X: 1.5, Y: 2, Z: 0}}
+	data, err := codec.Compress(cloud, 0.02)
+	if err != nil {
+		panic(err)
+	}
+	back, err := codec.Decompress(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(codec.Name(), "decoded", len(back), "points")
+	// Output: Octree decoded 2 points
+}

@@ -1,0 +1,48 @@
+// Quickstart: compress one simulated LiDAR frame with DBGC, decompress it,
+// and verify the error bound — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+)
+
+func main() {
+	// Capture a frame. Any point cloud in the sensor frame works; here
+	// the built-in simulator provides a city scene.
+	scene, err := lidar.NewScene(lidar.City, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensor := lidar.HDL64E()
+	cloud := sensor.Simulate(scene, 42)
+	fmt.Printf("captured %d points (%.1f MB raw)\n", len(cloud), float64(cloud.RawSize())/1e6)
+
+	// Compress under a 2 cm error bound — the measurement accuracy of
+	// the sensor, so compression loses nothing the sensor could see.
+	opts := dbgc.SensorOptions(0.02, sensor.Meta())
+	data, stats, err := dbgc.Compress(cloud, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed to %d bytes: ratio %.1fx\n", len(data), stats.CompressionRatio())
+	fmt.Printf("  dense points (octree):     %d\n", stats.NumDense)
+	fmt.Printf("  sparse points (polylines): %d in %d polylines\n", stats.NumSparse, stats.NumLines)
+	fmt.Printf("  outliers (quadtree):       %d\n", stats.NumOutliers)
+
+	// Decompress and verify: same point count, every point within the
+	// bound.
+	back, err := dbgc.Decompress(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, err := dbgc.VerifyErrorBound(cloud, back, stats.Mapping, opts.Q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip ok: %d points, max error %.4f m (bound %.4f m)\n",
+		len(back), maxErr, opts.Q*1.7320508)
+}

@@ -1,0 +1,134 @@
+// Streaming: the online monitoring scenario of §3.1/§4.4 — a client
+// captures frames at sensor rate, compresses them, and streams them over
+// TCP to a server that decompresses and stores them. The example runs both
+// halves in one process over loopback and reports the bandwidth the
+// compressed stream needs against the paper's 4G reference uplink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+	"dbgc/internal/netproto"
+	"dbgc/internal/store"
+)
+
+const (
+	frames   = 5
+	q        = 0.02
+	fourGMbs = 8.2 // average 4G uplink, Mbps (paper §4.4)
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dbgc-streaming")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- server(ln, filepath.Join(dir, "frames.db")) }()
+
+	if err := client(ln.Addr().String()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+func client(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	scene, err := lidar.NewScene(lidar.City, 7)
+	if err != nil {
+		return err
+	}
+	sensor := lidar.HDL64E()
+	opts := dbgc.SensorOptions(q, sensor.Meta())
+
+	var rawBits, compBits float64
+	for seq := 0; seq < frames; seq++ {
+		pc := sensor.Simulate(scene, int64(seq+1))
+		t0 := time.Now()
+		data, stats, err := dbgc.Compress(pc, opts)
+		if err != nil {
+			return err
+		}
+		compressTime := time.Since(t0)
+		if err := netproto.Write(conn, netproto.Message{
+			Kind: netproto.KindCompressed, Seq: uint64(seq), Payload: data,
+		}); err != nil {
+			return err
+		}
+		rawBits += float64(pc.RawSize() * 8)
+		compBits += float64(len(data) * 8)
+		fmt.Printf("[client] frame %d: %d pts, ratio %.1f, compressed in %v\n",
+			seq, len(pc), stats.CompressionRatio(), compressTime.Round(time.Millisecond))
+	}
+	if err := netproto.Write(conn, netproto.Message{Kind: netproto.KindBye}); err != nil {
+		return err
+	}
+	// Bandwidth accounting at the sensor's native 10 fps (§4.4).
+	fmt.Printf("\n[client] raw stream would need %.1f Mbps at 10 fps\n", rawBits/frames*10/1e6)
+	needed := compBits / frames * 10 / 1e6
+	fmt.Printf("[client] compressed stream needs %.2f Mbps — %s the %.1f Mbps 4G uplink\n",
+		needed, fits(needed), fourGMbs)
+	return nil
+}
+
+func fits(mbps float64) string {
+	if mbps <= fourGMbs {
+		return "fits"
+	}
+	return "exceeds"
+}
+
+func server(ln net.Listener, storePath string) error {
+	defer ln.Close()
+	st, err := store.Open(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for {
+		msg, err := netproto.Read(conn)
+		if err != nil {
+			return err
+		}
+		if msg.Kind == netproto.KindBye {
+			fmt.Printf("[server] stored %d frames\n", st.Len())
+			return nil
+		}
+		t0 := time.Now()
+		pc, err := dbgc.Decompress(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", msg.Seq, err)
+		}
+		if err := st.Put(msg.Seq, store.KindCompressed, msg.Payload); err != nil {
+			return err
+		}
+		fmt.Printf("[server] frame %d: %d bytes -> %d points in %v, stored\n",
+			msg.Seq, len(msg.Payload), len(pc), time.Since(t0).Round(time.Millisecond))
+	}
+}

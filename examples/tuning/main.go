@@ -1,0 +1,70 @@
+// Tuning: sweep DBGC's parameters on one scene to show how the error
+// bound, clustering threshold, and group count trade compression ratio
+// against accuracy and speed — the knobs §3.2 and §3.5 of the paper
+// discuss.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+)
+
+func main() {
+	scene, err := lidar.NewScene(lidar.Campus, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensor := lidar.HDL64E()
+	cloud := sensor.Simulate(scene, 3)
+	fmt.Printf("campus frame: %d points\n\n", len(cloud))
+
+	fmt.Println("— error bound sweep (the paper's Figure 9 x-axis) —")
+	fmt.Printf("%10s %10s %12s %12s\n", "q (cm)", "ratio", "max err (mm)", "compress")
+	for _, q := range []float64{0.0006, 0.0025, 0.01, 0.02} {
+		opts := dbgc.SensorOptions(q, sensor.Meta())
+		t0 := time.Now()
+		data, stats, err := dbgc.Compress(cloud, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(t0)
+		back, err := dbgc.Decompress(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxErr, err := dbgc.VerifyErrorBound(cloud, back, stats.Mapping, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.2f %10.2f %12.2f %12s\n", q*100, stats.CompressionRatio(), maxErr*1000, el.Round(time.Millisecond))
+	}
+
+	fmt.Println("\n— clustering threshold sweep (minPts; §3.2) —")
+	fmt.Printf("%10s %10s %10s\n", "minPts", "dense %", "ratio")
+	for _, minPts := range []int{20, 79, 200, 524} {
+		opts := dbgc.SensorOptions(0.02, sensor.Meta())
+		opts.MinPts = minPts
+		_, stats, err := dbgc.Compress(cloud, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %9.1f%% %10.2f\n", minPts,
+			100*float64(stats.NumDense)/float64(stats.NumPoints), stats.CompressionRatio())
+	}
+
+	fmt.Println("\n— group count sweep (§3.5 point grouping) —")
+	fmt.Printf("%10s %10s\n", "groups", "ratio")
+	for _, g := range []int{1, 2, 3, 5, 8} {
+		opts := dbgc.SensorOptions(0.02, sensor.Meta())
+		opts.Groups = g
+		_, stats, err := dbgc.Compress(cloud, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %10.2f\n", g, stats.CompressionRatio())
+	}
+}

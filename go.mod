@@ -1,0 +1,3 @@
+module dbgc
+
+go 1.22

@@ -1,0 +1,100 @@
+package arith
+
+import (
+	"fmt"
+
+	"dbgc/internal/varint"
+)
+
+// CompressBytes compresses buf with an order-0 adaptive byte model. It is
+// the "arithmetic coder" building block the paper applies to serialized
+// occupancy codes and varint-encoded delta streams.
+func CompressBytes(buf []byte) []byte {
+	e := NewEncoder()
+	m := NewModel(256)
+	for _, b := range buf {
+		e.Encode(m, int(b))
+	}
+	return e.Finish()
+}
+
+// DecompressBytes inverts CompressBytes. n is the number of original bytes,
+// which callers carry out of band (all DBGC streams record their element
+// counts).
+func DecompressBytes(buf []byte, n int) ([]byte, error) {
+	d := NewDecoder(buf)
+	m := NewModel(256)
+	out := make([]byte, n)
+	for i := range out {
+		sym, err := d.Decode(m)
+		if err != nil {
+			return nil, fmt.Errorf("arith: byte %d/%d: %w", i, n, err)
+		}
+		out[i] = byte(sym)
+	}
+	return out, nil
+}
+
+// CompressInts zigzag-varint-serializes vs and arithmetic-codes the bytes.
+// This is how DBGC entropy-codes integer delta sequences whose alphabet is
+// unbounded (Δφ, ∇r, Δz).
+func CompressInts(vs []int64) []byte {
+	return CompressBytes(varint.EncodeInts(vs))
+}
+
+// DecompressInts inverts CompressInts, decoding exactly n integers.
+func DecompressInts(buf []byte, n int) ([]int64, error) {
+	d := NewDecoder(buf)
+	m := NewModel(256)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := decodeVarint(d, m)
+		if err != nil {
+			return nil, fmt.Errorf("arith: int %d/%d: %w", i, n, err)
+		}
+		out = append(out, varint.Unzigzag(v))
+	}
+	return out, nil
+}
+
+// CompressUints is CompressInts for unsigned sequences (e.g. polyline
+// lengths, leaf point counts).
+func CompressUints(vs []uint64) []byte {
+	return CompressBytes(varint.EncodeUints(vs))
+}
+
+// DecompressUints inverts CompressUints, decoding exactly n integers.
+func DecompressUints(buf []byte, n int) ([]uint64, error) {
+	d := NewDecoder(buf)
+	m := NewModel(256)
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := decodeVarint(d, m)
+		if err != nil {
+			return nil, fmt.Errorf("arith: uint %d/%d: %w", i, n, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// decodeVarint reads LEB128 continuation bytes through the arithmetic
+// decoder until a terminating byte arrives.
+func decodeVarint(d *Decoder, m *Model) (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		sym, err := d.Decode(m)
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, ErrCorrupt
+		}
+		v |= uint64(sym&0x7f) << shift
+		if sym < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}

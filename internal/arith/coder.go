@@ -1,0 +1,238 @@
+package arith
+
+import (
+	"errors"
+
+	"dbgc/internal/bitio"
+)
+
+// Register geometry for the 32-bit integer implementation of arithmetic
+// coding. All arithmetic is done in uint64 to avoid overflow in
+// range*cum products.
+const (
+	codeBits = 32
+	top      = uint64(1) << codeBits
+	half     = top >> 1
+	quarter  = top >> 2
+	threeQtr = half + quarter
+	codeMask = top - 1
+)
+
+// ErrCorrupt is returned when a decoder's arithmetic state becomes
+// inconsistent, which indicates a corrupted or truncated stream.
+var ErrCorrupt = errors.New("arith: corrupt stream")
+
+// Encoder is an arithmetic encoder writing to an internal bit buffer.
+// Create one with NewEncoder, encode symbols against one or more Models,
+// then call Finish.
+type Encoder struct {
+	w        bitio.Writer
+	low      uint64
+	high     uint64
+	pending  int
+	finished bool
+}
+
+// NewEncoder returns a ready encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{high: codeMask}
+}
+
+func (e *Encoder) emit(bit int) {
+	e.w.WriteBit(bit)
+	inv := 1 - bit
+	for ; e.pending > 0; e.pending-- {
+		e.w.WriteBit(inv)
+	}
+}
+
+// Encode codes sym using model m and updates the model.
+func (e *Encoder) Encode(m *Model, sym int) {
+	lo, hi, total := m.interval(sym)
+	e.encodeInterval(uint64(lo), uint64(hi), uint64(total))
+	m.update(sym)
+}
+
+// EncodeStatic codes sym against m without adapting the model. Used for
+// fixed-probability side information.
+func (e *Encoder) EncodeStatic(m *Model, sym int) {
+	lo, hi, total := m.interval(sym)
+	e.encodeInterval(uint64(lo), uint64(hi), uint64(total))
+}
+
+func (e *Encoder) encodeInterval(lo, hi, total uint64) {
+	if hi <= lo || total == 0 {
+		panic("arith: empty coding interval")
+	}
+	span := e.high - e.low + 1
+	e.high = e.low + span*hi/total - 1
+	e.low = e.low + span*lo/total
+	for {
+		switch {
+		case e.high < half:
+			e.emit(0)
+		case e.low >= half:
+			e.emit(1)
+			e.low -= half
+			e.high -= half
+		case e.low >= quarter && e.high < threeQtr:
+			e.pending++
+			e.low -= quarter
+			e.high -= quarter
+		default:
+			return
+		}
+		e.low = e.low << 1
+		e.high = e.high<<1 | 1
+	}
+}
+
+// Finish flushes the terminating bits and returns the encoded buffer. The
+// encoder must not be used afterwards.
+func (e *Encoder) Finish() []byte {
+	if !e.finished {
+		// Emit one disambiguating bit plus pending carries; a second bit
+		// pins the final interval.
+		e.pending++
+		if e.low < quarter {
+			e.emit(0)
+		} else {
+			e.emit(1)
+		}
+		e.finished = true
+	}
+	return e.w.Bytes()
+}
+
+// EncodeUniform codes v under a uniform distribution over {0,...,total-1}
+// at a cost of log2(total) bits. The kd-tree coder uses it for split
+// counts.
+func (e *Encoder) EncodeUniform(v, total uint32) {
+	if v >= total {
+		panic("arith: uniform symbol out of range")
+	}
+	e.encodeInterval(uint64(v), uint64(v)+1, uint64(total))
+}
+
+// Decoder is the matching arithmetic decoder.
+type Decoder struct {
+	r       *bitio.Reader
+	low     uint64
+	high    uint64
+	code    uint64
+	overrun int // zero bits synthesized past end of stream
+}
+
+// maxOverrun bounds how many bits a decoder may synthesize past the end of
+// the buffer. A valid stream needs at most the register width; anything
+// more means the stream was truncated.
+const maxOverrun = codeBits + 2
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder {
+	d := &Decoder{r: bitio.NewReader(buf), high: codeMask}
+	for i := 0; i < codeBits; i++ {
+		d.code = d.code<<1 | uint64(d.nextBit())
+	}
+	return d
+}
+
+func (d *Decoder) nextBit() int {
+	b, err := d.r.ReadBit()
+	if err != nil {
+		// The encoder does not emit trailing zeros; synthesize them.
+		d.overrun++
+		return 0
+	}
+	return b
+}
+
+// Decode decodes one symbol using model m and updates the model.
+func (d *Decoder) Decode(m *Model) (int, error) {
+	sym, err := d.decodeWith(m)
+	if err != nil {
+		return 0, err
+	}
+	m.update(sym)
+	return sym, nil
+}
+
+// DecodeStatic decodes one symbol without adapting the model.
+func (d *Decoder) DecodeStatic(m *Model) (int, error) {
+	return d.decodeWith(m)
+}
+
+// DecodeUniform inverts EncodeUniform.
+func (d *Decoder) DecodeUniform(total uint32) (uint32, error) {
+	if total == 0 {
+		return 0, ErrCorrupt
+	}
+	if d.overrun > maxOverrun {
+		return 0, ErrCorrupt
+	}
+	t := uint64(total)
+	span := d.high - d.low + 1
+	offset := d.code - d.low
+	target := ((offset+1)*t - 1) / span
+	if target >= t {
+		return 0, ErrCorrupt
+	}
+	sym := uint32(target)
+	d.high = d.low + span*(target+1)/t - 1
+	d.low = d.low + span*target/t
+	for {
+		switch {
+		case d.high < half:
+			// nothing
+		case d.low >= half:
+			d.low -= half
+			d.high -= half
+			d.code -= half
+		case d.low >= quarter && d.high < threeQtr:
+			d.low -= quarter
+			d.high -= quarter
+			d.code -= quarter
+		default:
+			return sym, nil
+		}
+		d.low = d.low << 1
+		d.high = d.high<<1 | 1
+		d.code = d.code<<1 | uint64(d.nextBit())
+	}
+}
+
+func (d *Decoder) decodeWith(m *Model) (int, error) {
+	if d.overrun > maxOverrun {
+		return 0, ErrCorrupt
+	}
+	total := uint64(m.total)
+	span := d.high - d.low + 1
+	offset := d.code - d.low
+	target := ((offset+1)*total - 1) / span
+	if target >= total {
+		return 0, ErrCorrupt
+	}
+	sym, lo32, hi32 := m.find(uint32(target))
+	lo, hi := uint64(lo32), uint64(hi32)
+	d.high = d.low + span*hi/total - 1
+	d.low = d.low + span*lo/total
+	for {
+		switch {
+		case d.high < half:
+			// nothing
+		case d.low >= half:
+			d.low -= half
+			d.high -= half
+			d.code -= half
+		case d.low >= quarter && d.high < threeQtr:
+			d.low -= quarter
+			d.high -= quarter
+			d.code -= quarter
+		default:
+			return sym, nil
+		}
+		d.low = d.low << 1
+		d.high = d.high<<1 | 1
+		d.code = d.code<<1 | uint64(d.nextBit())
+	}
+}

@@ -1,0 +1,122 @@
+// Package arith implements an adaptive arithmetic coder in the style of
+// Witten, Neal, and Cleary, the entropy coder the paper adopts for occupancy
+// codes, polar-angle deltas, radial deltas, and reference-choice symbols
+// (§2.2, §3.5). Models are adaptive: symbol frequencies start uniform and
+// are updated after each encode/decode, so encoder and decoder stay in
+// lockstep without transmitting a frequency table.
+package arith
+
+// maxTotal bounds the total frequency count of a model. When the total
+// would exceed it, all counts are halved (rounding up so no count reaches
+// zero). Keeping the total well below the coder's 2^16 precision limit
+// preserves coding accuracy.
+const maxTotal = 1 << 15
+
+// increment is added to a symbol's frequency each time it is coded. A large
+// increment adapts quickly to skewed distributions, which delta-encoded
+// LiDAR streams are.
+const increment = 32
+
+// Model is an adaptive frequency model over a fixed alphabet. A Fenwick
+// (binary indexed) tree stores the counts so cumulative frequencies and
+// symbol lookups cost O(log n).
+type Model struct {
+	tree  []uint32 // 1-based Fenwick tree over symbol counts
+	n     int      // alphabet size
+	total uint32
+}
+
+// NewModel returns a model over the alphabet {0, ..., n-1} with all symbol
+// counts initialized to 1.
+func NewModel(n int) *Model {
+	if n <= 0 {
+		panic("arith: model alphabet size must be positive")
+	}
+	m := &Model{tree: make([]uint32, n+1), n: n}
+	for s := 0; s < n; s++ {
+		m.add(s, 1)
+	}
+	m.total = uint32(n)
+	return m
+}
+
+func (m *Model) add(sym int, delta uint32) {
+	for i := sym + 1; i <= m.n; i += i & (-i) {
+		m.tree[i] += delta
+	}
+}
+
+// cumBelow returns the sum of counts of symbols < sym.
+func (m *Model) cumBelow(sym int) uint32 {
+	var s uint32
+	for i := sym; i > 0; i -= i & (-i) {
+		s += m.tree[i]
+	}
+	return s
+}
+
+// interval returns the cumulative interval [lo, hi) of sym and the current
+// total.
+func (m *Model) interval(sym int) (lo, hi, total uint32) {
+	lo = m.cumBelow(sym)
+	hi = m.cumBelow(sym + 1)
+	return lo, hi, m.total
+}
+
+// find returns the symbol whose cumulative interval contains target, along
+// with its interval bounds.
+func (m *Model) find(target uint32) (sym int, lo, hi uint32) {
+	// Walk the Fenwick tree from the highest power of two downward.
+	pos := 0
+	rem := target
+	mask := 1
+	for mask<<1 <= m.n {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := pos + mask
+		if next <= m.n && m.tree[next] <= rem {
+			pos = next
+			rem -= m.tree[next]
+		}
+	}
+	lo = target - rem
+	sym = pos
+	hi = lo + m.count(sym)
+	return sym, lo, hi
+}
+
+func (m *Model) count(sym int) uint32 {
+	c := m.cumBelow(sym+1) - m.cumBelow(sym)
+	return c
+}
+
+// update increases sym's frequency, halving all counts first if the total
+// would exceed maxTotal.
+func (m *Model) update(sym int) {
+	if m.total+increment > maxTotal {
+		m.rescale()
+	}
+	m.add(sym, increment)
+	m.total += increment
+}
+
+// rescale halves every count, rounding up so no symbol becomes impossible.
+func (m *Model) rescale() {
+	counts := make([]uint32, m.n)
+	for s := 0; s < m.n; s++ {
+		counts[s] = m.count(s)
+	}
+	for i := range m.tree {
+		m.tree[i] = 0
+	}
+	m.total = 0
+	for s, c := range counts {
+		nc := (c + 1) / 2
+		m.add(s, nc)
+		m.total += nc
+	}
+}
+
+// Size returns the alphabet size.
+func (m *Model) Size() int { return m.n }

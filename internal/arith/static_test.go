@@ -1,0 +1,85 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStaticModelRoundTrip exercises EncodeStatic/DecodeStatic: frozen
+// frequencies on both sides must stay in lockstep.
+func TestStaticModelRoundTrip(t *testing.T) {
+	m := NewModel(8)
+	// Pre-train the model, then freeze.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		m.update(rng.Intn(4)) // skew toward low symbols
+	}
+	syms := make([]int, 2000)
+	for i := range syms {
+		syms[i] = rng.Intn(8)
+	}
+	e := NewEncoder()
+	for _, s := range syms {
+		e.EncodeStatic(m, s)
+	}
+	buf := e.Finish()
+
+	// Decoder needs an identically trained model.
+	m2 := NewModel(8)
+	rng2 := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		m2.update(rng2.Intn(4))
+	}
+	d := NewDecoder(buf)
+	for i, want := range syms {
+		got, err := d.DecodeStatic(m2)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestUniformRoundTrip exercises EncodeUniform/DecodeUniform across totals,
+// including totals near the kd-tree coder's point counts.
+func TestUniformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type item struct{ v, total uint32 }
+	var items []item
+	e := NewEncoder()
+	for i := 0; i < 3000; i++ {
+		total := uint32(1 + rng.Intn(200000))
+		v := uint32(rng.Intn(int(total)))
+		items = append(items, item{v, total})
+		e.EncodeUniform(v, total)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	for i, it := range items {
+		got, err := d.DecodeUniform(it.total)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d = %d, want %d (total %d)", i, got, it.v, it.total)
+		}
+	}
+}
+
+func TestUniformZeroTotal(t *testing.T) {
+	d := NewDecoder([]byte{0xff})
+	if _, err := d.DecodeUniform(0); err == nil {
+		t.Fatal("total=0 accepted")
+	}
+}
+
+func TestEncodeUniformPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for v >= total")
+		}
+	}()
+	NewEncoder().EncodeUniform(5, 5)
+}

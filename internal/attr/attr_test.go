@@ -1,0 +1,145 @@
+package attr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func identityMapping(n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	return m
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float32, 5000)
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	for _, bits := range []int{1, 4, 8, 16} {
+		data, err := EncodeIntensity(vals, identityMapping(len(vals)), bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeIntensity(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("bits=%d: %d values out", bits, len(dec))
+		}
+		tol := 0.5 / float64(uint64(1)<<uint(bits)-1)
+		for i := range vals {
+			if math.Abs(float64(dec[i]-vals[i])) > tol*1.0001 {
+				t.Fatalf("bits=%d: value %d error %v > %v", bits, i, dec[i]-vals[i], tol)
+			}
+		}
+	}
+}
+
+func TestRoundTripPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	mapping := identityMapping(n)
+	rng.Shuffle(n, func(i, j int) { mapping[i], mapping[j] = mapping[j], mapping[i] })
+	data, err := EncodeIntensity(vals, mapping, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeIntensity(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, oi := range mapping {
+		if math.Abs(float64(dec[j]-vals[oi])) > 0.003 {
+			t.Fatalf("decoded[%d] = %v, original[%d] = %v", j, dec[j], oi, vals[oi])
+		}
+	}
+}
+
+func TestSpatialCoherenceCompresses(t *testing.T) {
+	// Smoothly varying intensity (decode order follows surfaces) must
+	// compress well below 8 bits/value.
+	n := 20000
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(0.5 + 0.4*math.Sin(float64(i)/300))
+	}
+	data, err := EncodeIntensity(vals, identityMapping(n), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsPerVal := float64(len(data)) * 8 / float64(n)
+	if bitsPerVal > 3 {
+		t.Fatalf("smooth intensity costs %.2f bits/value, expected < 3", bitsPerVal)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	vals := []float32{-0.5, 2.0, float32(math.NaN()), 0.5}
+	data, err := EncodeIntensity(vals, identityMapping(4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeIntensity(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != 0 || dec[1] != 1 || dec[2] != 0 {
+		t.Fatalf("clamping wrong: %v", dec)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := EncodeIntensity([]float32{1}, identityMapping(1), 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := EncodeIntensity([]float32{1}, identityMapping(1), MaxBits+1); err == nil {
+		t.Fatal("bits too large accepted")
+	}
+	if _, err := EncodeIntensity([]float32{1, 2}, identityMapping(1), 8); err == nil {
+		t.Fatal("mapping size mismatch accepted")
+	}
+	if _, err := EncodeIntensity([]float32{1}, []int32{5}, 8); err == nil {
+		t.Fatal("out-of-range mapping accepted")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	vals := make([]float32, 500)
+	for i := range vals {
+		vals[i] = float32(i) / 500
+	}
+	data, err := EncodeIntensity(vals, identityMapping(len(vals)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := DecodeIntensity(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []float32) bool {
+		data, err := EncodeIntensity(raw, identityMapping(len(raw)), 8)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeIntensity(data)
+		return err == nil && len(dec) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package bitio implements bit-level reading and writing on top of byte
+// slices. It is the lowest-level building block of every coder in DBGC:
+// octree occupancy codes, quadtree occupancy codes, and the arithmetic coder
+// all produce or consume individual bits.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a reader runs out of bits.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits most-significant-bit first into an internal byte
+// buffer. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // number of bits currently held in cur (0..7)
+}
+
+// WriteBit appends a single bit (any nonzero b counts as 1).
+func (w *Writer) WriteBit(b int) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the n least-significant bits of v, most significant
+// first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(int((v >> uint(i)) & 1))
+	}
+}
+
+// WriteByte appends a full byte.
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint64(b), 8)
+	return nil
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// accumulated buffer. The writer remains usable; further writes continue
+// from the flushed state, so call Bytes once when encoding is finished.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.cur <<= 8 - w.nCur
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// Reader consumes bits most-significant-bit first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within buf[pos] (0 = MSB)
+}
+
+// NewReader returns a Reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit (0 or 1).
+func (r *Reader) ReadBit() (int, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrUnexpectedEOF
+	}
+	b := int(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64, most
+// significant first. n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits n=%d out of range", n)
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadByte returns the next 8 bits as a byte.
+func (r *Reader) ReadByte() (byte, error) {
+	v, err := r.ReadBits(8)
+	return byte(v), err
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}

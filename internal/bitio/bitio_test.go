@@ -1,0 +1,123 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	var w Writer
+	pattern := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type field struct {
+		v uint64
+		n uint
+	}
+	var fields []field
+	var w Writer
+	for i := 0; i < 500; i++ {
+		n := uint(rng.Intn(65))
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		fields = append(fields, field{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, f := range fields {
+		got, err := r.ReadBits(f.n)
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+		if got != f.v {
+			t.Fatalf("field %d = %#x, want %#x (n=%d)", i, got, f.v, f.n)
+		}
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	var w Writer
+	w.WriteBit(1)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 0x80 {
+		t.Fatalf("Bytes() = %x, want 80", out)
+	}
+}
+
+func TestLen(t *testing.T) {
+	var w Writer
+	for i := 0; i < 13; i++ {
+		w.WriteBit(i & 1)
+	}
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", w.Len())
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining = %d, want 11", r.Remaining())
+	}
+}
+
+func TestByteRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		var w Writer
+		for _, b := range data {
+			w.WriteByte(b)
+		}
+		got := w.Bytes()
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xabcd, 16)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after reset = %d", w.Len())
+	}
+	w.WriteBits(0x5, 3)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 0xa0 {
+		t.Fatalf("post-reset bytes = %x, want a0", out)
+	}
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"math"
+
+	"dbgc/internal/geom"
+)
+
+// CellBased runs the paper's exact cell-based clustering (§3.2). The dense
+// set it computes is the order-independent fixpoint of the rules in the
+// paper:
+//
+//   - a point with at least minPts neighbors within ε is a core point;
+//   - a cell containing a core point is a dense cell;
+//   - every point in a dense cell is dense (the octree codes dense cells
+//     wholesale, so cell-mates ride along — Example 3.1);
+//   - every point within ε of a point in a dense cell is dense (DBSCAN's
+//     border rule, widened by the cell shortcut).
+//
+// The octree-aware pruning of §3.2 makes this tractable: inside a cell,
+// core checking stops at the first core point (the cell is then dense and
+// the rest of its points are dense regardless of their own counts), a
+// cheap per-cell population bound skips the neighbor count entirely for
+// points whose whole ε-window cannot reach minPts, and the border sweep
+// only examines occupied cells whose window actually contains a dense
+// cell.
+func CellBased(pc geom.PointCloud, p Params) Result {
+	res := Result{Dense: make([]bool, len(pc))}
+	if len(pc) == 0 || p.Q <= 0 || p.K <= 0 {
+		return res
+	}
+	g := buildGrid(pc, p.Q)
+	eps := p.Eps()
+	minPts := p.minPts()
+	m := int64(math.Ceil(eps / g.side))
+
+	// Upper-bound pruning: windowTotal[c] = population of the (2m+1)³
+	// window around c, an upper bound on any member's ε-ball count.
+	// Computed with a scatter along x then a gather over (y, z).
+	xSum := make(map[cellID]int32, len(g.cells)*3)
+	for id, pts := range g.cells {
+		v := int32(len(pts))
+		for dx := -m; dx <= m; dx++ {
+			xSum[id+dx*cellStepX] += v
+		}
+	}
+	windowTotal := func(id cellID) int32 {
+		var s int32
+		for dy := -m; dy <= m; dy++ {
+			for dz := -m; dz <= m; dz++ {
+				s += xSum[id+dy*cellStepY+dz]
+			}
+		}
+		return s
+	}
+
+	// Pass 1: find dense cells. Within a cell, stop at the first core
+	// point.
+	denseCells := make(map[cellID]bool)
+	for id, pts := range g.cells {
+		if windowTotal(id) < int32(minPts) {
+			continue
+		}
+		for _, i := range pts {
+			if g.countNeighbors(pc, pc[i], eps, minPts) >= minPts {
+				denseCells[id] = true
+				break
+			}
+		}
+	}
+
+	// Pass 2: points in dense cells are dense.
+	for id := range denseCells {
+		for _, i := range g.cells[id] {
+			res.Dense[i] = true
+		}
+	}
+
+	// Pass 3: border sweep — points within ε of any dense-cell point.
+	// A scatter/gather prefilter on the dense indicator finds the
+	// occupied sparse cells whose window holds a dense cell; only their
+	// points are distance-checked, with early accept.
+	xInd := make(map[cellID]bool, len(denseCells)*3)
+	for id := range denseCells {
+		for dx := -m; dx <= m; dx++ {
+			xInd[id+dx*cellStepX] = true
+		}
+	}
+	eps2 := eps * eps
+	for id, pts := range g.cells {
+		if denseCells[id] {
+			continue
+		}
+		near := false
+	prefilter:
+		for dy := -m; dy <= m; dy++ {
+			for dz := -m; dz <= m; dz++ {
+				if xInd[id+dy*cellStepY+dz] {
+					near = true
+					break prefilter
+				}
+			}
+		}
+		if !near {
+			continue
+		}
+		for _, q := range pts {
+			if res.Dense[q] {
+				continue
+			}
+		candidate:
+			for dx := -m; dx <= m; dx++ {
+				for dy := -m; dy <= m; dy++ {
+					base := id + dx*cellStepX + dy*cellStepY
+					for dz := -m; dz <= m; dz++ {
+						nid := base + dz
+						if !denseCells[nid] {
+							continue
+						}
+						for _, e := range g.cells[nid] {
+							if pc[q].Dist2(pc[e]) <= eps2 {
+								res.Dense[q] = true
+								break candidate
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Dense {
+		if d {
+			res.NumDense++
+		}
+	}
+	res.NumDenseCells = len(denseCells)
+	return res
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "dbgc/internal/geom"
+
+// DBSCAN is a reference implementation of the classic algorithm ([15] in
+// the paper). It returns per-point cluster labels: -1 for noise, otherwise
+// a cluster id starting at 0. It exists to validate the cell-based
+// clustering (the test suite checks that cell-based dense points form a
+// superset of DBSCAN's cluster members) and is far too slow for the
+// compression pipeline itself.
+func DBSCAN(pc geom.PointCloud, eps float64, minPts int) []int {
+	labels := make([]int, len(pc))
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	if len(pc) == 0 || eps <= 0 {
+		for i := range labels {
+			labels[i] = -1
+		}
+		return labels
+	}
+	g := buildGrid(pc, eps/2)
+	next := 0
+	var nbuf []int32
+	for i := range pc {
+		if labels[i] != -2 {
+			continue
+		}
+		nbuf = g.neighbors(pc, pc[i], eps, nbuf[:0])
+		if len(nbuf) < minPts {
+			labels[i] = -1
+			continue
+		}
+		id := next
+		next++
+		labels[i] = id
+		queue := append([]int32(nil), nbuf...)
+		for len(queue) > 0 {
+			q := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[q] == -1 {
+				labels[q] = id // noise becomes a border point
+			}
+			if labels[q] != -2 {
+				continue
+			}
+			labels[q] = id
+			nbuf = g.neighbors(pc, pc[q], eps, nbuf[:0])
+			if len(nbuf) >= minPts {
+				queue = append(queue, nbuf...)
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,97 @@
+package cluster
+
+// cellMap is an open-addressing hash map from packed cell keys to int32
+// counts, used on the clustering hot paths. Classification probes hundreds
+// of thousands of cells with (2m+1)² window scans each; the generic Go map
+// spends most of that time hashing and probing, and a linear-probing table
+// with a multiplicative hash measures several times faster.
+type cellMap struct {
+	keys []cellID
+	vals []int32
+	used []bool
+	mask uint64
+	n    int
+}
+
+// newCellMap sizes the table for about n entries.
+func newCellMap(n int) *cellMap {
+	capacity := 16
+	for capacity < n*2 {
+		capacity <<= 1
+	}
+	return &cellMap{
+		keys: make([]cellID, capacity),
+		vals: make([]int32, capacity),
+		used: make([]bool, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+func hashCell(k cellID) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// add accumulates v into the slot for k, growing if the table passes 70%
+// load.
+func (m *cellMap) add(k cellID, v int32) {
+	if m.n*10 >= len(m.keys)*7 {
+		m.grow()
+	}
+	i := hashCell(k) & m.mask
+	for {
+		if !m.used[i] {
+			m.used[i] = true
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] += v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// get returns the count for k (0 when absent).
+func (m *cellMap) get(k cellID) int32 {
+	i := hashCell(k) & m.mask
+	for {
+		if !m.used[i] {
+			return 0
+		}
+		if m.keys[i] == k {
+			return m.vals[i]
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+func (m *cellMap) grow() {
+	old := *m
+	capacity := len(old.keys) * 2
+	m.keys = make([]cellID, capacity)
+	m.vals = make([]int32, capacity)
+	m.used = make([]bool, capacity)
+	m.mask = uint64(capacity - 1)
+	m.n = 0
+	for i, u := range old.used {
+		if u {
+			m.add(old.keys[i], old.vals[i])
+		}
+	}
+}
+
+// each calls f for every (key, value) pair.
+func (m *cellMap) each(f func(cellID, int32)) {
+	for i, u := range m.used {
+		if u {
+			f(m.keys[i], m.vals[i])
+		}
+	}
+}

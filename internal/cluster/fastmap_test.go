@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCellMapBasic(t *testing.T) {
+	m := newCellMap(4)
+	if m.get(42) != 0 {
+		t.Fatal("empty map returned nonzero")
+	}
+	m.add(42, 3)
+	m.add(42, 2)
+	m.add(-7, 1)
+	if m.get(42) != 5 {
+		t.Fatalf("get(42) = %d, want 5", m.get(42))
+	}
+	if m.get(-7) != 1 {
+		t.Fatalf("get(-7) = %d, want 1", m.get(-7))
+	}
+	if m.n != 2 {
+		t.Fatalf("n = %d, want 2", m.n)
+	}
+}
+
+func TestCellMapGrowth(t *testing.T) {
+	m := newCellMap(2)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		m.add(i*7919, int32(i%100))
+	}
+	if m.n != n {
+		t.Fatalf("n = %d, want %d", m.n, n)
+	}
+	for i := int64(0); i < n; i++ {
+		if got := m.get(i * 7919); got != int32(i%100) {
+			t.Fatalf("get(%d) = %d, want %d", i*7919, got, i%100)
+		}
+	}
+	// Absent keys still read zero after growth.
+	if m.get(-12345) != 0 {
+		t.Fatal("absent key nonzero after growth")
+	}
+}
+
+func TestCellMapAgainstGoMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := newCellMap(16)
+	ref := map[cellID]int32{}
+	for i := 0; i < 50000; i++ {
+		k := cellID(rng.Intn(5000)) // collisions guaranteed
+		v := int32(rng.Intn(10))
+		m.add(k, v)
+		ref[k] += v
+	}
+	for k, want := range ref {
+		if got := m.get(k); got != want {
+			t.Fatalf("get(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if m.n != len(ref) {
+		t.Fatalf("n = %d, want %d", m.n, len(ref))
+	}
+}
+
+func TestCellMapEach(t *testing.T) {
+	m := newCellMap(8)
+	want := map[cellID]int32{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		m.add(k, v)
+	}
+	got := map[cellID]int32{}
+	m.each(func(k cellID, v int32) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("each visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("each saw %d=%d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func BenchmarkCellMapVsGoMap(b *testing.B) {
+	keys := make([]cellID, 100000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = cellID(rng.Int63n(1 << 40))
+	}
+	b.Run("cellMap", func(b *testing.B) {
+		m := newCellMap(len(keys))
+		for _, k := range keys {
+			m.add(k, 1)
+		}
+		b.ResetTimer()
+		var s int32
+		for i := 0; i < b.N; i++ {
+			s += m.get(keys[i%len(keys)])
+		}
+		_ = s
+	})
+	b.Run("goMap", func(b *testing.B) {
+		m := make(map[cellID]int32, len(keys))
+		for _, k := range keys {
+			m[k]++
+		}
+		b.ResetTimer()
+		var s int32
+		for i := 0; i < b.N; i++ {
+			s += m[keys[i%len(keys)]]
+		}
+		_ = s
+	})
+}

@@ -1,0 +1,191 @@
+// Package cluster implements DBGC's density-based point classification
+// (§3.2): the exact cell-based clustering adapted from DBSCAN, the O(n)
+// approximate variant of §4.3, and a reference DBSCAN used to validate
+// both. Cells are octree leaf cells of side 2q; ε = k·q with k = 10 as in
+// the paper, and minPts defaults to the surface variant of the paper's
+// leaf-capacity derivation (see DefaultMinPts).
+package cluster
+
+import (
+	"math"
+
+	"dbgc/internal/geom"
+)
+
+// Params holds the clustering parameters.
+type Params struct {
+	// Q is the per-dimension error bound q_xyz; cells have side 2Q.
+	Q float64
+	// K scales the neighborhood radius: ε = K·Q. The paper fixes K = 10.
+	K int
+	// MinPts is the core-point neighbor threshold. Zero means the
+	// surface-bound default (see DefaultMinPts).
+	MinPts int
+	// Parallel runs the approximate classifier's window scans on all
+	// CPUs. The result is identical to the serial run.
+	Parallel bool
+}
+
+// DefaultParams returns the default parameter choices for error bound q:
+// k = 10 as in the paper, and the surface variant of the paper's minPts
+// derivation (see DefaultMinPts).
+func DefaultParams(q float64) Params {
+	p := Params{Q: q, K: 10}
+	p.MinPts = p.DefaultMinPts()
+	return p
+}
+
+// DefaultMinPts computes ⌈πK²/4⌉ — the leaf capacity of the ε-sphere's
+// great-disk cross-section. The paper derives minPts as the number of
+// non-empty leaf cells the ε-sphere can hold, ⌈πK³/6⌉ (§3.2), but LiDAR
+// points lie on 2D surfaces: even a perfectly sampled wall fills only a
+// disk through the sphere, so the volumetric bound is unreachable and
+// would classify every scan as sparse. The surface bound keeps the
+// derivation's intent — "the sphere around a core point is covered by a
+// sufficient number of non-empty leaf nodes" — for surface-sampled data,
+// and marks dense exactly the regions whose sample spacing is below the
+// octree leaf size, the regime the octree compresses best. The paper's
+// volumetric value remains available via the MinPts field.
+func (p Params) DefaultMinPts() int {
+	k := float64(p.K)
+	return int(math.Ceil(math.Pi * k * k / 4))
+}
+
+// VolumetricMinPts computes the paper's literal ⌈πK³/6⌉ bound.
+func (p Params) VolumetricMinPts() int {
+	k := float64(p.K)
+	return int(math.Ceil(math.Pi * k * k * k / 6))
+}
+
+// Eps returns the neighborhood radius ε = K·Q.
+func (p Params) Eps() float64 { return float64(p.K) * p.Q }
+
+func (p Params) minPts() int {
+	if p.MinPts > 0 {
+		return p.MinPts
+	}
+	return p.DefaultMinPts()
+}
+
+// Result is the outcome of classification.
+type Result struct {
+	// Dense[i] reports whether point i was classified as dense.
+	Dense []bool
+	// NumDense counts the dense points.
+	NumDense int
+	// NumDenseCells counts the grid cells marked dense.
+	NumDenseCells int
+}
+
+// Split partitions the cloud indices into dense and sparse lists.
+func (r Result) Split() (dense, sparse []int) {
+	for i, d := range r.Dense {
+		if d {
+			dense = append(dense, i)
+		} else {
+			sparse = append(sparse, i)
+		}
+	}
+	return dense, sparse
+}
+
+// Cell keys pack three 21-bit axis indices into an int64. Axis values are
+// offsets from the cloud minimum, hence non-negative; probe keys past the
+// grid boundary borrow across fields and land on phantom cells no real
+// cell can alias (real axis values stay far below 2^21).
+type cellID = int64
+
+const axisBits = 21
+
+// cellStepX and cellStepY advance a packed key by one cell along x or y;
+// z steps are ±1.
+const (
+	cellStepX = int64(1) << (2 * axisBits)
+	cellStepY = int64(1) << axisBits
+)
+
+func packCell(x, y, z int64) cellID {
+	return x<<(2*axisBits) | y<<axisBits | z
+}
+
+// grid buckets points into cells of side 2Q anchored at the cloud minimum,
+// mirroring the octree leaf layout.
+type grid struct {
+	cells map[cellID][]int32
+	min   geom.Point
+	side  float64
+}
+
+func buildGrid(pc geom.PointCloud, q float64) *grid {
+	g := &grid{
+		cells: make(map[cellID][]int32, len(pc)/2+1),
+		min:   geom.Bounds(pc).Min,
+		side:  2 * q,
+	}
+	for i, p := range pc {
+		id := g.cellOf(p)
+		g.cells[id] = append(g.cells[id], int32(i))
+	}
+	return g
+}
+
+func (g *grid) cellOf(p geom.Point) cellID {
+	return packCell(
+		int64((p.X-g.min.X)/g.side),
+		int64((p.Y-g.min.Y)/g.side),
+		int64((p.Z-g.min.Z)/g.side),
+	)
+}
+
+// countNeighbors counts points within eps of p, stopping early once the
+// count reaches limit. The scan covers all cells intersecting the ε-ball.
+func (g *grid) countNeighbors(pc geom.PointCloud, p geom.Point, eps float64, limit int) int {
+	m := int64(math.Ceil(eps / g.side))
+	c := g.cellOf(p)
+	eps2 := eps * eps
+	count := 0
+	for dx := -m; dx <= m; dx++ {
+		for dy := -m; dy <= m; dy++ {
+			base := c + dx*cellStepX + dy*cellStepY
+			for dz := -m; dz <= m; dz++ {
+				ids, ok := g.cells[base+dz]
+				if !ok {
+					continue
+				}
+				for _, i := range ids {
+					if pc[i].Dist2(p) <= eps2 {
+						count++
+						if count >= limit {
+							return count
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// neighbors appends to dst the indices of all points within eps of p.
+func (g *grid) neighbors(pc geom.PointCloud, p geom.Point, eps float64, dst []int32) []int32 {
+	m := int64(math.Ceil(eps / g.side))
+	c := g.cellOf(p)
+	eps2 := eps * eps
+	for dx := -m; dx <= m; dx++ {
+		for dy := -m; dy <= m; dy++ {
+			base := c + dx*cellStepX + dy*cellStepY
+			for dz := -m; dz <= m; dz++ {
+				ids, ok := g.cells[base+dz]
+				if !ok {
+					continue
+				}
+				for _, i := range ids {
+					if pc[i].Dist2(p) <= eps2 {
+						dst = append(dst, i)
+					}
+				}
+			}
+		}
+	}
+	return dst
+}

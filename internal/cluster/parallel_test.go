@@ -1,0 +1,22 @@
+package cluster
+
+import "testing"
+
+// TestParallelMatchesSerial: the parallel classifier must produce exactly
+// the serial result.
+func TestParallelMatchesSerial(t *testing.T) {
+	pc := fullCityFrame(t)
+	params := DefaultParams(0.02)
+	serial := Approximate(pc, params)
+	params.Parallel = true
+	parallel := Approximate(pc, params)
+	if serial.NumDense != parallel.NumDense || serial.NumDenseCells != parallel.NumDenseCells {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			serial.NumDense, serial.NumDenseCells, parallel.NumDense, parallel.NumDenseCells)
+	}
+	for i := range serial.Dense {
+		if serial.Dense[i] != parallel.Dense[i] {
+			t.Fatalf("classification differs at point %d", i)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package core assembles the DBGC compression pipeline (Figure 2): density-
+// based clustering splits the cloud into dense and sparse points, dense
+// points go to the octree coder, sparse points are organized into polylines
+// and coded in spherical coordinates, leftover points go to the optimized
+// outlier coder, and the three bit sequences are framed into the final
+// layout of Figure 8.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dbgc/internal/cluster"
+	"dbgc/internal/geom"
+	"dbgc/internal/octree"
+	"dbgc/internal/outlier"
+	"dbgc/internal/sparse"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed DBGC stream.
+var ErrCorrupt = errors.New("core: corrupt stream")
+
+// OutlierMode selects how points off all polylines are compressed (§4.3
+// "Optimized Outlier Compression" comparison, Table 2).
+type OutlierMode int
+
+const (
+	// OutlierQuadtree is DBGC's optimized scheme: 2D quadtree + Δz.
+	OutlierQuadtree OutlierMode = iota
+	// OutlierOctree compresses outliers with the baseline octree.
+	OutlierOctree
+	// OutlierNone stores outliers raw (three float32 per point).
+	OutlierNone
+)
+
+// Options configures the DBGC compressor. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Q is the per-dimension error bound q_xyz in meters (§2.1). The
+	// paper's running setting is 0.02 (2 cm).
+	Q float64
+	// K scales the clustering radius ε = K·Q; the paper fixes 10.
+	K int
+	// MinPts overrides the clustering core threshold; 0 means the
+	// surface-bound default ⌈πK²/4⌉ (see cluster.DefaultMinPts).
+	MinPts int
+	// Groups is the sparse-point group count (§3.5). The paper uses 3
+	// equal-count groups; this implementation splits at geometric radial
+	// boundaries, for which 6 groups measure best (see DESIGN.md).
+	Groups int
+	// UTheta, UPhi are the sensor's average angular steps in radians
+	// (§3.3). Zero values default to HDL-64E geometry.
+	UTheta, UPhi float64
+	// ExactClustering selects the exact cell-based clustering instead of
+	// the approximate O(n) method that DBGC integrates by default
+	// (§4.3).
+	ExactClustering bool
+	// DisableRadialOpt is the -Radial ablation.
+	DisableRadialOpt bool
+	// CartesianPolylines is the -Conversion ablation.
+	CartesianPolylines bool
+	// OutlierMode selects the outlier compressor.
+	OutlierMode OutlierMode
+	// ForceOctreeFraction, when in [0, 1], bypasses clustering and sends
+	// exactly that fraction of points (nearest to the sensor first) to
+	// the octree — the manual split of Figure 10. Negative means "use
+	// clustering".
+	ForceOctreeFraction float64
+	// Parallel runs the octree leg concurrently with the sparse pipeline
+	// and encodes radial groups on separate goroutines. The output is
+	// byte-identical to the serial encoding; only the stage timings in
+	// Stats overlap.
+	Parallel bool
+}
+
+// DefaultOptions returns the paper's configuration for error bound q.
+func DefaultOptions(q float64) Options {
+	return Options{
+		Q:                   q,
+		K:                   10,
+		Groups:              6,
+		UTheta:              2 * math.Pi / 2000,
+		UPhi:                (26.8 / 64) * math.Pi / 180,
+		ForceOctreeFraction: -1,
+	}
+}
+
+// Stats reports what the compressor did. None of it is needed for
+// decompression.
+type Stats struct {
+	NumPoints   int
+	NumDense    int
+	NumSparse   int // sparse points on polylines
+	NumOutliers int
+	NumLines    int
+
+	BytesTotal   int
+	BytesDense   int
+	BytesSparse  int
+	BytesOutlier int
+
+	// Mapping[j] is the original index of decoded point j — the paper's
+	// one-to-one mapping M, used for error verification.
+	Mapping []int32
+
+	// Stage durations (Figure 13): clustering (DEN), octree coding (OCT),
+	// coordinate conversion (COR), point organization (ORG), sparse
+	// stream compression (SPA), outlier compression (OUT).
+	DEN, OCT, COR, ORG, SPA, OUT time.Duration
+}
+
+// CompressionRatio returns RawSize / |B| for the compressed frame.
+func (s Stats) CompressionRatio() float64 {
+	if s.BytesTotal == 0 {
+		return 0
+	}
+	return float64(s.NumPoints*12) / float64(s.BytesTotal)
+}
+
+const (
+	magic   = "DBGC"
+	version = 1
+)
+
+// Compress encodes pc under opts and returns the bit sequence B plus
+// compression statistics. The cloud must be in the sensor frame (origin at
+// the sensor, §3.3).
+func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
+	if opts.Q <= 0 {
+		return nil, nil, fmt.Errorf("core: error bound must be positive, got %v", opts.Q)
+	}
+	if opts.UTheta <= 0 {
+		opts.UTheta = 2 * math.Pi / 2000
+	}
+	if opts.UPhi <= 0 {
+		opts.UPhi = (26.8 / 64) * math.Pi / 180
+	}
+	// Real capture files occasionally carry garbage records; a NaN or
+	// infinite coordinate would silently poison quantization, so reject
+	// the frame up front with a pointed error.
+	for i, p := range pc {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+			return nil, nil, fmt.Errorf("core: point %d has a non-finite coordinate: %v", i, p)
+		}
+	}
+	stats := &Stats{NumPoints: len(pc)}
+
+	// Stage 1: density-based clustering (DEN).
+	t0 := time.Now()
+	denseIdx, sparseIdx := splitPoints(pc, opts)
+	stats.DEN = time.Since(t0)
+	stats.NumDense = len(denseIdx)
+
+	// Stage 2: octree compression of dense points (OCT), optionally
+	// concurrent with the sparse pipeline.
+	densePts := make(geom.PointCloud, len(denseIdx))
+	for k, i := range denseIdx {
+		densePts[k] = pc[i]
+	}
+	var denseEnc octree.Encoded
+	var denseErr error
+	denseDone := make(chan struct{})
+	encodeDense := func() {
+		t := time.Now()
+		denseEnc, denseErr = octree.Encode(densePts, opts.Q)
+		stats.OCT = time.Since(t)
+		close(denseDone)
+	}
+	if opts.Parallel {
+		go encodeDense()
+	} else {
+		encodeDense()
+	}
+
+	// Stages 3-5: conversion, organization, sparse coordinate
+	// compression (COR/ORG/SPA).
+	sparseEnc, err := sparse.Encode(pc, sparseIdx, sparse.Options{
+		Q:                opts.Q,
+		Groups:           opts.Groups,
+		UTheta:           opts.UTheta,
+		UPhi:             opts.UPhi,
+		DisableRadialOpt: opts.DisableRadialOpt,
+		CartesianMode:    opts.CartesianPolylines,
+		Parallel:         opts.Parallel,
+	})
+	<-denseDone
+	if denseErr != nil {
+		return nil, nil, fmt.Errorf("core: octree: %w", denseErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: sparse: %w", err)
+	}
+	stats.COR = sparseEnc.TimeConvert
+	stats.ORG = sparseEnc.TimeOrganize
+	stats.SPA = sparseEnc.TimeCompress
+	stats.NumLines = sparseEnc.NumLines
+	stats.NumSparse = len(sparseEnc.DecodedOrder)
+	stats.NumOutliers = len(sparseEnc.OutlierIdx)
+
+	// Stage 6: outlier compression (OUT).
+	t0 = time.Now()
+	outlierPts := make(geom.PointCloud, len(sparseEnc.OutlierIdx))
+	for k, i := range sparseEnc.OutlierIdx {
+		outlierPts[k] = pc[i]
+	}
+	outlierData, outlierOrder, err := encodeOutliers(outlierPts, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: outliers: %w", err)
+	}
+	stats.OUT = time.Since(t0)
+
+	// Final layout (Figure 8).
+	out := make([]byte, 0, len(denseEnc.Data)+len(sparseEnc.Data)+len(outlierData)+64)
+	out = append(out, magic...)
+	out = append(out, version)
+	out = varint.AppendUint(out, uint64(opts.OutlierMode))
+	out = appendSection(out, denseEnc.Data)
+	out = appendSection(out, sparseEnc.Data)
+	out = appendSection(out, outlierData)
+
+	stats.BytesDense = len(denseEnc.Data)
+	stats.BytesSparse = len(sparseEnc.Data)
+	stats.BytesOutlier = len(outlierData)
+	stats.BytesTotal = len(out)
+
+	// Assemble the one-to-one mapping in decode order: dense, sparse,
+	// outliers.
+	stats.Mapping = make([]int32, 0, len(pc))
+	for _, j := range denseEnc.DecodedOrder {
+		stats.Mapping = append(stats.Mapping, denseIdx[j])
+	}
+	stats.Mapping = append(stats.Mapping, sparseEnc.DecodedOrder...)
+	for _, j := range outlierOrder {
+		stats.Mapping = append(stats.Mapping, sparseEnc.OutlierIdx[j])
+	}
+	return out, stats, nil
+}
+
+// splitPoints classifies the cloud into dense and sparse index sets, either
+// by clustering or by the manual nearest-fraction split of Figure 10.
+func splitPoints(pc geom.PointCloud, opts Options) (dense, sparseIdx []int32) {
+	if f := opts.ForceOctreeFraction; f >= 0 {
+		if f > 1 {
+			f = 1
+		}
+		order := make([]int32, len(pc))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := pc[order[a]].Norm(), pc[order[b]].Norm()
+			if ra != rb {
+				return ra < rb
+			}
+			return order[a] < order[b]
+		})
+		cut := int(math.Round(f * float64(len(pc))))
+		return order[:cut], order[cut:]
+	}
+	params := cluster.Params{Q: opts.Q, K: opts.K, MinPts: opts.MinPts, Parallel: opts.Parallel}
+	if params.K <= 0 {
+		params.K = 10
+	}
+	var res cluster.Result
+	if opts.ExactClustering {
+		res = cluster.CellBased(pc, params)
+	} else {
+		res = cluster.Approximate(pc, params)
+	}
+	for i, d := range res.Dense {
+		if d {
+			dense = append(dense, int32(i))
+		} else {
+			sparseIdx = append(sparseIdx, int32(i))
+		}
+	}
+	return dense, sparseIdx
+}
+
+func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
+	switch opts.OutlierMode {
+	case OutlierQuadtree:
+		enc, err := outlier.Encode(pts, opts.Q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return enc.Data, enc.DecodedOrder, nil
+	case OutlierOctree:
+		enc, err := octree.Encode(pts, opts.Q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return enc.Data, enc.DecodedOrder, nil
+	case OutlierNone:
+		// Raw storage: three float32 per point, matching the paper's
+		// "None" variant where outliers stay uncompressed.
+		data := make([]byte, 0, 12*len(pts)+8)
+		data = varint.AppendUint(data, uint64(len(pts)))
+		for _, p := range pts {
+			data = appendFloat32(data, float32(p.X))
+			data = appendFloat32(data, float32(p.Y))
+			data = appendFloat32(data, float32(p.Z))
+		}
+		order := make([]int, len(pts))
+		for i := range order {
+			order[i] = i
+		}
+		return data, order, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown outlier mode %d", opts.OutlierMode)
+	}
+}
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func appendFloat32(dst []byte, f float32) []byte {
+	v := math.Float32bits(f)
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendSection(dst, payload []byte) []byte {
+	dst = varint.AppendUint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+)
+
+var (
+	framesMu sync.Mutex
+	frames   = map[lidar.SceneKind]geom.PointCloud{}
+)
+
+func frame(t testing.TB, kind lidar.SceneKind) geom.PointCloud {
+	t.Helper()
+	framesMu.Lock()
+	defer framesMu.Unlock()
+	if pc, ok := frames[kind]; ok {
+		return pc
+	}
+	scene, err := lidar.NewScene(kind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := lidar.HDL64E().Simulate(scene, 1)
+	frames[kind] = pc
+	return pc
+}
+
+// verifyRoundTrip checks the one-to-one mapping and the error bound for a
+// compressed frame: per-dimension q for octree/outlier points would be
+// ideal, but the spherical path guarantees √3·q Euclidean (Theorem 3.2), so
+// that is the uniform bound asserted here.
+func verifyRoundTrip(t *testing.T, pc geom.PointCloud, data []byte, stats *Stats, q float64) {
+	t.Helper()
+	dec, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(pc) {
+		t.Fatalf("one-to-one mapping violated: %d in, %d out", len(pc), len(dec))
+	}
+	if len(stats.Mapping) != len(pc) {
+		t.Fatalf("mapping has %d entries, want %d", len(stats.Mapping), len(pc))
+	}
+	seen := make([]bool, len(pc))
+	bound := math.Sqrt(3) * q * 1.000001
+	worst := 0.0
+	for j, oi := range stats.Mapping {
+		if oi < 0 || int(oi) >= len(pc) || seen[oi] {
+			t.Fatalf("mapping is not a permutation at %d", j)
+		}
+		seen[oi] = true
+		d := pc[oi].Dist(dec[j])
+		if d > worst {
+			worst = d
+		}
+		if d > bound {
+			t.Fatalf("point %d error %v exceeds %v", oi, d, bound)
+		}
+	}
+	t.Logf("ratio %.2f, worst error %.5f m (bound %.5f), dense %d / sparse %d / outliers %d",
+		stats.CompressionRatio(), worst, bound, stats.NumDense, stats.NumSparse, stats.NumOutliers)
+}
+
+func TestCompressDecompressAllScenes(t *testing.T) {
+	for _, kind := range lidar.AllScenes {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			pc := frame(t, kind)
+			opts := DefaultOptions(0.02)
+			data, stats, err := Compress(pc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyRoundTrip(t, pc, data, stats, opts.Q)
+			if r := stats.CompressionRatio(); r < 8 {
+				t.Errorf("%s: compression ratio %.2f below expectation", kind, r)
+			}
+		})
+	}
+}
+
+func TestErrorBounds(t *testing.T) {
+	pc := frame(t, lidar.City)
+	for _, q := range []float64{0.0006, 0.005, 0.02} {
+		opts := DefaultOptions(q)
+		data, stats, err := Compress(pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoundTrip(t, pc, data, stats, q)
+	}
+}
+
+func TestRatioImprovesWithLooserBound(t *testing.T) {
+	pc := frame(t, lidar.City)
+	var prev float64
+	for _, q := range []float64{0.0006, 0.0025, 0.01, 0.02} {
+		_, stats, err := Compress(pc, DefaultOptions(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.CompressionRatio()
+		if r <= prev {
+			t.Fatalf("ratio %.2f at q=%v not above %.2f at looser bound", r, q, prev)
+		}
+		prev = r
+	}
+}
+
+func TestAblationsRoundTrip(t *testing.T) {
+	pc := frame(t, lidar.Campus)
+	cases := map[string]func(*Options){
+		"exact-clustering": func(o *Options) { o.ExactClustering = true },
+		"-radial":          func(o *Options) { o.DisableRadialOpt = true },
+		"-group":           func(o *Options) { o.Groups = 1 },
+		"-conversion":      func(o *Options) { o.CartesianPolylines = true },
+		"outlier-octree":   func(o *Options) { o.OutlierMode = OutlierOctree },
+		"outlier-none":     func(o *Options) { o.OutlierMode = OutlierNone },
+	}
+	for name, mod := range cases {
+		name, mod := name, mod
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions(0.02)
+			mod(&opts)
+			data, stats, err := Compress(pc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyRoundTrip(t, pc, data, stats, opts.Q)
+		})
+	}
+}
+
+func TestClusteringBeatsExtremes(t *testing.T) {
+	// Figure 10: the clustering split should beat both all-octree and
+	// all-coordinate-compression.
+	pc := frame(t, lidar.City)
+	ratio := func(opts Options) float64 {
+		_, stats, err := Compress(pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.CompressionRatio()
+	}
+	clustered := ratio(DefaultOptions(0.02))
+	allOctree := func() Options { o := DefaultOptions(0.02); o.ForceOctreeFraction = 1; return o }()
+	allSparse := func() Options { o := DefaultOptions(0.02); o.ForceOctreeFraction = 0; return o }()
+	rOct := ratio(allOctree)
+	rSpa := ratio(allSparse)
+	t.Logf("clustered %.2f, all-octree %.2f, all-sparse %.2f", clustered, rOct, rSpa)
+	if clustered < rOct && clustered < rSpa {
+		t.Fatalf("clustered split (%.2f) worse than both extremes (%.2f, %.2f)", clustered, rOct, rSpa)
+	}
+}
+
+func TestForceFractionRoundTrip(t *testing.T) {
+	pc := frame(t, lidar.City)
+	for _, f := range []float64{0, 0.3, 0.7, 1} {
+		opts := DefaultOptions(0.02)
+		opts.ForceOctreeFraction = f
+		data, stats, err := Compress(pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoundTrip(t, pc, data, stats, opts.Q)
+	}
+}
+
+func TestEmptyCloud(t *testing.T) {
+	data, stats, err := Compress(nil, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumPoints != 0 {
+		t.Fatalf("stats for empty cloud: %+v", stats)
+	}
+	dec, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d points from empty cloud", len(dec))
+	}
+}
+
+func TestTinyCloud(t *testing.T) {
+	pc := geom.PointCloud{{X: 5, Y: 1, Z: -1}, {X: 6, Y: 2, Z: -1}, {X: 7, Y: 2.5, Z: -1}}
+	data, stats, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRoundTrip(t, pc, data, stats, 0.02)
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, _, err := Compress(geom.PointCloud{{X: 1}}, Options{Q: 0}); err == nil {
+		t.Fatal("expected error for q=0")
+	}
+	opts := DefaultOptions(0.02)
+	opts.OutlierMode = OutlierMode(99)
+	if _, _, err := Compress(geom.PointCloud{{X: 1}}, opts); err == nil {
+		t.Fatal("expected error for bad outlier mode")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("nil stream must fail")
+	}
+	if _, err := Decompress([]byte("not a dbgc stream")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := Decompress([]byte("DBGC\x09")); err == nil {
+		t.Fatal("bad version must fail")
+	}
+}
+
+func TestDecompressTruncations(t *testing.T) {
+	pc := frame(t, lidar.Road)[:20000]
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 1009 {
+		if _, err := Decompress(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	for i := 5; i < len(data); i += 769 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		_, _ = Decompress(mut) // must not panic
+	}
+}
+
+func TestRejectsNonFinitePoints(t *testing.T) {
+	for _, bad := range []geom.Point{
+		{X: math.NaN()},
+		{Y: math.Inf(1)},
+		{Z: math.Inf(-1)},
+	} {
+		pc := geom.PointCloud{{X: 1, Y: 1, Z: 1}, bad}
+		if _, _, err := Compress(pc, DefaultOptions(0.02)); err == nil {
+			t.Errorf("non-finite point %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/octree"
+	"dbgc/internal/outlier"
+	"dbgc/internal/sparse"
+	"dbgc/internal/varint"
+)
+
+// Decompress reconstructs the point cloud from a stream produced by
+// Compress. Points come back in decode order (dense, then polyline, then
+// outlier points); Stats.Mapping from the compressor relates them to the
+// original indices.
+func Decompress(data []byte) (geom.PointCloud, error) {
+	if len(data) < len(magic)+1 {
+		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[len(magic)] != version {
+		return nil, fmt.Errorf("core: unsupported version %d", data[len(magic)])
+	}
+	data = data[len(magic)+1:]
+	mode64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: outlier mode: %w", err)
+	}
+	data = data[used:]
+	mode := OutlierMode(mode64)
+
+	denseData, data, err := readSection(data, "dense")
+	if err != nil {
+		return nil, err
+	}
+	sparseData, data, err := readSection(data, "sparse")
+	if err != nil {
+		return nil, err
+	}
+	outlierData, _, err := readSection(data, "outlier")
+	if err != nil {
+		return nil, err
+	}
+
+	densePts, err := octree.Decode(denseData)
+	if err != nil {
+		return nil, fmt.Errorf("core: dense: %w", err)
+	}
+	sparsePts, err := sparse.Decode(sparseData)
+	if err != nil {
+		return nil, fmt.Errorf("core: sparse: %w", err)
+	}
+	outlierPts, err := decodeOutliers(outlierData, mode)
+	if err != nil {
+		return nil, fmt.Errorf("core: outliers: %w", err)
+	}
+
+	out := make(geom.PointCloud, 0, len(densePts)+len(sparsePts)+len(outlierPts))
+	out = append(out, densePts...)
+	out = append(out, sparsePts...)
+	out = append(out, outlierPts...)
+	return out, nil
+}
+
+func decodeOutliers(data []byte, mode OutlierMode) (geom.PointCloud, error) {
+	switch mode {
+	case OutlierQuadtree:
+		return outlier.Decode(data)
+	case OutlierOctree:
+		return octree.Decode(data)
+	case OutlierNone:
+		n, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: raw outlier count: %w", err)
+		}
+		data = data[used:]
+		if uint64(len(data)) != 12*n {
+			return nil, fmt.Errorf("%w: raw outlier section has %d bytes, want %d", ErrCorrupt, len(data), 12*n)
+		}
+		out := make(geom.PointCloud, n)
+		for i := range out {
+			out[i] = geom.Point{
+				X: float64(readFloat32(data[12*i:])),
+				Y: float64(readFloat32(data[12*i+4:])),
+				Z: float64(readFloat32(data[12*i+8:])),
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown outlier mode %d", ErrCorrupt, mode)
+	}
+}
+
+func readFloat32(b []byte) float32 {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(v)
+}
+
+func readSection(data []byte, name string) (payload, rest []byte, err error) {
+	l, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s length: %w", name, err)
+	}
+	data = data[used:]
+	if l > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %s section truncated", ErrCorrupt, name)
+	}
+	return data[:l], data[l:], nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+// FuzzDecompress drives the whole decode stack with mutated streams. Run
+// with `go test -fuzz=FuzzDecompress ./internal/core/`; in normal test mode
+// the seed corpus exercises the happy path plus classic corruptions. The
+// invariant: Decompress never panics and never returns both nil error and a
+// malformed cloud.
+func FuzzDecompress(f *testing.F) {
+	pc := geom.PointCloud{
+		{X: 3, Y: 1, Z: -1}, {X: 3.1, Y: 1.1, Z: -1}, {X: 3.2, Y: 1.2, Z: -1},
+		{X: 10, Y: -4, Z: 0.5}, {X: 40, Y: 40, Z: 2},
+	}
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte("DBGC\x01garbage"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), data...)
+	if len(mut) > 10 {
+		mut[10] ^= 0xff
+	}
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dec, err := Decompress(b)
+		if err == nil && dec == nil {
+			t.Fatal("nil cloud with nil error")
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"dbgc/internal/varint"
+)
+
+// Layout describes a DBGC bit sequence's structure (Figure 8) without
+// fully decoding it, for tooling and diagnostics.
+type Layout struct {
+	Version      byte
+	OutlierMode  OutlierMode
+	BytesTotal   int
+	BytesDense   int
+	BytesSparse  int
+	BytesOutlier int
+	// Groups is the number of radial point groups in the sparse section.
+	Groups int
+	// PointsDense, PointsSparse, PointsOutlier are header point counts
+	// (dense and outlier sections record them directly; sparse requires
+	// full decode and is reported as -1).
+	PointsDense   int
+	PointsOutlier int
+}
+
+// Inspect parses the layout of a compressed frame.
+func Inspect(data []byte) (Layout, error) {
+	var l Layout
+	l.BytesTotal = len(data)
+	if len(data) < len(magic)+1 {
+		return l, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return l, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	l.Version = data[len(magic)]
+	data = data[len(magic)+1:]
+	mode, used, err := varint.Uint(data)
+	if err != nil {
+		return l, fmt.Errorf("core: outlier mode: %w", err)
+	}
+	data = data[used:]
+	l.OutlierMode = OutlierMode(mode)
+
+	dense, data, err := readSection(data, "dense")
+	if err != nil {
+		return l, err
+	}
+	l.BytesDense = len(dense)
+	if n, _, err := varint.Uint(dense); err == nil {
+		l.PointsDense = int(n)
+	}
+	sparse, data, err := readSection(data, "sparse")
+	if err != nil {
+		return l, err
+	}
+	l.BytesSparse = len(sparse)
+	// Sparse section: flags varint, q float64, group count varint.
+	if _, used, err := varint.Uint(sparse); err == nil {
+		rest := sparse[used:]
+		if len(rest) >= 8 {
+			if g, _, err := varint.Uint(rest[8:]); err == nil {
+				l.Groups = int(g)
+			}
+		}
+	}
+	outlierData, _, err := readSection(data, "outlier")
+	if err != nil {
+		return l, err
+	}
+	l.BytesOutlier = len(outlierData)
+	if l.OutlierMode == OutlierNone || l.OutlierMode == OutlierOctree {
+		if n, _, err := varint.Uint(outlierData); err == nil {
+			l.PointsOutlier = int(n)
+		}
+	} else if len(outlierData) > 8 {
+		// Quadtree outlier section: q (float64), quadtree stream length
+		// varint, then the quadtree stream whose first varint is the
+		// point count.
+		rest := outlierData[8:]
+		if _, used, err := varint.Uint(rest); err == nil {
+			if n, _, err := varint.Uint(rest[used:]); err == nil {
+				l.PointsOutlier = int(n)
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dbgc/internal/lidar"
+)
+
+// TestParallelIdenticalOutput: parallel compression must be byte-identical
+// to serial — the decoder-replay design depends on deterministic streams.
+func TestParallelIdenticalOutput(t *testing.T) {
+	pc := frame(t, lidar.City)
+	opts := DefaultOptions(0.02)
+	serial, sStats, err := Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = true
+	parallel, pStats, err := Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel output differs: %d vs %d bytes", len(parallel), len(serial))
+	}
+	if len(sStats.Mapping) != len(pStats.Mapping) {
+		t.Fatal("mapping sizes differ")
+	}
+	for i := range sStats.Mapping {
+		if sStats.Mapping[i] != pStats.Mapping[i] {
+			t.Fatalf("mapping differs at %d", i)
+		}
+	}
+}
+
+// TestParallelSpeed is informational: parallel mode should not be slower
+// than serial by any meaningful margin on a multi-core machine.
+func TestParallelSpeed(t *testing.T) {
+	pc := frame(t, lidar.City)
+	measure := func(parallel bool) time.Duration {
+		opts := DefaultOptions(0.02)
+		opts.Parallel = parallel
+		best := time.Duration(1 << 62)
+		for i := 0; i < 2; i++ {
+			t0 := time.Now()
+			if _, _, err := Compress(pc, opts); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(false)
+	parallel := measure(true)
+	t.Logf("serial %v, parallel %v (%.2fx)", serial.Round(time.Millisecond),
+		parallel.Round(time.Millisecond), float64(serial)/float64(parallel))
+	if parallel > serial*3/2 {
+		t.Errorf("parallel mode much slower than serial: %v vs %v", parallel, serial)
+	}
+}

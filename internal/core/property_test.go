@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+// TestPropertyRandomClouds: randomized small clouds with adversarial
+// shapes (lines, planes, clusters, duplicates) must round-trip within the
+// bound under randomized options.
+func TestPropertyRandomClouds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	shapes := []func(n int) geom.PointCloud{
+		// Uniform box.
+		func(n int) geom.PointCloud {
+			pc := make(geom.PointCloud, n)
+			for i := range pc {
+				pc[i] = geom.Point{X: rng.Float64()*80 - 40, Y: rng.Float64()*80 - 40, Z: rng.Float64()*10 - 5}
+			}
+			return pc
+		},
+		// Collinear points.
+		func(n int) geom.PointCloud {
+			pc := make(geom.PointCloud, n)
+			for i := range pc {
+				pc[i] = geom.Point{X: float64(i) * 0.13, Y: 2, Z: -1}
+			}
+			return pc
+		},
+		// Tight cluster with duplicates.
+		func(n int) geom.PointCloud {
+			pc := make(geom.PointCloud, n)
+			base := geom.Point{X: 7, Y: -3, Z: 0.5}
+			for i := range pc {
+				if i%3 == 0 {
+					pc[i] = base
+				} else {
+					pc[i] = base.Add(geom.Point{X: rng.NormFloat64() * 0.05, Y: rng.NormFloat64() * 0.05, Z: rng.NormFloat64() * 0.05})
+				}
+			}
+			return pc
+		},
+		// Ring around the sensor.
+		func(n int) geom.PointCloud {
+			pc := make(geom.PointCloud, n)
+			for i := range pc {
+				az := float64(i) / float64(n) * 2 * math.Pi
+				r := 15 + rng.NormFloat64()*0.1
+				pc[i] = geom.Point{X: r * math.Cos(az), Y: r * math.Sin(az), Z: -1.7}
+			}
+			return pc
+		},
+	}
+	for trial := 0; trial < 20; trial++ {
+		shape := shapes[trial%len(shapes)]
+		pc := shape(50 + rng.Intn(500))
+		q := []float64{0.002, 0.01, 0.02, 0.05}[rng.Intn(4)]
+		opts := DefaultOptions(q)
+		opts.Groups = 1 + rng.Intn(6)
+		opts.DisableRadialOpt = rng.Intn(2) == 0
+		if rng.Intn(4) == 0 {
+			opts.OutlierMode = OutlierOctree
+		}
+		data, stats, err := Compress(pc, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dec, err := Decompress(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(dec) != len(pc) {
+			t.Fatalf("trial %d: %d points out of %d", trial, len(dec), len(pc))
+		}
+		bound := math.Sqrt(3) * q * 1.000001
+		for j, oi := range stats.Mapping {
+			if d := pc[oi].Dist(dec[j]); d > bound {
+				t.Fatalf("trial %d: point %d error %v > %v (q=%v, shape %d)",
+					trial, oi, d, bound, q, trial%len(shapes))
+			}
+		}
+	}
+}

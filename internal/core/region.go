@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/octree"
+	"dbgc/internal/sparse"
+	"dbgc/internal/varint"
+)
+
+// DecompressRegion reconstructs only the points inside the query box from
+// a compressed frame — the paper's server can store B directly (§3.1), and
+// range queries are the natural access path for a stored frame. The dense
+// octree prunes subtrees outside the region; sparse radial groups whose
+// radial interval cannot reach the box are skipped entirely; everything
+// else decodes normally and filters.
+func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
+	if len(data) < len(magic)+1 {
+		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[len(magic)] != version {
+		return nil, fmt.Errorf("core: unsupported version %d", data[len(magic)])
+	}
+	data = data[len(magic)+1:]
+	mode64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: outlier mode: %w", err)
+	}
+	data = data[used:]
+	mode := OutlierMode(mode64)
+
+	denseData, data, err := readSection(data, "dense")
+	if err != nil {
+		return nil, err
+	}
+	sparseData, data, err := readSection(data, "sparse")
+	if err != nil {
+		return nil, err
+	}
+	outlierData, _, err := readSection(data, "outlier")
+	if err != nil {
+		return nil, err
+	}
+
+	out, err := octree.DecodeRegion(denseData, region)
+	if err != nil {
+		return nil, fmt.Errorf("core: dense: %w", err)
+	}
+
+	// Sparse groups: [rLo, rHi] of the box from the sensor decides which
+	// groups can contribute.
+	rLo, rHi := regionRadialRange(region)
+	sparsePts, err := sparse.DecodeRadialRange(sparseData, rLo, rHi)
+	if err != nil {
+		return nil, fmt.Errorf("core: sparse: %w", err)
+	}
+	for _, p := range sparsePts {
+		if region.Contains(p) {
+			out = append(out, p)
+		}
+	}
+
+	outlierPts, err := decodeOutliers(outlierData, mode)
+	if err != nil {
+		return nil, fmt.Errorf("core: outliers: %w", err)
+	}
+	for _, p := range outlierPts {
+		if region.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// regionRadialRange returns the radial interval of the box as seen from
+// the sensor at the origin.
+func regionRadialRange(b geom.AABB) (lo, hi float64) {
+	// Nearest point of the box to the origin per axis.
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	nearest := geom.Point{
+		X: clamp(0, b.Min.X, b.Max.X),
+		Y: clamp(0, b.Min.Y, b.Max.Y),
+		Z: clamp(0, b.Min.Z, b.Max.Z),
+	}
+	lo = nearest.Norm()
+	for _, x := range []float64{b.Min.X, b.Max.X} {
+		for _, y := range []float64{b.Min.Y, b.Max.Y} {
+			for _, z := range []float64{b.Min.Z, b.Max.Z} {
+				hi = math.Max(hi, (geom.Point{X: x, Y: y, Z: z}).Norm())
+			}
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+)
+
+func TestDecompressRegion(t *testing.T) {
+	pc := frame(t, lidar.City)
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []geom.AABB{
+		{Min: geom.Point{X: -10, Y: -10, Z: -3}, Max: geom.Point{X: 10, Y: 10, Z: 3}},
+		{Min: geom.Point{X: 20, Y: 20, Z: -3}, Max: geom.Point{X: 60, Y: 60, Z: 10}},
+		{Min: geom.Point{X: 500, Y: 500, Z: 0}, Max: geom.Point{X: 600, Y: 600, Z: 1}}, // empty
+	}
+	for ri, region := range regions {
+		got, err := DecompressRegion(data, region)
+		if err != nil {
+			t.Fatalf("region %d: %v", ri, err)
+		}
+		var want geom.PointCloud
+		for _, p := range full {
+			if region.Contains(p) {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("region %d: %d points, want %d", ri, len(got), len(want))
+		}
+		sortCloud(got)
+		sortCloud(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("region %d: point %d = %v, want %v", ri, i, got[i], want[i])
+			}
+		}
+		t.Logf("region %d: %d of %d points", ri, len(got), len(full))
+	}
+}
+
+func sortCloud(pc geom.PointCloud) {
+	sort.Slice(pc, func(i, j int) bool {
+		if pc[i].X != pc[j].X {
+			return pc[i].X < pc[j].X
+		}
+		if pc[i].Y != pc[j].Y {
+			return pc[i].Y < pc[j].Y
+		}
+		return pc[i].Z < pc[j].Z
+	})
+}
+
+func TestDecompressRegionGarbage(t *testing.T) {
+	box := geom.AABB{Min: geom.Point{X: -1, Y: -1, Z: -1}, Max: geom.Point{X: 1, Y: 1, Z: 1}}
+	if _, err := DecompressRegion(nil, box); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecompressRegion([]byte("DBGC\x01xx"), box); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfIntsUniform(t *testing.T) {
+	vs := []int64{0, 1, 2, 3}
+	if h := OfInts(vs); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("entropy of 4 distinct values = %v, want 2", h)
+	}
+}
+
+func TestOfIntsConstant(t *testing.T) {
+	if h := OfInts([]int64{7, 7, 7}); h != 0 {
+		t.Fatalf("constant entropy = %v, want 0", h)
+	}
+}
+
+func TestOfIntsEmpty(t *testing.T) {
+	if h := OfInts(nil); h != 0 {
+		t.Fatalf("empty entropy = %v, want 0", h)
+	}
+}
+
+func TestOfBytesBiased(t *testing.T) {
+	// 75/25 split: H = -(0.75 log 0.75 + 0.25 log 0.25) ≈ 0.8113.
+	b := make([]byte, 400)
+	for i := 300; i < 400; i++ {
+		b[i] = 1
+	}
+	want := -(0.75*math.Log2(0.75) + 0.25*math.Log2(0.25))
+	if h := OfBytes(b); math.Abs(h-want) > 1e-12 {
+		t.Fatalf("entropy = %v, want %v", h, want)
+	}
+}
+
+func TestDeltaRoundTripQuick(t *testing.T) {
+	f := func(vs []int64) bool {
+		// Constrain magnitudes so delta sums cannot overflow int64.
+		in := make([]int64, len(vs))
+		for i, v := range vs {
+			in[i] = v % (1 << 40)
+		}
+		got := Undelta(Delta(in))
+		for i := range in {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaReducesEntropyOnRamp(t *testing.T) {
+	// A linear ramp has maximal entropy raw but near-zero after delta —
+	// the property §3.5 relies on for azimuthal angles.
+	vs := make([]int64, 1000)
+	for i := range vs {
+		vs[i] = int64(i * 3)
+	}
+	if hRaw, hDelta := OfInts(vs), OfInts(Delta(vs)); hDelta >= hRaw {
+		t.Fatalf("delta entropy %v should be below raw %v", hDelta, hRaw)
+	}
+}

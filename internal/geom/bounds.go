@@ -1,0 +1,52 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Point
+}
+
+// Bounds returns the tight axis-aligned bounding box of the cloud. An empty
+// cloud yields a zero box.
+func Bounds(pc PointCloud) AABB {
+	if len(pc) == 0 {
+		return AABB{}
+	}
+	b := AABB{Min: pc[0], Max: pc[0]}
+	for _, p := range pc[1:] {
+		b.Min.X = math.Min(b.Min.X, p.X)
+		b.Min.Y = math.Min(b.Min.Y, p.Y)
+		b.Min.Z = math.Min(b.Min.Z, p.Z)
+		b.Max.X = math.Max(b.Max.X, p.X)
+		b.Max.Y = math.Max(b.Max.Y, p.Y)
+		b.Max.Z = math.Max(b.Max.Z, p.Z)
+	}
+	return b
+}
+
+// Size returns the edge lengths of the box.
+func (b AABB) Size() Point { return b.Max.Sub(b.Min) }
+
+// MaxDim returns the largest edge length (the paper's Ω, §4.1).
+func (b AABB) MaxDim() float64 {
+	s := b.Size()
+	return math.Max(s.X, math.Max(s.Y, s.Z))
+}
+
+// Center returns the center of the box.
+func (b AABB) Center() Point { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b AABB) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Cube returns the smallest axis-aligned cube with the same Min corner that
+// contains b. Octree construction partitions a cube (§2.1).
+func (b AABB) Cube() AABB {
+	side := b.MaxDim()
+	return AABB{Min: b.Min, Max: b.Min.Add(Point{side, side, side})}
+}

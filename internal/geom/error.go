@@ -1,0 +1,54 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorReport summarizes the reconstruction error between an original cloud
+// and its decompressed counterpart under the paper's one-to-one mapping
+// (Definition 2.2): point i of the original maps to point i of the
+// reconstruction.
+type ErrorReport struct {
+	// MaxPerDim is the maximum per-dimension (Chebyshev) error over all
+	// point pairs.
+	MaxPerDim float64
+	// MaxEuclidean is the maximum Euclidean error over all point pairs.
+	MaxEuclidean float64
+	// MeanEuclidean is the mean Euclidean error.
+	MeanEuclidean float64
+	// N is the number of compared points.
+	N int
+}
+
+// CompareClouds computes the error report for two clouds related by the
+// identity index mapping. It returns an error if the clouds differ in size,
+// which would violate the one-to-one mapping requirement of the problem
+// statement.
+func CompareClouds(orig, dec PointCloud) (ErrorReport, error) {
+	if len(orig) != len(dec) {
+		return ErrorReport{}, fmt.Errorf("geom: cloud size mismatch: %d original vs %d decompressed", len(orig), len(dec))
+	}
+	var rep ErrorReport
+	rep.N = len(orig)
+	var sum float64
+	for i := range orig {
+		cheb := orig[i].ChebDist(dec[i])
+		eu := orig[i].Dist(dec[i])
+		rep.MaxPerDim = math.Max(rep.MaxPerDim, cheb)
+		rep.MaxEuclidean = math.Max(rep.MaxEuclidean, eu)
+		sum += eu
+	}
+	if rep.N > 0 {
+		rep.MeanEuclidean = sum / float64(rep.N)
+	}
+	return rep, nil
+}
+
+// WithinBound reports whether the maximum Euclidean error satisfies the
+// bound guaranteed by Theorem 3.2 for error bound q on each Cartesian
+// dimension: sqrt(3)·q, with a tiny relative slack for floating-point
+// round-off.
+func (r ErrorReport) WithinBound(q float64) bool {
+	return r.MaxEuclidean <= math.Sqrt(3)*q*(1+1e-9)+1e-12
+}

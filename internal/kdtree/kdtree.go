@@ -1,0 +1,252 @@
+// Package kdtree implements a Draco-style kd-tree geometry coder, the
+// comparison baseline the paper labels "Draco" (§4.1). Coordinates are
+// quantized with qb bits per dimension over the bounding cube (the paper's
+// relation q_xyz = Ω / 2^qb), then the point set is recursively split at
+// cell midpoints; at each split only the number of points falling into the
+// lower half is transmitted, coded uniformly over [0, n].
+package kdtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed kd-tree stream.
+var ErrCorrupt = errors.New("kdtree: corrupt stream")
+
+// MaxQuantBits caps per-dimension quantization. 30 bits per axis exceeds
+// any realistic precision demand and keeps intermediate products in range.
+const MaxQuantBits = 30
+
+// QuantBitsFor returns the number of quantization bits needed so that the
+// reconstruction error stays within q per dimension for a cloud of maximum
+// extent omega, following the paper's q_xyz = Ω/2^qb convention.
+func QuantBitsFor(omega, q float64) int {
+	if omega <= q {
+		return 1
+	}
+	qb := int(math.Ceil(math.Log2(omega / q)))
+	if qb < 1 {
+		qb = 1
+	}
+	if qb > MaxQuantBits {
+		qb = MaxQuantBits
+	}
+	return qb
+}
+
+// Encoded is the output of Encode.
+type Encoded struct {
+	Data []byte
+	// DecodedOrder maps decoded position j to the original point index it
+	// reconstructs.
+	DecodedOrder []int
+}
+
+// Encode compresses points with qb quantization bits per dimension.
+func Encode(points geom.PointCloud, qb int) (Encoded, error) {
+	if qb < 1 || qb > MaxQuantBits {
+		return Encoded{}, fmt.Errorf("kdtree: quantization bits %d out of [1,%d]", qb, MaxQuantBits)
+	}
+	var enc Encoded
+	out := make([]byte, 0, 64)
+	out = varint.AppendUint(out, uint64(len(points)))
+	out = varint.AppendUint(out, uint64(qb))
+	if len(points) == 0 {
+		enc.Data = out
+		return enc, nil
+	}
+	cube := geom.Bounds(points).Cube()
+	side := cube.MaxDim()
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cube.Min.X))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cube.Min.Y))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(cube.Min.Z))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(side))
+
+	// Quantize to integer cells in [0, 2^qb).
+	n := len(points)
+	cells := make([][3]uint32, n)
+	maxCell := uint32(1)<<uint(qb) - 1
+	scale := 0.0
+	if side > 0 {
+		scale = float64(uint64(1)<<uint(qb)) / side
+	}
+	for i, p := range points {
+		cells[i] = [3]uint32{
+			quantize(p.X-cube.Min.X, scale, maxCell),
+			quantize(p.Y-cube.Min.Y, scale, maxCell),
+			quantize(p.Z-cube.Min.Z, scale, maxCell),
+		}
+	}
+
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	e := arith.NewEncoder()
+	var order []int
+	encodeCell(e, cells, idx, [3]uint32{0, 0, 0}, [3]uint32{maxCell + 1, maxCell + 1, maxCell + 1}, &order)
+	payload := e.Finish()
+	out = varint.AppendUint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	enc.Data = out
+	enc.DecodedOrder = order
+	return enc, nil
+}
+
+func quantize(v, scale float64, maxCell uint32) uint32 {
+	c := uint32(v * scale)
+	if c > maxCell {
+		c = maxCell
+	}
+	return c
+}
+
+// encodeCell recursively encodes the points of one cell. lo is inclusive,
+// hi exclusive, in quantized units. The split axis is always the widest
+// remaining axis (ties broken by index), which the decoder replays.
+func encodeCell(e *arith.Encoder, cells [][3]uint32, idx []int32, lo, hi [3]uint32, order *[]int) {
+	axis, width := widestAxis(lo, hi)
+	if width <= 1 {
+		// Fully resolved cell: all points here share one quantized
+		// location; nothing further to transmit.
+		for _, i := range idx {
+			*order = append(*order, int(i))
+		}
+		return
+	}
+	mid := lo[axis] + width/2
+	var left, right []int32
+	for _, i := range idx {
+		if cells[i][axis] < mid {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	e.EncodeUniform(uint32(len(left)), uint32(len(idx))+1)
+	if len(left) > 0 {
+		nhi := hi
+		nhi[axis] = mid
+		encodeCell(e, cells, left, lo, nhi, order)
+	}
+	if len(right) > 0 {
+		nlo := lo
+		nlo[axis] = mid
+		encodeCell(e, cells, right, nlo, hi, order)
+	}
+}
+
+func widestAxis(lo, hi [3]uint32) (axis int, width uint32) {
+	for a := 0; a < 3; a++ {
+		if w := hi[a] - lo[a]; w > width {
+			axis, width = a, w
+		}
+	}
+	return axis, width
+}
+
+// Decode reconstructs the cloud from an Encode stream. Points are emitted
+// at quantized cell centers.
+func Decode(data []byte) (geom.PointCloud, error) {
+	n64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("kdtree: point count: %w", err)
+	}
+	data = data[used:]
+	qb64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("kdtree: qb: %w", err)
+	}
+	data = data[used:]
+	if qb64 < 1 || qb64 > MaxQuantBits {
+		return nil, fmt.Errorf("%w: qb=%d", ErrCorrupt, qb64)
+	}
+	if n64 == 0 {
+		return geom.PointCloud{}, nil
+	}
+	if n64 > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: point count overflow", ErrCorrupt)
+	}
+	if len(data) < 32 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	min := geom.Point{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(data)),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(data[8:])),
+		Z: math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+	}
+	side := math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	data = data[32:]
+	if side < 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return nil, fmt.Errorf("%w: invalid side %v", ErrCorrupt, side)
+	}
+	plen, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("kdtree: payload length: %w", err)
+	}
+	data = data[used:]
+	if plen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: payload truncated", ErrCorrupt)
+	}
+
+	qb := int(qb64)
+	n := int(n64)
+	d := arith.NewDecoder(data[:plen])
+	maxCell := uint32(1)<<uint(qb) - 1
+	step := side / float64(uint64(1)<<uint(qb))
+
+	out := make(geom.PointCloud, 0, n)
+	var walk func(count int, lo, hi [3]uint32) error
+	walk = func(count int, lo, hi [3]uint32) error {
+		axis, width := widestAxis(lo, hi)
+		if width <= 1 {
+			p := geom.Point{
+				X: min.X + (float64(lo[0])+0.5)*step,
+				Y: min.Y + (float64(lo[1])+0.5)*step,
+				Z: min.Z + (float64(lo[2])+0.5)*step,
+			}
+			for k := 0; k < count; k++ {
+				out = append(out, p)
+			}
+			return nil
+		}
+		nl, err := d.DecodeUniform(uint32(count) + 1)
+		if err != nil {
+			return err
+		}
+		nLeft := int(nl)
+		if nLeft > count {
+			return ErrCorrupt
+		}
+		mid := lo[axis] + width/2
+		if nLeft > 0 {
+			nhi := hi
+			nhi[axis] = mid
+			if err := walk(nLeft, lo, nhi); err != nil {
+				return err
+			}
+		}
+		if count-nLeft > 0 {
+			nlo := lo
+			nlo[axis] = mid
+			if err := walk(count-nLeft, nlo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n, [3]uint32{0, 0, 0}, [3]uint32{maxCell + 1, maxCell + 1, maxCell + 1}); err != nil {
+		return nil, fmt.Errorf("kdtree: %w", err)
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: decoded %d points, want %d", ErrCorrupt, len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func randomCloud(n int, spread float64, seed int64) geom.PointCloud {
+	rng := rand.New(rand.NewSource(seed))
+	pc := make(geom.PointCloud, n)
+	for i := range pc {
+		pc[i] = geom.Point{
+			X: rng.Float64()*spread - spread/2,
+			Y: rng.Float64()*spread - spread/2,
+			Z: rng.Float64() * spread / 5,
+		}
+	}
+	return pc
+}
+
+func checkBound(t *testing.T, orig, dec geom.PointCloud, order []int, q float64) {
+	t.Helper()
+	if len(dec) != len(orig) || len(order) != len(orig) {
+		t.Fatalf("size mismatch: dec=%d order=%d orig=%d", len(dec), len(order), len(orig))
+	}
+	seen := make([]bool, len(orig))
+	for j, oi := range order {
+		if oi < 0 || oi >= len(orig) || seen[oi] {
+			t.Fatalf("order not a permutation at %d", j)
+		}
+		seen[oi] = true
+		if d := orig[oi].ChebDist(dec[j]); d > q+1e-9 {
+			t.Fatalf("point %d error %v exceeds %v", oi, d, q)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	pc := randomCloud(3000, 80, 1)
+	omega := geom.Bounds(pc).MaxDim()
+	for _, q := range []float64{0.02, 0.005, 0.2} {
+		qb := QuantBitsFor(omega, q)
+		enc, err := Encode(pc, qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBound(t, pc, dec, enc.DecodedOrder, q)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	enc, err := Encode(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d points", len(dec))
+	}
+}
+
+func TestSingleAndDuplicates(t *testing.T) {
+	p := geom.Point{X: 1.5, Y: -2.25, Z: 0.125}
+	pc := geom.PointCloud{p, p, p}
+	enc, err := Encode(pc, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 {
+		t.Fatalf("decoded %d, want 3", len(dec))
+	}
+	// All-identical cloud has a zero-sized cube; decode must return the
+	// exact location.
+	if dec[0].Dist(p) > 1e-9 {
+		t.Fatalf("decoded %v, want %v", dec[0], p)
+	}
+}
+
+func TestInvalidQB(t *testing.T) {
+	if _, err := Encode(geom.PointCloud{{X: 1}}, 0); err == nil {
+		t.Fatal("expected error for qb=0")
+	}
+	if _, err := Encode(geom.PointCloud{{X: 1}}, MaxQuantBits+1); err == nil {
+		t.Fatal("expected error for qb too large")
+	}
+}
+
+func TestQuantBitsFor(t *testing.T) {
+	if qb := QuantBitsFor(100, 0.02); qb != int(math.Ceil(math.Log2(100/0.02))) {
+		t.Fatalf("QuantBitsFor(100,0.02) = %d", qb)
+	}
+	if qb := QuantBitsFor(0.01, 0.02); qb != 1 {
+		t.Fatalf("QuantBitsFor small omega = %d, want 1", qb)
+	}
+	if qb := QuantBitsFor(1e12, 1e-12); qb != MaxQuantBits {
+		t.Fatalf("QuantBitsFor must cap at %d, got %d", MaxQuantBits, qb)
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	pc := randomCloud(400, 50, 3)
+	enc, err := Encode(pc, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc.Data); cut += 5 {
+		_, err := Decode(enc.Data[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+func BenchmarkEncode100k(b *testing.B) {
+	pc := randomCloud(100000, 120, 7)
+	qb := QuantBitsFor(geom.Bounds(pc).MaxDim(), 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(pc, qb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lidar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"dbgc/internal/geom"
+)
+
+// ReadBin reads a KITTI-format .bin frame: little-endian float32 records of
+// (x, y, z, intensity). The intensity channel is discarded — DBGC is a
+// geometry compressor (§2.1); use ReadBinWithIntensity to keep it.
+func ReadBin(r io.Reader) (geom.PointCloud, error) {
+	pc, _, err := readBin(r, false)
+	return pc, err
+}
+
+// ReadBinWithIntensity reads a KITTI .bin frame keeping the per-point
+// intensity channel.
+func ReadBinWithIntensity(r io.Reader) (geom.PointCloud, []float32, error) {
+	return readBin(r, true)
+}
+
+func readBin(r io.Reader, withIntensity bool) (geom.PointCloud, []float32, error) {
+	br := bufio.NewReader(r)
+	var pc geom.PointCloud
+	var intens []float32
+	var rec [16]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			return pc, intens, nil
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("lidar: reading .bin record %d: %w", len(pc), err)
+		}
+		x := math.Float32frombits(binary.LittleEndian.Uint32(rec[0:]))
+		y := math.Float32frombits(binary.LittleEndian.Uint32(rec[4:]))
+		z := math.Float32frombits(binary.LittleEndian.Uint32(rec[8:]))
+		pc = append(pc, geom.Point{X: float64(x), Y: float64(y), Z: float64(z)})
+		if withIntensity {
+			intens = append(intens, math.Float32frombits(binary.LittleEndian.Uint32(rec[12:])))
+		}
+	}
+}
+
+// WriteBin writes a cloud in KITTI .bin format with zero intensities.
+func WriteBin(w io.Writer, pc geom.PointCloud) error {
+	return WriteBinWithIntensity(w, pc, nil)
+}
+
+// WriteBinWithIntensity writes a cloud in KITTI .bin format. intensity may
+// be nil (zeros) or must hold one value per point.
+func WriteBinWithIntensity(w io.Writer, pc geom.PointCloud, intensity []float32) error {
+	if intensity != nil && len(intensity) != len(pc) {
+		return fmt.Errorf("lidar: %d intensities for %d points", len(intensity), len(pc))
+	}
+	bw := bufio.NewWriter(w)
+	var rec [16]byte
+	for i, p := range pc {
+		binary.LittleEndian.PutUint32(rec[0:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(rec[4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(float32(p.Z)))
+		var in float32
+		if intensity != nil {
+			in = intensity[i]
+		}
+		binary.LittleEndian.PutUint32(rec[12:], math.Float32bits(in))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("lidar: writing .bin: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinFile reads a .bin frame from disk.
+func ReadBinFile(path string) (geom.PointCloud, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBin(f)
+}
+
+// WriteBinFile writes a .bin frame to disk.
+func WriteBinFile(path string, pc geom.PointCloud) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBin(f, pc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,74 @@
+package lidar
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func TestBinIntensityRoundTrip(t *testing.T) {
+	pc := geom.PointCloud{{X: 1, Y: 2, Z: 3}, {X: -4, Y: 0.5, Z: -1.7}}
+	intens := []float32{0.25, 0.75}
+	var buf bytes.Buffer
+	if err := WriteBinWithIntensity(&buf, pc, intens); err != nil {
+		t.Fatal(err)
+	}
+	back, backIntens, err := ReadBinWithIntensity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || len(backIntens) != 2 {
+		t.Fatalf("read %d points, %d intensities", len(back), len(backIntens))
+	}
+	for i := range pc {
+		if pc[i].Dist(back[i]) > 1e-5 {
+			t.Fatalf("point %d: %v vs %v", i, pc[i], back[i])
+		}
+		if math.Abs(float64(backIntens[i]-intens[i])) > 1e-7 {
+			t.Fatalf("intensity %d: %v vs %v", i, backIntens[i], intens[i])
+		}
+	}
+}
+
+func TestBinIntensityMismatch(t *testing.T) {
+	pc := geom.PointCloud{{X: 1}}
+	if err := WriteBinWithIntensity(&bytes.Buffer{}, pc, []float32{1, 2}); err == nil {
+		t.Fatal("intensity length mismatch accepted")
+	}
+}
+
+func TestBinZeroIntensityDefault(t *testing.T) {
+	pc := geom.PointCloud{{X: 1, Y: 1, Z: 1}}
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, pc); err != nil {
+		t.Fatal(err)
+	}
+	_, intens, err := ReadBinWithIntensity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intens[0] != 0 {
+		t.Fatalf("default intensity %v, want 0", intens[0])
+	}
+}
+
+func TestBinFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/frame.bin"
+	pc := geom.PointCloud{{X: 9, Y: 8, Z: 7}, {X: 1, Y: 2, Z: 3}}
+	if err := WriteBinFile(path, pc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pc) {
+		t.Fatalf("read %d points", len(back))
+	}
+	if _, err := ReadBinFile(dir + "/missing.bin"); err == nil {
+		t.Fatal("missing file read successfully")
+	}
+}

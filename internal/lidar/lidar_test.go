@@ -1,0 +1,214 @@
+package lidar
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func TestSimulateDeterministic(t *testing.T) {
+	scene, err := NewScene(City, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	a := cfg.Simulate(scene, 7)
+	b := cfg.Simulate(scene, 7)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic point counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic point %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimulateFrameShape(t *testing.T) {
+	for _, kind := range AllScenes {
+		scene, err := NewScene(kind, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := HDL64E()
+		pc := cfg.Simulate(scene, 11)
+		// The paper's frames hold roughly 80-130k points; dropout and
+		// max-range misses reduce the 128k ray budget.
+		if len(pc) < 50000 || len(pc) > cfg.Beams*cfg.AzimuthSteps {
+			t.Errorf("%s: unusual frame size %d", kind, len(pc))
+		}
+		// All returns within sensor range, none at the origin.
+		meta := cfg.Meta()
+		for _, p := range pc {
+			r := p.Norm()
+			if r < cfg.MinRange-1 || r > cfg.MaxRange+1 {
+				t.Fatalf("%s: point at range %v outside sensor envelope", kind, r)
+			}
+			s := geom.ToSpherical(p)
+			if s.Phi < meta.PhiMin-0.05 || s.Phi > meta.PhiMax+0.05 {
+				t.Fatalf("%s: polar angle %v outside FOV [%v,%v]", kind, s.Phi, meta.PhiMin, meta.PhiMax)
+			}
+		}
+		// Ground must be visible: many points near z = -Height.
+		ground := 0
+		for _, p := range pc {
+			if math.Abs(p.Z+cfg.Height) < 0.1 {
+				ground++
+			}
+		}
+		if ground < len(pc)/20 {
+			t.Errorf("%s: only %d/%d ground returns", kind, ground, len(pc))
+		}
+	}
+}
+
+func TestSpiderWebDensityPattern(t *testing.T) {
+	// Figure 1/3 of the paper: density (points per m³) falls sharply with
+	// radius. This is the property DBGC exploits, so the simulator must
+	// reproduce it.
+	scene, err := NewScene(City, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	pc := cfg.Simulate(scene, 2)
+	count := func(rMax float64) int {
+		n := 0
+		for _, p := range pc {
+			if p.Norm() <= rMax {
+				n++
+			}
+		}
+		return n
+	}
+	density := func(r float64) float64 {
+		return float64(count(r)) / (4.0 / 3.0 * math.Pi * r * r * r)
+	}
+	d5, d20, d60 := density(5), density(20), density(60)
+	if !(d5 > d20 && d20 > d60) {
+		t.Fatalf("density must fall with radius: d5=%.2f d20=%.2f d60=%.2f", d5, d20, d60)
+	}
+	if d5 < 10*d60 {
+		t.Fatalf("near-field density %.2f should dwarf far-field %.4f", d5, d60)
+	}
+}
+
+func TestCalibratedNotGrid(t *testing.T) {
+	// §3.3: calibrated clouds are regular but not a perfect grid. Check
+	// that azimuthal gaps between consecutive returns on one beam vary.
+	scene, err := NewScene(Road, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	pc := cfg.Simulate(scene, 3)
+	uTheta := cfg.Meta().UTheta()
+	distinct := map[int64]bool{}
+	prev := -1.0
+	for _, p := range pc[:2000] {
+		s := geom.ToSpherical(p)
+		if prev >= 0 && s.Theta > prev {
+			distinct[int64((s.Theta-prev)/uTheta*100)] = true
+		}
+		prev = s.Theta
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("azimuthal gaps look like a perfect grid: %d distinct gaps", len(distinct))
+	}
+}
+
+func TestMeta(t *testing.T) {
+	cfg := HDL64E()
+	m := cfg.Meta()
+	if m.UTheta() <= 0 || m.UPhi() <= 0 {
+		t.Fatalf("angular steps must be positive: %v %v", m.UTheta(), m.UPhi())
+	}
+	wantUT := 2 * math.Pi / 2000
+	if math.Abs(m.UTheta()-wantUT) > 1e-12 {
+		t.Fatalf("UTheta = %v, want %v", m.UTheta(), wantUT)
+	}
+}
+
+func TestEstimateMeta(t *testing.T) {
+	scene, err := NewScene(Campus, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	pc := cfg.Simulate(scene, 1)
+	m := EstimateMeta(pc, 0, 0)
+	cm := cfg.Meta()
+	if m.RMax > cfg.MaxRange+1 || m.RMax < 5 {
+		t.Fatalf("estimated RMax %v implausible", m.RMax)
+	}
+	if m.PhiMin < cm.PhiMin-0.1 || m.PhiMax > cm.PhiMax+0.1 {
+		t.Fatalf("estimated phi range [%v,%v] outside sensor [%v,%v]", m.PhiMin, m.PhiMax, cm.PhiMin, cm.PhiMax)
+	}
+	if m.H != 2000 || m.W != 64 {
+		t.Fatalf("default sample counts wrong: %d %d", m.H, m.W)
+	}
+	empty := EstimateMeta(nil, 0, 0)
+	if empty.RMax != 0 {
+		t.Fatalf("empty cloud should estimate zero RMax")
+	}
+}
+
+func TestUnknownScene(t *testing.T) {
+	if _, err := NewScene("nope", 1); err == nil {
+		t.Fatal("expected error for unknown scene kind")
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	scene, err := NewScene(Residential, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	cfg.AzimuthSteps = 200 // small frame for I/O test
+	pc := cfg.Simulate(scene, 5)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, pc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pc) {
+		t.Fatalf("read %d points, wrote %d", len(back), len(pc))
+	}
+	for i := range pc {
+		// float32 round trip loses precision.
+		if pc[i].Dist(back[i]) > 1e-4*math.Max(1, pc[i].Norm()) {
+			t.Fatalf("point %d: %v vs %v", i, pc[i], back[i])
+		}
+	}
+}
+
+func TestBinTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, geom.PointCloud{{X: 1, Y: 2, Z: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBin(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("expected error on truncated .bin")
+	}
+}
+
+func BenchmarkSimulateCityFrame(b *testing.B) {
+	scene, err := NewScene(City, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := HDL64E()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pc := cfg.Simulate(scene, int64(i))
+		if len(pc) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}

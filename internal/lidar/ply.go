@@ -1,0 +1,250 @@
+package lidar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"dbgc/internal/geom"
+)
+
+// PLY support: the de-facto interchange format for point clouds (used by
+// the object-cloud literature the paper contrasts with, e.g. the Stanford
+// Bunny of §3.2). Reading handles ascii and binary_little_endian variants
+// with float or double x/y/z properties, skipping other per-vertex
+// properties and non-vertex elements; writing emits binary_little_endian
+// float32 vertices.
+
+// ReadPLY parses a PLY point cloud from r.
+func ReadPLY(r io.Reader) (geom.PointCloud, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "ply" {
+		return nil, fmt.Errorf("lidar: not a PLY file")
+	}
+
+	type prop struct {
+		typ  string
+		name string
+	}
+	type element struct {
+		name  string
+		count int
+		props []prop
+	}
+	var format string
+	var elems []element
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("lidar: PLY header: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "comment", "obj_info":
+		case "format":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("lidar: malformed PLY format line")
+			}
+			format = fields[1]
+		case "element":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lidar: malformed PLY element line")
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("lidar: bad PLY element count %q", fields[2])
+			}
+			elems = append(elems, element{name: fields[1], count: n})
+		case "property":
+			if len(elems) == 0 {
+				return nil, fmt.Errorf("lidar: PLY property before element")
+			}
+			if fields[1] == "list" {
+				if len(fields) < 5 {
+					return nil, fmt.Errorf("lidar: malformed PLY list property")
+				}
+				elems[len(elems)-1].props = append(elems[len(elems)-1].props,
+					prop{typ: "list:" + fields[2] + ":" + fields[3], name: fields[4]})
+				continue
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lidar: malformed PLY property line")
+			}
+			elems[len(elems)-1].props = append(elems[len(elems)-1].props,
+				prop{typ: fields[1], name: fields[2]})
+		case "end_header":
+			goto body
+		default:
+			return nil, fmt.Errorf("lidar: unknown PLY header keyword %q", fields[0])
+		}
+	}
+body:
+	switch format {
+	case "ascii", "binary_little_endian":
+	default:
+		return nil, fmt.Errorf("lidar: unsupported PLY format %q", format)
+	}
+
+	var pc geom.PointCloud
+	for _, el := range elems {
+		if el.name != "vertex" {
+			if format == "ascii" {
+				for i := 0; i < el.count; i++ {
+					if _, err := br.ReadString('\n'); err != nil {
+						return nil, fmt.Errorf("lidar: PLY element %s: %w", el.name, err)
+					}
+				}
+				continue
+			}
+			// Binary non-vertex elements with list properties have
+			// data-dependent sizes; they only appear after vertices in
+			// practice, so stop once vertices are read.
+			if pc != nil {
+				return pc, nil
+			}
+			return nil, fmt.Errorf("lidar: binary PLY with %s before vertex unsupported", el.name)
+		}
+		xi, yi, zi := -1, -1, -1
+		for i, p := range el.props {
+			switch p.name {
+			case "x":
+				xi = i
+			case "y":
+				yi = i
+			case "z":
+				zi = i
+			}
+			if strings.HasPrefix(p.typ, "list:") {
+				return nil, fmt.Errorf("lidar: list property on PLY vertex unsupported")
+			}
+		}
+		if xi < 0 || yi < 0 || zi < 0 {
+			return nil, fmt.Errorf("lidar: PLY vertex lacks x/y/z")
+		}
+		pc = make(geom.PointCloud, 0, el.count)
+		for v := 0; v < el.count; v++ {
+			vals := make([]float64, len(el.props))
+			if format == "ascii" {
+				line, err := br.ReadString('\n')
+				if err != nil {
+					return nil, fmt.Errorf("lidar: PLY vertex %d: %w", v, err)
+				}
+				fields := strings.Fields(line)
+				if len(fields) < len(el.props) {
+					return nil, fmt.Errorf("lidar: PLY vertex %d has %d values, want %d", v, len(fields), len(el.props))
+				}
+				for i := range el.props {
+					vals[i], err = strconv.ParseFloat(fields[i], 64)
+					if err != nil {
+						return nil, fmt.Errorf("lidar: PLY vertex %d: %w", v, err)
+					}
+				}
+			} else {
+				for i, p := range el.props {
+					f, err := readPLYScalar(br, p.typ)
+					if err != nil {
+						return nil, fmt.Errorf("lidar: PLY vertex %d: %w", v, err)
+					}
+					vals[i] = f
+				}
+			}
+			pc = append(pc, geom.Point{X: vals[xi], Y: vals[yi], Z: vals[zi]})
+		}
+	}
+	return pc, nil
+}
+
+func readPLYScalar(r io.Reader, typ string) (float64, error) {
+	size, ok := plyTypeSize(typ)
+	if !ok {
+		return 0, fmt.Errorf("unsupported PLY type %q", typ)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:size]); err != nil {
+		return 0, err
+	}
+	switch typ {
+	case "float", "float32":
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))), nil
+	case "double", "float64":
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	case "char", "int8":
+		return float64(int8(buf[0])), nil
+	case "uchar", "uint8":
+		return float64(buf[0]), nil
+	case "short", "int16":
+		return float64(int16(binary.LittleEndian.Uint16(buf[:]))), nil
+	case "ushort", "uint16":
+		return float64(binary.LittleEndian.Uint16(buf[:])), nil
+	case "int", "int32":
+		return float64(int32(binary.LittleEndian.Uint32(buf[:]))), nil
+	case "uint", "uint32":
+		return float64(binary.LittleEndian.Uint32(buf[:])), nil
+	}
+	return 0, fmt.Errorf("unsupported PLY type %q", typ)
+}
+
+func plyTypeSize(typ string) (int, bool) {
+	switch typ {
+	case "char", "int8", "uchar", "uint8":
+		return 1, true
+	case "short", "int16", "ushort", "uint16":
+		return 2, true
+	case "int", "int32", "uint", "uint32", "float", "float32":
+		return 4, true
+	case "double", "float64":
+		return 8, true
+	}
+	return 0, false
+}
+
+// WritePLY writes the cloud as a binary_little_endian PLY with float32
+// vertices.
+func WritePLY(w io.Writer, pc geom.PointCloud) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ply\nformat binary_little_endian 1.0\ncomment generated by dbgc\n")
+	fmt.Fprintf(bw, "element vertex %d\n", len(pc))
+	fmt.Fprintf(bw, "property float x\nproperty float y\nproperty float z\nend_header\n")
+	var rec [12]byte
+	for _, p := range pc {
+		binary.LittleEndian.PutUint32(rec[0:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(rec[4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(float32(p.Z)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("lidar: writing PLY: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPLYFile reads a PLY point cloud from disk.
+func ReadPLYFile(path string) (geom.PointCloud, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPLY(f)
+}
+
+// WritePLYFile writes a PLY point cloud to disk.
+func WritePLYFile(path string, pc geom.PointCloud) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePLY(f, pc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,139 @@
+package lidar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func TestPLYBinaryRoundTrip(t *testing.T) {
+	pc := geom.PointCloud{{X: 1.5, Y: -2.25, Z: 0.125}, {X: 0, Y: 0, Z: 0}, {X: 100, Y: -50, Z: 3}}
+	var buf bytes.Buffer
+	if err := WritePLY(&buf, pc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pc) {
+		t.Fatalf("read %d points, wrote %d", len(back), len(pc))
+	}
+	for i := range pc {
+		if pc[i].Dist(back[i]) > 1e-5 {
+			t.Fatalf("point %d: %v vs %v", i, pc[i], back[i])
+		}
+	}
+}
+
+func TestPLYASCII(t *testing.T) {
+	src := `ply
+format ascii 1.0
+comment test file
+element vertex 2
+property float x
+property float y
+property float z
+property uchar red
+end_header
+1.0 2.0 3.0 255
+-4.5 0.25 9.75 0
+`
+	pc, err := ReadPLY(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc) != 2 {
+		t.Fatalf("read %d points", len(pc))
+	}
+	if pc[0] != (geom.Point{X: 1, Y: 2, Z: 3}) {
+		t.Fatalf("point 0 = %v", pc[0])
+	}
+	if pc[1] != (geom.Point{X: -4.5, Y: 0.25, Z: 9.75}) {
+		t.Fatalf("point 1 = %v", pc[1])
+	}
+}
+
+func TestPLYASCIIReorderedProperties(t *testing.T) {
+	src := `ply
+format ascii 1.0
+element vertex 1
+property double z
+property double x
+property double y
+end_header
+3 1 2
+`
+	pc, err := ReadPLY(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc[0] != (geom.Point{X: 1, Y: 2, Z: 3}) {
+		t.Fatalf("point = %v", pc[0])
+	}
+}
+
+func TestPLYSkipsNonVertexASCII(t *testing.T) {
+	src := `ply
+format ascii 1.0
+element vertex 1
+property float x
+property float y
+property float z
+element face 2
+property list uchar int vertex_indices
+end_header
+1 1 1
+3 0 1 2
+3 2 1 0
+`
+	pc, err := ReadPLY(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc) != 1 {
+		t.Fatalf("read %d points", len(pc))
+	}
+}
+
+func TestPLYErrors(t *testing.T) {
+	cases := map[string]string{
+		"not ply":       "nope\n",
+		"bad format":    "ply\nformat big_endian 1.0\nelement vertex 0\nend_header\n",
+		"missing xyz":   "ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nend_header\n1\n",
+		"short vertex":  "ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nproperty float z\nend_header\n1 2\n",
+		"bad count":     "ply\nformat ascii 1.0\nelement vertex nope\nend_header\n",
+		"orphan prop":   "ply\nformat ascii 1.0\nproperty float x\nend_header\n",
+		"vertex list":   "ply\nformat ascii 1.0\nelement vertex 1\nproperty list uchar int x\nend_header\n",
+		"unknown field": "ply\nformat ascii 1.0\nwhatever\nend_header\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadPLY(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPLYFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cloud.ply"
+	scene, err := NewScene(Road, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	cfg.AzimuthSteps = 100
+	pc := cfg.Simulate(scene, 1)
+	if err := WritePLYFile(path, pc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLYFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pc) {
+		t.Fatalf("read %d points, wrote %d", len(back), len(pc))
+	}
+}

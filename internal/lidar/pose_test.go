@@ -1,0 +1,81 @@
+package lidar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateAtPoseConsistency(t *testing.T) {
+	scene, err := NewScene(Road, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	cfg.AzimuthSteps = 400
+
+	// Zero pose must equal Simulate.
+	a := cfg.Simulate(scene, 3)
+	b := cfg.SimulateAt(scene, 3, Pose{})
+	if len(a) != len(b) {
+		t.Fatalf("zero pose differs: %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zero pose point %d differs", i)
+		}
+	}
+
+	// A moved sensor still sees the ground at z=-Height in its own frame.
+	m := cfg.SimulateAt(scene, 3, Pose{X: 10, Y: -5, Yaw: 0.7})
+	if len(m) < len(a)/2 {
+		t.Fatalf("moved capture has too few points: %d", len(m))
+	}
+	ground := 0
+	for _, p := range m {
+		if math.Abs(p.Z+cfg.Height) < 0.15 {
+			ground++
+		}
+	}
+	if ground < len(m)/10 {
+		t.Fatalf("moved capture lost the ground: %d/%d", ground, len(m))
+	}
+}
+
+func TestSimulateAtYawRotatesFrame(t *testing.T) {
+	// One landmark scene: a single pole along +x from the origin pose.
+	s := &Scene{}
+	s.Add(&cylinder{cx: 20, cy: 0, r: 0.5, z0: -1.73, z1: 5})
+	cfg := HDL64E()
+	cfg.AzimuthSteps = 720
+	cfg.Dropout = 0
+	cfg.MixedPixel = 0
+	cfg.AngleJitter = 0
+
+	// Facing the pole (yaw 0): returns cluster near theta=0 (+x).
+	// Rotated 90° (yaw=π/2): the pole should appear at -y... i.e. the
+	// sensor-frame azimuth of pole hits shifts by -yaw.
+	meanAz := func(pose Pose) float64 {
+		pc := cfg.SimulateAt(s, 1, pose)
+		var sx, sy float64
+		n := 0
+		for _, p := range pc {
+			if p.Z > -1 { // pole hits, not ground
+				sx += p.X
+				sy += p.Y
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no pole hits")
+		}
+		return math.Atan2(sy/float64(n), sx/float64(n))
+	}
+	az0 := meanAz(Pose{})
+	az90 := meanAz(Pose{Yaw: math.Pi / 2})
+	if math.Abs(az0) > 0.05 {
+		t.Fatalf("pole at azimuth %v facing it, want ~0", az0)
+	}
+	if math.Abs(az90+math.Pi/2) > 0.05 {
+		t.Fatalf("pole at azimuth %v after 90° yaw, want ~-π/2", az90)
+	}
+}

@@ -1,0 +1,221 @@
+package lidar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SceneKind names the six dataset/scene combinations of the paper's
+// evaluation (§4.1): four KITTI scene types, the Apollo urban capture, and
+// the Ford campus capture.
+type SceneKind string
+
+// Scene kinds matching Figure 9's six panels.
+const (
+	Campus      SceneKind = "kitti-campus"
+	City        SceneKind = "kitti-city"
+	Residential SceneKind = "kitti-residential"
+	Road        SceneKind = "kitti-road"
+	ApolloUrban SceneKind = "apollo-urban"
+	FordCampus  SceneKind = "ford-campus"
+)
+
+// AllScenes lists every preset in Figure 9 order.
+var AllScenes = []SceneKind{Campus, City, Residential, Road, ApolloUrban, FordCampus}
+
+// NewScene builds a randomized layout of the given kind. The same
+// (kind, seed) pair always yields the same scene. Layouts are tuned so the
+// radial point distribution resembles the corresponding real captures: a
+// dense near field, structured mid field, and a long sparse far tail —
+// the "spider web" of the paper's Figure 1.
+func NewScene(kind SceneKind, seed int64) (*Scene, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scene{reliefSeed: uint64(seed)*0x9e3779b97f4a7c15 + 1}
+	switch kind {
+	case Campus:
+		s.GroundRoughness = 0.015 // mowed lawns
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 0.8, 0.05, 0.25
+		buildCampus(s, rng, 12, 90)
+	case City:
+		s.GroundRoughness = 0.01 // paved, with curbs and debris
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 0.6, 0.06, 0.15
+		buildCity(s, rng)
+	case Residential:
+		s.GroundRoughness = 0.02
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 0.7, 0.06, 0.2
+		buildResidential(s, rng)
+	case Road:
+		s.GroundRoughness = 0.006 // asphalt
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 1.2, 0.03, 0.3
+		buildRoad(s, rng)
+	case ApolloUrban:
+		// Apollo captures denser urban cores: city layout with extra
+		// tall frontage in the mid field.
+		s.GroundRoughness = 0.01
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 0.6, 0.07, 0.15
+		buildCity(s, rng)
+		addBlockFaces(s, rng, 8, 35, 90, 24)
+	case FordCampus:
+		s.GroundRoughness = 0.02
+		s.GroundReliefCell, s.GroundReliefDepth, s.GroundWave = 0.8, 0.05, 0.25
+		buildCampus(s, rng, 9, 110)
+	default:
+		return nil, fmt.Errorf("lidar: unknown scene kind %q", kind)
+	}
+	// Every outdoor capture has a sparse far tail: scattered vegetation,
+	// poles, and distant facades.
+	addFarScatter(s, rng)
+	return s, nil
+}
+
+// uniform returns a uniform value in [lo, hi).
+func uniform(rng *rand.Rand, lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+// ringPos places an object at a random azimuth within a distance band,
+// returning its center.
+func ringPos(rng *rand.Rand, dMin, dMax float64) (x, y float64) {
+	d := uniform(rng, dMin, dMax)
+	az := uniform(rng, 0, 2*math.Pi)
+	return d * math.Cos(az), d * math.Sin(az)
+}
+
+func buildCampus(s *Scene, rng *rand.Rand, buildings int, spread float64) {
+	// Large academic buildings from mid range outward, lawns (open
+	// ground), tree rows, light poles, a few parked vehicles, and some
+	// near furniture (hedges, low walls) around the capture spot.
+	for i := 0; i < buildings; i++ {
+		x, y := ringPos(rng, 22, spread)
+		s.Add(newBox(x, y,
+			uniform(rng, 6, 18), uniform(rng, 5, 14),
+			-1.73, uniform(rng, 6, 16),
+			uniform(rng, 0, 3.14)).
+			withRelief(uniform(rng, 1.0, 2.5), uniform(rng, 0.15, 0.4), rng.Uint64()).
+			withRoughness(0.01))
+	}
+	for i := 0; i < 5; i++ {
+		x, y := ringPos(rng, 4, 12)
+		s.Add(newBox(x, y, uniform(rng, 1.5, 4), 0.3, -1.73, uniform(rng, -0.9, 0), uniform(rng, 0, 3.14)).withRoughness(0.15))
+	}
+	addTrees(s, rng, 30, 10, 80)
+	addBushes(s, rng, 18, 5, 50)
+	addPoles(s, rng, 14, 6, 70)
+	addVehicles(s, rng, 8, 4, 35)
+}
+
+func buildCity(s *Scene, rng *rand.Rand) {
+	// Street canyon: building faces along a corridor with gaps that let
+	// rays escape to the far field, many vehicles, poles, pedestrians.
+	addBlockFaces(s, rng, 7, 16, 60, 14)
+	addBlockFaces(s, rng, 5, 60, 110, 20)
+	addVehicles(s, rng, 30, 4, 50)
+	addPoles(s, rng, 18, 5, 70)
+	addTrees(s, rng, 22, 8, 60)
+	addBushes(s, rng, 14, 5, 40)
+	addPedestrians(s, rng, 12, 3, 25)
+}
+
+func buildResidential(s *Scene, rng *rand.Rand) {
+	// Detached houses with front yards, garden trees, fences, parked cars.
+	for i := 0; i < 18; i++ {
+		x, y := ringPos(rng, 12, 70)
+		s.Add(newBox(x, y,
+			uniform(rng, 4, 8), uniform(rng, 3, 7),
+			-1.73, uniform(rng, 2.5, 7),
+			uniform(rng, 0, 3.14)).
+			withRelief(uniform(rng, 0.8, 1.8), uniform(rng, 0.1, 0.35), rng.Uint64()).
+			withRoughness(0.01))
+	}
+	addTrees(s, rng, 44, 6, 70)
+	addBushes(s, rng, 24, 4, 45)
+	addVehicles(s, rng, 16, 3, 35)
+	// Fences: long low thin boxes.
+	for i := 0; i < 8; i++ {
+		x, y := ringPos(rng, 8, 45)
+		s.Add(newBox(x, y, uniform(rng, 5, 15), 0.1, -1.73, uniform(rng, -0.5, 0.3), uniform(rng, 0, 3.14)))
+	}
+}
+
+func buildRoad(s *Scene, rng *rand.Rand) {
+	// Open highway: mostly ground returns, guard rails along the road,
+	// sparse vehicles, occasional signs; the far field is very sparse.
+	for _, side := range []float64{-8, 8} {
+		s.Add(newBox(0, side, 100, 0.15, -1.73, -0.9, 0))
+	}
+	addVehicles(s, rng, 10, 6, 90)
+	addPoles(s, rng, 8, 10, 100)
+	// A distant overpass.
+	s.Add(newBox(uniform(rng, 50, 80), 0, 2.5, 30, 3.2, 4.5, 0))
+	// Roadside vegetation bands beyond the shoulders.
+	addTrees(s, rng, 14, 15, 100)
+	addBushes(s, rng, 12, 12, 80)
+}
+
+// addFarScatter sprinkles sparse distant structure: lone trees, poles, and
+// small facades in the 40-115 m band.
+func addFarScatter(s *Scene, rng *rand.Rand) {
+	addTrees(s, rng, 10, 45, 110)
+	addPoles(s, rng, 8, 40, 115)
+	for i := 0; i < 5; i++ {
+		x, y := ringPos(rng, 60, 115)
+		s.Add(newBox(x, y, uniform(rng, 4, 12), uniform(rng, 2, 6), -1.73, uniform(rng, 3, 10), uniform(rng, 0, 3.14)))
+	}
+}
+
+// addBlockFaces rings the sensor with large building faces, emulating a
+// dense urban canyon.
+func addBlockFaces(s *Scene, rng *rand.Rand, n int, dMin, dMax, maxH float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		s.Add(newBox(x, y,
+			uniform(rng, 8, 25), uniform(rng, 4, 10),
+			-1.73, uniform(rng, 6, maxH),
+			uniform(rng, 0, 3.14)).
+			withRelief(uniform(rng, 0.8, 2.0), uniform(rng, 0.2, 0.5), rng.Uint64()).
+			withRoughness(0.01))
+	}
+}
+
+func addTrees(s *Scene, rng *rand.Rand, n int, dMin, dMax float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		trunkH := uniform(rng, 2, 4)
+		s.Add(&cylinder{cx: x, cy: y, r: uniform(rng, 0.12, 0.35), z0: -1.73, z1: trunkH, rough: 0.02})
+		s.Add(&sphere{cx: x, cy: y, cz: trunkH + uniform(rng, 0.5, 1.5), r: uniform(rng, 1.2, 3), rough: uniform(rng, 0.3, 0.6)})
+	}
+}
+
+// addBushes places low volumetric scatterers (hedges, shrubs) that return
+// deeply scattered points, as real vegetation does.
+func addBushes(s *Scene, rng *rand.Rand, n int, dMin, dMax float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		s.Add(&sphere{cx: x, cy: y, cz: -1.73 + uniform(rng, 0.3, 0.8), r: uniform(rng, 0.5, 1.4), rough: uniform(rng, 0.25, 0.5)})
+	}
+}
+
+func addPoles(s *Scene, rng *rand.Rand, n int, dMin, dMax float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		s.Add(&cylinder{cx: x, cy: y, r: uniform(rng, 0.05, 0.15), z0: -1.73, z1: uniform(rng, 3, 7)})
+	}
+}
+
+func addVehicles(s *Scene, rng *rand.Rand, n int, dMin, dMax float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		s.Add(newBox(x, y,
+			uniform(rng, 1.8, 2.6), uniform(rng, 0.8, 1.1),
+			-1.73, uniform(rng, -0.4, 0.3),
+			uniform(rng, 0, 3.14)).
+			withRelief(0.5, 0.25, rng.Uint64()).
+			withRoughness(0.015))
+	}
+}
+
+func addPedestrians(s *Scene, rng *rand.Rand, n int, dMin, dMax float64) {
+	for i := 0; i < n; i++ {
+		x, y := ringPos(rng, dMin, dMax)
+		s.Add(&cylinder{cx: x, cy: y, r: 0.25, z0: -1.73, z1: uniform(rng, -0.1, 0.2), rough: 0.08})
+	}
+}

@@ -1,0 +1,64 @@
+package lidar
+
+import (
+	"math"
+	"strings"
+
+	"dbgc/internal/geom"
+)
+
+// RenderTopDown draws a top-down ASCII density map of a cloud: the
+// Figure 1 "spider web" view, for inspecting frames in a terminal. The
+// sensor sits at the center; each character cell shows the point count of
+// its column through a density ramp. extent is the half-width in meters
+// (0 means fit the cloud); cols and rows are the character dimensions.
+func RenderTopDown(pc geom.PointCloud, extent float64, cols, rows int) string {
+	if cols < 2 || rows < 2 {
+		return ""
+	}
+	if extent <= 0 {
+		for _, p := range pc {
+			extent = math.Max(extent, math.Max(math.Abs(p.X), math.Abs(p.Y)))
+		}
+		if extent == 0 {
+			extent = 1
+		}
+	}
+	counts := make([]int, cols*rows)
+	maxCount := 0
+	for _, p := range pc {
+		// +x up the screen, +y to the left (sensor frame bird's eye).
+		cx := int((1 - p.Y/extent) / 2 * float64(cols))
+		cy := int((1 - p.X/extent) / 2 * float64(rows))
+		if cx < 0 || cx >= cols || cy < 0 || cy >= rows {
+			continue
+		}
+		counts[cy*cols+cx]++
+		if counts[cy*cols+cx] > maxCount {
+			maxCount = counts[cy*cols+cx]
+		}
+	}
+	ramp := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	sb.Grow((cols + 1) * rows)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			c := counts[y*cols+x]
+			if c == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			// Log scale: LiDAR densities span orders of magnitude.
+			level := int(math.Log1p(float64(c)) / math.Log1p(float64(maxCount)) * float64(len(ramp)-1))
+			if level < 1 {
+				level = 1
+			}
+			if level >= len(ramp) {
+				level = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[level])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

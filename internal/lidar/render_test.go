@@ -1,0 +1,48 @@
+package lidar
+
+import (
+	"strings"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func TestRenderTopDown(t *testing.T) {
+	scene, err := NewScene(City, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HDL64E()
+	cfg.AzimuthSteps = 500
+	pc := cfg.Simulate(scene, 1)
+	out := RenderTopDown(pc, 60, 40, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d rows, want 20", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("row %d has %d cols, want 40", i, len(l))
+		}
+	}
+	// The spider web: the center region must be denser than the corners.
+	center := lines[10][18:22]
+	if strings.TrimSpace(center) == "" {
+		t.Fatalf("center empty:\n%s", out)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	if RenderTopDown(nil, 0, 1, 1) != "" {
+		t.Fatal("degenerate dimensions should render empty")
+	}
+	out := RenderTopDown(geom.PointCloud{}, 0, 10, 5)
+	if !strings.Contains(out, "\n") {
+		t.Fatal("empty cloud should still render a grid")
+	}
+	// Single point at origin: auto extent.
+	out = RenderTopDown(geom.PointCloud{{X: 0.0001, Y: 0, Z: 0}}, 0, 11, 11)
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("single point invisible")
+	}
+}

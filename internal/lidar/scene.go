@@ -1,0 +1,315 @@
+package lidar
+
+import (
+	"math"
+
+	"dbgc/internal/geom"
+)
+
+// A primitive is a solid the simulator ray-casts against. Hit returns the
+// smallest positive ray parameter t such that origin + t·dir lies on the
+// surface, or ok=false for a miss.
+type primitive interface {
+	Hit(origin, dir geom.Point) (t float64, ok bool)
+	// footprint returns the horizontal center and bounding radius, used
+	// to bucket primitives by azimuth for fast casting.
+	footprint() (cx, cy, radius float64)
+	// roughness is the standard deviation, in meters, of the extra
+	// range scatter a return off this surface carries: near zero for
+	// solid smooth surfaces, large for volumetric scatterers such as
+	// foliage, where the beam penetrates before returning.
+	roughness() float64
+}
+
+// Scene is a collection of primitives above a ground surface at
+// z ≈ -sensorHeight.
+type Scene struct {
+	prims []primitive
+	// GroundRoughness is the per-ray range-scatter sigma of ground
+	// returns (grass vs. asphalt).
+	GroundRoughness float64
+	// Structured ground relief: the ground is tiled into cells of side
+	// GroundReliefCell, each offset vertically by a deterministic height
+	// in ±GroundReliefDepth — curbs, road crown, grass patches, drainage.
+	// Real ground is never the perfect plane a flat model gives; the
+	// relief is piecewise constant, so it perturbs scan rings in long
+	// coherent runs rather than white noise.
+	GroundReliefCell, GroundReliefDepth float64
+	// Gentle large-scale undulation (amplitude in meters over ~20 m
+	// wavelengths).
+	GroundWave float64
+	reliefSeed uint64
+}
+
+// groundHeight returns the terrain height offset at (x, y) relative to the
+// nominal plane.
+func (s *Scene) groundHeight(x, y float64) float64 {
+	var h float64
+	if s.GroundWave > 0 {
+		h += s.GroundWave * (math.Sin(x/17.3) + math.Cos(y/23.1)) / 2
+	}
+	if s.GroundReliefDepth > 0 && s.GroundReliefCell > 0 {
+		cu := int64(math.Floor(x / s.GroundReliefCell))
+		cv := int64(math.Floor(y / s.GroundReliefCell))
+		k := uint64(cu)*0x9e3779b97f4a7c15 ^ uint64(cv)*0xbf58476d1ce4e5b9 ^ s.reliefSeed
+		k ^= k >> 30
+		k *= 0xbf58476d1ce4e5b9
+		k ^= k >> 27
+		h += (float64(k>>11)/float64(1<<53)*2 - 1) * s.GroundReliefDepth
+	}
+	return h
+}
+
+// Add appends a primitive to the scene.
+func (s *Scene) Add(p primitive) { s.prims = append(s.prims, p) }
+
+// NumPrimitives returns the number of solids in the scene.
+func (s *Scene) NumPrimitives() int { return len(s.prims) }
+
+// azimuthIndex buckets primitives by the azimuth interval they can cover
+// from the sensor at origin, so each ray only tests nearby solids.
+func (s *Scene) azimuthIndex(origin geom.Point, steps int, height, maxRange float64) [][]int32 {
+	idx := make([][]int32, steps)
+	for i, p := range s.prims {
+		cx, cy, r := p.footprint()
+		cx -= origin.X
+		cy -= origin.Y
+		d := math.Hypot(cx, cy)
+		if d-r > maxRange {
+			continue
+		}
+		if d <= r*1.2+1e-9 {
+			// The primitive surrounds or touches the sensor: every bucket.
+			for a := range idx {
+				idx[a] = append(idx[a], int32(i))
+			}
+			continue
+		}
+		center := math.Atan2(cy, cx)
+		halfWidth := math.Asin(math.Min(1, r/d)) + 2*math.Pi/float64(steps)
+		lo := int(math.Floor((center - halfWidth) / (2 * math.Pi) * float64(steps)))
+		hi := int(math.Ceil((center + halfWidth) / (2 * math.Pi) * float64(steps)))
+		for a := lo; a <= hi; a++ {
+			b := ((a % steps) + steps) % steps
+			idx[b] = append(idx[b], int32(i))
+			if hi-lo >= steps {
+				break
+			}
+		}
+		if hi-lo >= steps {
+			for a := range idx {
+				if len(idx[a]) == 0 || idx[a][len(idx[a])-1] != int32(i) {
+					idx[a] = append(idx[a], int32(i))
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// cast finds the nearest hit of the ray among the ground plane and the
+// primitives indexed for azimuth bucket a, returning the hit distance and
+// the roughness of the surface hit. divergence is the beam divergence,
+// used to model footprint smearing on grazing ground returns.
+func (s *Scene) cast(origin, dir geom.Point, height, maxRange float64, index [][]int32, a int, divergence float64) (t, rough float64, ok bool) {
+	best := math.Inf(1)
+	rough = 0.0
+	// Ground surface z = -height + relief. The relief is evaluated at
+	// the flat-plane hit position (first-order approximation, fine for
+	// decimeter-scale relief).
+	if dir.Z < -1e-9 {
+		if t0 := (-height - origin.Z) / dir.Z; t0 > 0 {
+			h := s.groundHeight(origin.X+dir.X*t0, origin.Y+dir.Y*t0)
+			t := (-height + h - origin.Z) / dir.Z
+			if t > 0 && t < best {
+				best = t
+				rough = s.GroundRoughness
+				if divergence > 0 {
+					// Footprint smearing: an elongated spot on the
+					// grazing ground spreads the return range. The
+					// range jitter is a fraction of the footprint
+					// length t·div/sin(graze), capped to keep very
+					// shallow rays physical.
+					smear := 0.25 * divergence * t / math.Max(-dir.Z, 0.03)
+					if smear > 0.25 {
+						smear = 0.25
+					}
+					rough += smear
+				}
+			}
+		}
+	}
+	for _, pi := range index[a] {
+		if t, ok := s.prims[pi].Hit(origin, dir); ok && t > 0 && t < best {
+			best = t
+			rough = s.prims[pi].roughness()
+		}
+	}
+	if best > maxRange || math.IsInf(best, 1) {
+		return 0, 0, false
+	}
+	return best, rough, true
+}
+
+// box is an axis-aligned box optionally rotated about the z axis.
+type box struct {
+	cx, cy     float64 // horizontal center
+	hx, hy     float64 // half extents
+	z0, z1     float64 // vertical extent
+	sinY, cosY float64 // yaw rotation
+	rough      float64
+	// Structured surface relief: the face is tiled into cells of side
+	// reliefCell, each recessed by a deterministic depth in
+	// [0, reliefDepth) — windows, balconies, vehicle body panels. Unlike
+	// white noise, relief is spatially correlated with sharp edges, the
+	// structure real façades show.
+	reliefCell, reliefDepth float64
+	reliefSeed              uint64
+}
+
+func newBox(cx, cy, hx, hy, z0, z1, yaw float64) *box {
+	s, c := math.Sincos(yaw)
+	return &box{cx: cx, cy: cy, hx: hx, hy: hy, z0: z0, z1: z1, sinY: s, cosY: c}
+}
+
+// withRelief tiles the box surface with recessed cells of the given side
+// and maximum depth.
+func (b *box) withRelief(cell, depth float64, seed uint64) *box {
+	b.reliefCell, b.reliefDepth, b.reliefSeed = cell, depth, seed
+	return b
+}
+
+// withRoughness sets the box's residual range-scatter sigma.
+func (b *box) withRoughness(r float64) *box {
+	b.rough = r
+	return b
+}
+
+func (b *box) roughness() float64 { return b.rough }
+
+// reliefAt returns the recess depth of the relief cell containing the
+// local-frame surface point (u, z).
+func (b *box) reliefAt(u, z float64) float64 {
+	if b.reliefDepth <= 0 || b.reliefCell <= 0 {
+		return 0
+	}
+	cu := int64(math.Floor(u / b.reliefCell))
+	cz := int64(math.Floor(z / b.reliefCell))
+	x := uint64(cu)*0x9e3779b97f4a7c15 ^ uint64(cz)*0xbf58476d1ce4e5b9 ^ b.reliefSeed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return float64(x>>11) / float64(1<<53) * b.reliefDepth
+}
+
+func (b *box) footprint() (float64, float64, float64) {
+	return b.cx, b.cy, math.Hypot(b.hx, b.hy)
+}
+
+func (b *box) Hit(o, d geom.Point) (float64, bool) {
+	// Transform into the box frame: translate then rotate by -yaw.
+	ox, oy := o.X-b.cx, o.Y-b.cy
+	rox := ox*b.cosY + oy*b.sinY
+	roy := -ox*b.sinY + oy*b.cosY
+	rdx := d.X*b.cosY + d.Y*b.sinY
+	rdy := -d.X*b.sinY + d.Y*b.cosY
+	// Slab intersection.
+	tmin, tmax := 0.0, math.Inf(1)
+	update := func(ro, rd, lo, hi float64) bool {
+		if math.Abs(rd) < 1e-12 {
+			return ro >= lo && ro <= hi
+		}
+		t1 := (lo - ro) / rd
+		t2 := (hi - ro) / rd
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		return tmin <= tmax
+	}
+	if !update(rox, rdx, -b.hx, b.hx) {
+		return 0, false
+	}
+	if !update(roy, rdy, -b.hy, b.hy) {
+		return 0, false
+	}
+	if !update(o.Z, d.Z, b.z0, b.z1) {
+		return 0, false
+	}
+	if tmin <= 1e-9 {
+		return 0, false // inside or behind
+	}
+	if b.reliefDepth > 0 {
+		// Recess the return by the relief depth of the struck cell,
+		// keyed by the lateral position along the face.
+		hx := rox + rdx*tmin
+		hy := roy + rdy*tmin
+		hz := o.Z + d.Z*tmin
+		tmin += b.reliefAt(hx+hy, hz)
+	}
+	return tmin, true
+}
+
+// cylinder is a vertical cylinder (pole, trunk).
+type cylinder struct {
+	cx, cy, r, z0, z1 float64
+	rough             float64
+}
+
+func (c *cylinder) roughness() float64 { return c.rough }
+
+func (c *cylinder) footprint() (float64, float64, float64) { return c.cx, c.cy, c.r }
+
+func (c *cylinder) Hit(o, d geom.Point) (float64, bool) {
+	ox, oy := o.X-c.cx, o.Y-c.cy
+	a := d.X*d.X + d.Y*d.Y
+	if a < 1e-12 {
+		return 0, false
+	}
+	bq := ox*d.X + oy*d.Y
+	cq := ox*ox + oy*oy - c.r*c.r
+	disc := bq*bq - a*cq
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	for _, t := range [2]float64{(-bq - sq) / a, (-bq + sq) / a} {
+		if t <= 1e-9 {
+			continue
+		}
+		z := o.Z + t*d.Z
+		if z >= c.z0 && z <= c.z1 {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// sphere models tree canopies and similar blobs.
+type sphere struct {
+	cx, cy, cz, r float64
+	rough         float64
+}
+
+func (s *sphere) roughness() float64 { return s.rough }
+
+func (s *sphere) footprint() (float64, float64, float64) { return s.cx, s.cy, s.r }
+
+func (s *sphere) Hit(o, d geom.Point) (float64, bool) {
+	ox, oy, oz := o.X-s.cx, o.Y-s.cy, o.Z-s.cz
+	bq := ox*d.X + oy*d.Y + oz*d.Z
+	cq := ox*ox + oy*oy + oz*oz - s.r*s.r
+	disc := bq*bq - cq
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t := -bq - sq; t > 1e-9 {
+		return t, true
+	}
+	if t := -bq + sq; t > 1e-9 {
+		return t, true
+	}
+	return 0, false
+}

@@ -1,0 +1,285 @@
+// Package lidar provides the data substrate for the DBGC evaluation: a
+// deterministic spinning-LiDAR simulator that stands in for the KITTI,
+// Apollo, and Ford captures used in the paper (§4.1), plus readers and
+// writers for the KITTI .bin point format.
+//
+// The simulator models an HDL-64E-class sensor: a stack of laser beams at
+// fixed elevations sweeping the full azimuth circle, ray-cast against
+// parameterized synthetic scenes. Gaussian range noise and per-ray angular
+// jitter emulate a *calibrated* cloud — points are regular but do not form
+// a perfect grid, exactly the structure Figure 5 of the paper shows and the
+// property DBGC's polyline organization exploits.
+package lidar
+
+import (
+	"math"
+	"math/rand"
+
+	"dbgc/internal/geom"
+)
+
+// SensorConfig describes a spinning LiDAR sensor.
+type SensorConfig struct {
+	// Beams is the number of laser beams (vertical samples, the paper's W).
+	Beams int
+	// AzimuthSteps is the number of firings per revolution (the paper's H).
+	AzimuthSteps int
+	// VertFOVDegMin and VertFOVDegMax bound beam elevations in degrees
+	// relative to the horizon (HDL-64E: -24.8 to +2.0).
+	VertFOVDegMin, VertFOVDegMax float64
+	// MaxRange is the maximum measurable distance in meters.
+	MaxRange float64
+	// MinRange discards returns closer than this (sensor housing).
+	MinRange float64
+	// RangeNoiseSigma is the standard deviation of per-ray Gaussian range
+	// noise in meters (HDL-64E accuracy is about 2 cm).
+	RangeNoiseSigma float64
+	// AngleJitter is the standard deviation of per-ray angular jitter as
+	// a fraction of the angular step (encoder timing noise; small).
+	AngleJitter float64
+	// Per-beam systematic calibration, the dominant reason calibrated
+	// clouds deviate from a regular grid (the paper's Figure 5): each
+	// laser carries its own elevation offset, azimuth phase, and range
+	// bias. Values are fractions of the respective step (elevation,
+	// azimuth) and meters (range); per-beam values are derived
+	// deterministically from the beam index.
+	BeamElevOffset float64
+	BeamAzPhase    float64
+	BeamRangeBias  float64
+	// Dropout is the probability that a valid return is lost.
+	Dropout float64
+	// MixedPixel is the probability that a return at a depth edge (two
+	// consecutive firings of a beam more than a meter apart) lands
+	// between foreground and background instead of on either — the
+	// classic LiDAR mixed-pixel artifact at object silhouettes.
+	MixedPixel float64
+	// BeamDivergence is the laser beam divergence in radians (HDL-64E:
+	// about 2.4 mrad). At grazing incidence the elongated footprint
+	// smears the return range — far ground points are much noisier
+	// radially than the datasheet accuracy suggests.
+	BeamDivergence float64
+	// Height is the sensor mounting height above ground in meters.
+	Height float64
+	// FramesPerSecond is the sensor's capture rate (10 for the HDL-64E
+	// default mode), used by the bandwidth experiments.
+	FramesPerSecond float64
+}
+
+// HDL64E returns the configuration of the Velodyne HDL-64E used by KITTI
+// ([9] in the paper): 64 beams, ~0.18° azimuth resolution, 10 frames/s,
+// about 1.3M points per second (~100-130k per frame before dropout).
+func HDL64E() SensorConfig {
+	return SensorConfig{
+		Beams:           64,
+		AzimuthSteps:    2000,
+		VertFOVDegMin:   -24.8,
+		VertFOVDegMax:   2.0,
+		MaxRange:        120,
+		MinRange:        2.5, // ego-vehicle exclusion zone, as in KITTI captures
+		RangeNoiseSigma: 0.02,
+		AngleJitter:     0.05,
+		BeamElevOffset:  0.35,
+		BeamAzPhase:     1.0,
+		BeamRangeBias:   0.015,
+		Dropout:         0.03,
+		MixedPixel:      0.25,
+		BeamDivergence:  0.0024,
+		Height:          1.73,
+		FramesPerSecond: 10,
+	}
+}
+
+// VLP16 returns the configuration of the 16-beam Velodyne Puck, a common
+// lighter sensor: 2° beam spacing over ±15°, 100 m range, 10 Hz.
+func VLP16() SensorConfig {
+	c := HDL64E()
+	c.Beams = 16
+	c.VertFOVDegMin = -15
+	c.VertFOVDegMax = 15
+	c.AzimuthSteps = 1800
+	c.MaxRange = 100
+	c.RangeNoiseSigma = 0.03
+	return c
+}
+
+// HDL32E returns the configuration of the 32-beam Velodyne HDL-32E:
+// -30.67° to +10.67° vertical FOV, 100 m range.
+func HDL32E() SensorConfig {
+	c := HDL64E()
+	c.Beams = 32
+	c.VertFOVDegMin = -30.67
+	c.VertFOVDegMax = 10.67
+	c.MaxRange = 100
+	return c
+}
+
+// Meta carries sensor metadata in the form DBGC's coordinate compressor
+// needs (§3.3): spherical bounds and sample counts, from which the average
+// angular step between adjacent points is derived.
+type Meta struct {
+	ThetaMin, ThetaMax float64 // azimuthal angle range, radians
+	PhiMin, PhiMax     float64 // polar angle range, radians
+	RMax               float64 // maximum radial distance, meters
+	H                  int     // samples in the azimuthal direction
+	W                  int     // samples in the polar direction
+}
+
+// UTheta returns the average azimuthal difference between adjacent samples
+// (the paper's u_θ).
+func (m Meta) UTheta() float64 {
+	if m.H <= 0 {
+		return 0
+	}
+	return (m.ThetaMax - m.ThetaMin) / float64(m.H)
+}
+
+// UPhi returns the average polar difference between adjacent samples (the
+// paper's u_φ).
+func (m Meta) UPhi() float64 {
+	if m.W <= 0 {
+		return 0
+	}
+	return (m.PhiMax - m.PhiMin) / float64(m.W)
+}
+
+// Meta derives the sensor metadata of a configuration. Elevation e maps to
+// polar angle φ = π/2 − e.
+func (c SensorConfig) Meta() Meta {
+	return Meta{
+		ThetaMin: 0,
+		ThetaMax: 2 * math.Pi,
+		PhiMin:   math.Pi/2 - c.VertFOVDegMax*math.Pi/180,
+		PhiMax:   math.Pi/2 - c.VertFOVDegMin*math.Pi/180,
+		RMax:     c.MaxRange,
+		H:        c.AzimuthSteps,
+		W:        c.Beams,
+	}
+}
+
+// EstimateMeta derives sensor metadata from an arbitrary calibrated cloud,
+// for inputs whose sensor is unknown. Angular bounds come from the data;
+// sample counts default to HDL-64E geometry unless overridden.
+func EstimateMeta(pc geom.PointCloud, h, w int) Meta {
+	m := Meta{ThetaMin: math.Inf(1), ThetaMax: math.Inf(-1), PhiMin: math.Inf(1), PhiMax: math.Inf(-1), H: h, W: w}
+	if h <= 0 {
+		m.H = 2000
+	}
+	if w <= 0 {
+		m.W = 64
+	}
+	for _, p := range pc {
+		s := geom.ToSpherical(p)
+		m.ThetaMin = math.Min(m.ThetaMin, s.Theta)
+		m.ThetaMax = math.Max(m.ThetaMax, s.Theta)
+		m.PhiMin = math.Min(m.PhiMin, s.Phi)
+		m.PhiMax = math.Max(m.PhiMax, s.Phi)
+		m.RMax = math.Max(m.RMax, s.R)
+	}
+	if len(pc) == 0 {
+		return Meta{H: m.H, W: m.W}
+	}
+	return m
+}
+
+// Pose is a sensor position and heading in the scene's world frame, for
+// simulating captures from a moving platform.
+type Pose struct {
+	X, Y float64
+	// Yaw is the heading in radians (0 = +x).
+	Yaw float64
+}
+
+// Simulate captures one frame of scene with the given sensor. The returned
+// cloud is in the sensor frame: the sensor sits at the origin and the
+// ground plane lies near z = -Height. The same (scene, cfg, seed) triple
+// always produces the same frame.
+func (c SensorConfig) Simulate(scene *Scene, seed int64) geom.PointCloud {
+	return c.SimulateAt(scene, seed, Pose{})
+}
+
+// SimulateAt captures one frame from the given pose — the driving case of
+// the paper's datasets (KITTI and Ford are vehicle-mounted). The returned
+// cloud is in the sensor frame at that pose.
+func (c SensorConfig) SimulateAt(scene *Scene, seed int64, pose Pose) geom.PointCloud {
+	rng := rand.New(rand.NewSource(seed))
+	pc := make(geom.PointCloud, 0, c.Beams*c.AzimuthSteps)
+	if c.Beams <= 0 || c.AzimuthSteps <= 0 {
+		return pc
+	}
+	azStep := 2 * math.Pi / float64(c.AzimuthSteps)
+	elStep := 0.0
+	if c.Beams > 1 {
+		elStep = (c.VertFOVDegMax - c.VertFOVDegMin) * math.Pi / 180 / float64(c.Beams-1)
+	}
+	elMin := c.VertFOVDegMin * math.Pi / 180
+	origin := geom.Point{X: pose.X, Y: pose.Y, Z: 0}
+	index := scene.azimuthIndex(origin, c.AzimuthSteps, c.Height, c.MaxRange)
+	sinYaw, cosYaw := math.Sincos(pose.Yaw)
+
+	for b := 0; b < c.Beams; b++ {
+		// Per-beam calibration constants: deterministic functions of the
+		// beam index, identical across frames of the same sensor.
+		elBase := elMin + float64(b)*elStep + beamHash(b, 1)*c.BeamElevOffset*elStep
+		azPhase := (beamHash(b, 2) + 1) / 2 * c.BeamAzPhase * azStep
+		rangeBias := beamHash(b, 3) * c.BeamRangeBias
+		prevT := -1.0
+		for a := 0; a < c.AzimuthSteps; a++ {
+			az := float64(a)*azStep + azPhase + rng.NormFloat64()*c.AngleJitter*azStep
+			el := elBase + rng.NormFloat64()*c.AngleJitter*elStep
+			sinEl, cosEl := math.Sincos(el)
+			worldAz := az + pose.Yaw
+			sinAz, cosAz := math.Sincos(worldAz)
+			dir := geom.Point{X: cosEl * cosAz, Y: cosEl * sinAz, Z: sinEl}
+			// The primitive index buckets by world azimuth around the
+			// current origin.
+			bucket := int(math.Mod(worldAz, 2*math.Pi) / azStep)
+			bucket = ((bucket % c.AzimuthSteps) + c.AzimuthSteps) % c.AzimuthSteps
+			t, rough, ok := scene.cast(origin, dir, c.Height, c.MaxRange, index, bucket, c.BeamDivergence)
+			if !ok || t < c.MinRange {
+				prevT = -1
+				continue
+			}
+			if c.Dropout > 0 && rng.Float64() < c.Dropout {
+				prevT = -1
+				continue
+			}
+			if c.MixedPixel > 0 && prevT > 0 && math.Abs(t-prevT) > 1 && rng.Float64() < c.MixedPixel {
+				// Mixed pixel: the beam straddles a silhouette edge and
+				// the return lands between the two surfaces.
+				t = prevT + rng.Float64()*(t-prevT)
+			} else {
+				prevT = t
+			}
+			if rough > 0 {
+				// Volumetric/relief scatter: beams penetrate foliage or
+				// hit façade relief before returning.
+				t += math.Abs(rng.NormFloat64()) * rough
+			}
+			t += rangeBias + rng.NormFloat64()*c.RangeNoiseSigma
+			if t < c.MinRange || t > c.MaxRange {
+				continue
+			}
+			// World-frame hit, expressed in the sensor frame: translate
+			// to the pose, rotate by -yaw.
+			wx, wy, wz := dir.X*t, dir.Y*t, dir.Z*t
+			pc = append(pc, geom.Point{
+				X: wx*cosYaw + wy*sinYaw,
+				Y: -wx*sinYaw + wy*cosYaw,
+				Z: wz,
+			})
+		}
+	}
+	return pc
+}
+
+// beamHash returns a deterministic pseudo-random value in [-1, 1) for a
+// (beam, channel) pair, used for per-beam calibration constants.
+func beamHash(beam, channel int) float64 {
+	x := uint64(beam)*0x9e3779b97f4a7c15 + uint64(channel)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53)*2 - 1
+}

@@ -1,0 +1,95 @@
+// Package netproto implements the client→server transfer of the DBGC
+// system (Figure 2): compressed frames travel over a stream connection as
+// length-prefixed, checksummed messages. The paper's prototype uses Linux
+// sockets; this implementation works over any net.Conn.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame kinds.
+const (
+	// KindCompressed carries a DBGC bit sequence B.
+	KindCompressed byte = 1
+	// KindRaw carries an uncompressed frame (benchmarking the no-
+	// compression path).
+	KindRaw byte = 2
+	// KindBye asks the server to finish up.
+	KindBye byte = 3
+	// KindQuery asks the server for the points of a stored frame inside
+	// a bounding box; the payload is EncodeQuery's.
+	KindQuery byte = 4
+	// KindQueryResult answers a query with a raw .bin-layout point list
+	// (empty on a miss).
+	KindQueryResult byte = 5
+)
+
+// MaxFrameSize bounds a single message; a raw HDL-64E frame is ~1.6 MB, so
+// 256 MB leaves room for any realistic capture while stopping corrupt
+// headers from driving huge allocations.
+const MaxFrameSize = 256 << 20
+
+// ErrFrameTooLarge reports a header demanding more than MaxFrameSize.
+var ErrFrameTooLarge = errors.New("netproto: frame exceeds size limit")
+
+// ErrChecksum reports payload corruption.
+var ErrChecksum = errors.New("netproto: checksum mismatch")
+
+// Header layout: kind (1 byte) | sequence (8) | payload length (4) |
+// crc32c of payload (4).
+const headerSize = 1 + 8 + 4 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Message is one protocol frame.
+type Message struct {
+	Kind    byte
+	Seq     uint64
+	Payload []byte
+}
+
+// Write serializes m to w.
+func Write(w io.Writer, m Message) error {
+	if len(m.Payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [headerSize]byte
+	hdr[0] = m.Kind
+	binary.LittleEndian.PutUint64(hdr[1:], m.Seq)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(hdr[13:], crc32.Checksum(m.Payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netproto: writing header: %w", err)
+	}
+	if _, err := w.Write(m.Payload); err != nil {
+		return fmt.Errorf("netproto: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes the next message from r.
+func Read(r io.Reader) (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	m := Message{Kind: hdr[0], Seq: binary.LittleEndian.Uint64(hdr[1:])}
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	sum := binary.LittleEndian.Uint32(hdr[13:])
+	if n > MaxFrameSize {
+		return Message{}, ErrFrameTooLarge
+	}
+	m.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, m.Payload); err != nil {
+		return Message{}, fmt.Errorf("netproto: reading payload: %w", err)
+	}
+	if crc32.Checksum(m.Payload, castagnoli) != sum {
+		return Message{}, ErrChecksum
+	}
+	return m, nil
+}

@@ -1,0 +1,131 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Kind: KindCompressed, Seq: 1, Payload: []byte("hello")},
+		{Kind: KindRaw, Seq: 2, Payload: make([]byte, 100000)},
+		{Kind: KindBye, Seq: 3, Payload: nil},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("got %+v, want %+v", got.Kind, want.Kind)
+		}
+	}
+}
+
+func TestChecksumDetection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Message{Kind: KindCompressed, Seq: 9, Payload: []byte("payload-data")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-3] ^= 0xff // corrupt payload
+	if _, err := Read(bytes.NewReader(raw)); err != ErrChecksum {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	if err := Write(io.Discard, Message{Payload: make([]byte, MaxFrameSize+1)}); err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// A forged header demanding too much must be rejected before
+	// allocation.
+	hdr := make([]byte, headerSize)
+	hdr[0] = KindCompressed
+	hdr[9] = 0xff
+	hdr[10] = 0xff
+	hdr[11] = 0xff
+	hdr[12] = 0x7f
+	if _, err := Read(bytes.NewReader(hdr)); err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Message{Kind: KindCompressed, Seq: 1, Payload: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut += 3 {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d read successfully", cut)
+		}
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		for {
+			m, err := Read(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Kind == KindBye {
+				done <- nil
+				return
+			}
+			// Echo back.
+			if err := Write(conn, m); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 50000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := Write(conn, Message{Kind: KindCompressed, Seq: 42, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.Seq != 42 || !bytes.Equal(echo.Payload, payload) {
+		t.Fatal("echo mismatch")
+	}
+	if err := Write(conn, Message{Kind: KindBye, Seq: 43}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

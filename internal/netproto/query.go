@@ -1,0 +1,51 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dbgc/internal/geom"
+)
+
+// Query is a spatial request against a stored frame: "give me the points
+// of frame Seq inside Box" — the access path for a server that stores
+// compressed bit sequences directly (§3.1 of the paper).
+type Query struct {
+	Seq uint64
+	Box geom.AABB
+}
+
+// querySize is the fixed wire size of a query payload.
+const querySize = 8 + 6*8
+
+// EncodeQuery serializes a query payload.
+func EncodeQuery(q Query) []byte {
+	buf := make([]byte, querySize)
+	binary.LittleEndian.PutUint64(buf[0:], q.Seq)
+	for i, v := range []float64{q.Box.Min.X, q.Box.Min.Y, q.Box.Min.Z, q.Box.Max.X, q.Box.Max.Y, q.Box.Max.Z} {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeQuery parses a query payload.
+func DecodeQuery(payload []byte) (Query, error) {
+	if len(payload) != querySize {
+		return Query{}, fmt.Errorf("netproto: query payload is %d bytes, want %d", len(payload), querySize)
+	}
+	var q Query
+	q.Seq = binary.LittleEndian.Uint64(payload)
+	vals := make([]float64, 6)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
+		if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+			return Query{}, fmt.Errorf("netproto: non-finite query bound")
+		}
+	}
+	q.Box = geom.AABB{
+		Min: geom.Point{X: vals[0], Y: vals[1], Z: vals[2]},
+		Max: geom.Point{X: vals[3], Y: vals[4], Z: vals[5]},
+	}
+	return q, nil
+}

@@ -1,0 +1,34 @@
+package netproto
+
+import (
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := Query{
+		Seq: 42,
+		Box: geom.AABB{Min: geom.Point{X: -1, Y: -2, Z: -3}, Max: geom.Point{X: 4, Y: 5, Z: 6}},
+	}
+	got, err := DecodeQuery(EncodeQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Fatalf("got %+v, want %+v", got, q)
+	}
+}
+
+func TestQueryBadPayload(t *testing.T) {
+	if _, err := DecodeQuery([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := EncodeQuery(Query{})
+	for i := 8; i < len(bad); i++ {
+		bad[i] = 0xff // all-ones exponent -> NaN
+	}
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Fatal("NaN bounds accepted")
+	}
+}

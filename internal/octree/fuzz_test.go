@@ -1,0 +1,28 @@
+package octree
+
+import (
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+// FuzzDecode hammers both octree decoders with mutated streams; they must
+// never panic and never loop.
+func FuzzDecode(f *testing.F) {
+	pc := geom.PointCloud{{X: 1, Y: 2, Z: 3}, {X: 1.1, Y: 2, Z: 3}, {X: -4, Y: 0, Z: 1}}
+	plain, err := Encode(pc, 0.02)
+	if err != nil {
+		f.Fatal(err)
+	}
+	grouped, err := EncodeGrouped(pc, 0.02)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Data)
+	f.Add(grouped.Data)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = Decode(b)
+		_, _ = DecodeGrouped(b)
+	})
+}

@@ -1,0 +1,366 @@
+// Package octree implements the baseline octree geometry coder of Botsch et
+// al. that the paper adopts for dense points (§2.2, §3.2), plus the
+// "Octree_i" variant of Garcia et al. that groups occupancy codes by their
+// parent's occupancy code and compresses each group separately (§4.1).
+//
+// Construction follows §2.1: the bounding cube of the cloud is recursively
+// partitioned until the leaf side length is at most twice the error bound,
+// every non-leaf node is serialized breadth-first as an 8-bit occupancy
+// code, and the code sequence is compressed with an adaptive arithmetic
+// coder. Decoded points are the centers of the occupied leaves, repeated by
+// the per-leaf point count so the decompressed cloud keeps a one-to-one
+// mapping with the input.
+package octree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed octree stream.
+var ErrCorrupt = errors.New("octree: corrupt stream")
+
+// maxDepth caps subdivision depth; 40 levels cover any realistic scene-to-
+// error-bound ratio (2^40 cells per axis) and bound decoder work on corrupt
+// headers.
+const maxDepth = 40
+
+// Encoded is the output of Encode.
+type Encoded struct {
+	// Data is the self-contained bit stream.
+	Data []byte
+	// DecodedOrder maps decoded point position j to the index of the
+	// original point it reconstructs. It is side information for error
+	// accounting and is not part of Data.
+	DecodedOrder []int
+}
+
+// node is one octree node during breadth-first construction: a slice of
+// point indices that fall inside its cell.
+type node struct {
+	pts    []int32
+	center geom.Point
+	half   float64 // half side length of the cell
+}
+
+// Encode compresses points so that every reconstructed coordinate differs
+// from the original by at most q per dimension. An empty input encodes to a
+// valid empty stream.
+func Encode(points geom.PointCloud, q float64) (Encoded, error) {
+	if q <= 0 {
+		return Encoded{}, fmt.Errorf("octree: error bound must be positive, got %v", q)
+	}
+	var enc Encoded
+	header := make([]byte, 0, 64)
+	header = varint.AppendUint(header, uint64(len(points)))
+	if len(points) == 0 {
+		enc.Data = header
+		return enc, nil
+	}
+
+	cube := geom.Bounds(points).Cube()
+	depth := depthFor(cube.MaxDim(), q)
+	// Pad the cube so leaves measure exactly 2q (§2.1): without padding
+	// the leaf side would depend on the cloud extent and could shrink to
+	// half the allowed size, wasting a full subdivision level.
+	side := 2 * q * math.Pow(2, float64(depth))
+	if side < cube.MaxDim() {
+		side = cube.MaxDim()
+	}
+	header = appendFloat(header, cube.Min.X)
+	header = appendFloat(header, cube.Min.Y)
+	header = appendFloat(header, cube.Min.Z)
+	header = appendFloat(header, side)
+	header = varint.AppendUint(header, uint64(depth))
+
+	occ, counts, order := buildAndSerialize(points, cube.Min, side, depth)
+	enc.DecodedOrder = order
+
+	occStream := compressOccupancy(occ)
+	countStream := arith.CompressUints(counts)
+
+	out := header
+	out = varint.AppendUint(out, uint64(len(occ)))
+	out = varint.AppendUint(out, uint64(len(occStream)))
+	out = append(out, occStream...)
+	out = varint.AppendUint(out, uint64(len(counts)))
+	out = varint.AppendUint(out, uint64(len(countStream)))
+	out = append(out, countStream...)
+	enc.Data = out
+	return enc, nil
+}
+
+// depthFor returns the number of subdivision levels needed for leaf side
+// lengths of at most 2q.
+func depthFor(side, q float64) int {
+	if side <= 2*q {
+		return 0
+	}
+	d := math.Ceil(math.Log2(side / (2 * q)))
+	if math.IsNaN(d) || d < 0 {
+		return 0
+	}
+	if d > maxDepth {
+		return maxDepth
+	}
+	return int(d)
+}
+
+// buildAndSerialize performs the breadth-first construction, returning the
+// occupancy code sequence, the per-leaf point counts (in leaf emission
+// order), and the decoded-order mapping.
+func buildAndSerialize(points geom.PointCloud, min geom.Point, side float64, depth int) (occ []byte, counts []uint64, order []int) {
+	all := make([]int32, len(points))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	half := side / 2
+	level := []node{{pts: all, center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}
+
+	for d := 0; d < depth; d++ {
+		next := make([]node, 0, len(level)*2)
+		for _, nd := range level {
+			var buckets [8][]int32
+			for _, idx := range nd.pts {
+				c := childIndex(points[idx], nd.center)
+				buckets[c] = append(buckets[c], idx)
+			}
+			var code byte
+			qh := nd.half / 2
+			for c := 0; c < 8; c++ {
+				if len(buckets[c]) == 0 {
+					continue
+				}
+				code |= 1 << uint(c)
+				next = append(next, node{
+					pts:    buckets[c],
+					center: childCenter(nd.center, qh, c),
+					half:   qh,
+				})
+			}
+			occ = append(occ, code)
+		}
+		level = next
+	}
+
+	order = make([]int, 0, len(points))
+	counts = make([]uint64, 0, len(level))
+	for _, leaf := range level {
+		counts = append(counts, uint64(len(leaf.pts)))
+		for _, idx := range leaf.pts {
+			order = append(order, int(idx))
+		}
+	}
+	return occ, counts, order
+}
+
+// childIndex selects the octant of p relative to the cell center: bit 0 for
+// x, bit 1 for y, bit 2 for z.
+func childIndex(p, center geom.Point) int {
+	c := 0
+	if p.X >= center.X {
+		c |= 1
+	}
+	if p.Y >= center.Y {
+		c |= 2
+	}
+	if p.Z >= center.Z {
+		c |= 4
+	}
+	return c
+}
+
+// childCenter returns the center of octant c of a cell centered at center
+// with quarter side qh.
+func childCenter(center geom.Point, qh float64, c int) geom.Point {
+	off := geom.Point{X: -qh, Y: -qh, Z: -qh}
+	if c&1 != 0 {
+		off.X = qh
+	}
+	if c&2 != 0 {
+		off.Y = qh
+	}
+	if c&4 != 0 {
+		off.Z = qh
+	}
+	return center.Add(off)
+}
+
+func compressOccupancy(occ []byte) []byte {
+	e := arith.NewEncoder()
+	m := arith.NewModel(256)
+	for _, code := range occ {
+		e.Encode(m, int(code))
+	}
+	return e.Finish()
+}
+
+// Decode reconstructs the point cloud from a stream produced by Encode.
+func Decode(data []byte) (geom.PointCloud, error) {
+	n, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("octree: point count: %w", err)
+	}
+	data = data[used:]
+	if n == 0 {
+		return geom.PointCloud{}, nil
+	}
+	var min geom.Point
+	var side float64
+	if min.X, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if min.Y, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if min.Z, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if side, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if side < 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return nil, fmt.Errorf("%w: invalid cube side %v", ErrCorrupt, side)
+	}
+	depth64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("octree: depth: %w", err)
+	}
+	data = data[used:]
+	if depth64 > maxDepth {
+		return nil, fmt.Errorf("%w: depth %d exceeds limit", ErrCorrupt, depth64)
+	}
+	depth := int(depth64)
+
+	occLen, occStream, data, err := readSection(data, "occupancy")
+	if err != nil {
+		return nil, err
+	}
+	countLen, countStream, _, err := readSection(data, "counts")
+	if err != nil {
+		return nil, err
+	}
+
+	occ, err := decompressOccupancy(occStream, occLen)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := arith.DecompressUints(countStream, countLen)
+	if err != nil {
+		return nil, fmt.Errorf("octree: counts: %w", err)
+	}
+
+	leaves, err := rebuildLeaves(occ, min, side, depth)
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) != len(counts) {
+		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(leaves), len(counts))
+	}
+	out := make(geom.PointCloud, 0, n)
+	for i, c := range leaves {
+		cnt := counts[i]
+		if cnt == 0 || uint64(len(out))+cnt > n {
+			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
+		}
+		for k := uint64(0); k < cnt; k++ {
+			out = append(out, c)
+		}
+	}
+	if uint64(len(out)) != n {
+		return nil, fmt.Errorf("%w: decoded %d points, header says %d", ErrCorrupt, len(out), n)
+	}
+	return out, nil
+}
+
+// rebuildLeaves replays the breadth-first subdivision and returns the leaf
+// centers in emission order.
+func rebuildLeaves(occ []byte, min geom.Point, side float64, depth int) ([]geom.Point, error) {
+	half := side / 2
+	type cell struct {
+		center geom.Point
+		half   float64
+	}
+	level := []cell{{center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}
+	pos := 0
+	for d := 0; d < depth; d++ {
+		next := make([]cell, 0, len(level)*2)
+		for _, cl := range level {
+			if pos >= len(occ) {
+				return nil, fmt.Errorf("%w: occupancy stream too short", ErrCorrupt)
+			}
+			code := occ[pos]
+			pos++
+			if code == 0 {
+				return nil, fmt.Errorf("%w: empty occupancy code", ErrCorrupt)
+			}
+			qh := cl.half / 2
+			for c := 0; c < 8; c++ {
+				if code&(1<<uint(c)) != 0 {
+					next = append(next, cell{center: childCenter(cl.center, qh, c), half: qh})
+				}
+			}
+		}
+		level = next
+	}
+	if pos != len(occ) {
+		return nil, fmt.Errorf("%w: %d unused occupancy codes", ErrCorrupt, len(occ)-pos)
+	}
+	centers := make([]geom.Point, len(level))
+	for i, cl := range level {
+		centers[i] = cl.center
+	}
+	return centers, nil
+}
+
+func decompressOccupancy(stream []byte, n int) ([]byte, error) {
+	d := arith.NewDecoder(stream)
+	m := arith.NewModel(256)
+	out := make([]byte, n)
+	for i := range out {
+		sym, err := d.Decode(m)
+		if err != nil {
+			return nil, fmt.Errorf("octree: occupancy %d/%d: %w", i, n, err)
+		}
+		out[i] = byte(sym)
+	}
+	return out, nil
+}
+
+// readSection reads "elementCount, byteLength, bytes" written by Encode.
+func readSection(data []byte, name string) (count int, payload, rest []byte, err error) {
+	c, used, err := varint.Uint(data)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("octree: %s count: %w", name, err)
+	}
+	data = data[used:]
+	l, used, err := varint.Uint(data)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("octree: %s length: %w", name, err)
+	}
+	data = data[used:]
+	if l > uint64(len(data)) {
+		return 0, nil, nil, fmt.Errorf("%w: %s section truncated", ErrCorrupt, name)
+	}
+	if c > uint64(math.MaxInt32) {
+		return 0, nil, nil, fmt.Errorf("%w: %s count overflow", ErrCorrupt, name)
+	}
+	return int(c), data[:l], data[l:], nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func readFloat(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated float", ErrCorrupt)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), data[8:], nil
+}

@@ -1,0 +1,58 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbgc/internal/geom"
+)
+
+// TestPropertyRoundTripQuick: arbitrary small clouds round-trip within the
+// bound for both coders.
+func TestPropertyRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64, nRaw uint8, qRaw float64) bool {
+		n := int(nRaw)%200 + 1
+		q := 0.001 + math.Abs(math.Mod(qRaw, 0.2))
+		r := rand.New(rand.NewSource(seed))
+		pc := make(geom.PointCloud, n)
+		for i := range pc {
+			pc[i] = geom.Point{
+				X: r.Float64()*100 - 50,
+				Y: r.Float64()*100 - 50,
+				Z: r.Float64()*20 - 10,
+			}
+		}
+		check := func(data []byte, order []int, dec geom.PointCloud, err error) bool {
+			if err != nil || len(dec) != n || len(order) != n {
+				return false
+			}
+			for j, oi := range order {
+				if pc[oi].ChebDist(dec[j]) > q+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		enc, err := Encode(pc, q)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc.Data)
+		if !check(enc.Data, enc.DecodedOrder, dec, err) {
+			return false
+		}
+		encG, err := EncodeGrouped(pc, q)
+		if err != nil {
+			return false
+		}
+		decG, err := DecodeGrouped(encG.Data)
+		return check(encG.Data, encG.DecodedOrder, decG, err)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

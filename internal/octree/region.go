@@ -1,0 +1,138 @@
+package octree
+
+import (
+	"fmt"
+	"math"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// DecodeRegion reconstructs only the points inside the query box from a
+// stream produced by Encode, without materializing the rest of the cloud.
+// The occupancy stream must still be entropy-decoded sequentially (the
+// arithmetic coder is adaptive), but subtrees outside the region are
+// dropped as soon as their cells separate from the box, so no point
+// outside the region is ever built.
+func DecodeRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
+	n, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("octree: point count: %w", err)
+	}
+	data = data[used:]
+	if n == 0 {
+		return geom.PointCloud{}, nil
+	}
+	var min geom.Point
+	var side float64
+	if min.X, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if min.Y, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if min.Z, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if side, data, err = readFloat(data); err != nil {
+		return nil, err
+	}
+	if side < 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return nil, fmt.Errorf("%w: invalid cube side %v", ErrCorrupt, side)
+	}
+	depth64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("octree: depth: %w", err)
+	}
+	data = data[used:]
+	if depth64 > maxDepth {
+		return nil, fmt.Errorf("%w: depth %d exceeds limit", ErrCorrupt, depth64)
+	}
+	depth := int(depth64)
+
+	occLen, occStream, data, err := readSection(data, "occupancy")
+	if err != nil {
+		return nil, err
+	}
+	countLen, countStream, _, err := readSection(data, "counts")
+	if err != nil {
+		return nil, err
+	}
+	occ, err := decompressOccupancy(occStream, occLen)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := arith.DecompressUints(countStream, countLen)
+	if err != nil {
+		return nil, fmt.Errorf("octree: counts: %w", err)
+	}
+
+	// Replay the BFS; nodes disjoint from the region stay in the level
+	// list (their occupancy codes still occupy stream positions) but are
+	// marked dead so their leaves are skipped.
+	type cell struct {
+		center geom.Point
+		half   float64
+		live   bool
+	}
+	half := side / 2
+	level := []cell{{center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half, live: true}}
+	pos := 0
+	for d := 0; d < depth; d++ {
+		next := make([]cell, 0, len(level)*2)
+		for _, cl := range level {
+			if pos >= len(occ) {
+				return nil, fmt.Errorf("%w: occupancy stream too short", ErrCorrupt)
+			}
+			code := occ[pos]
+			pos++
+			if code == 0 {
+				return nil, fmt.Errorf("%w: empty occupancy code", ErrCorrupt)
+			}
+			qh := cl.half / 2
+			for c := 0; c < 8; c++ {
+				if code&(1<<uint(c)) == 0 {
+					continue
+				}
+				ctr := childCenter(cl.center, qh, c)
+				live := cl.live && cellIntersects(ctr, qh, region)
+				next = append(next, cell{center: ctr, half: qh, live: live})
+			}
+		}
+		level = next
+	}
+	if pos != len(occ) {
+		return nil, fmt.Errorf("%w: %d unused occupancy codes", ErrCorrupt, len(occ)-pos)
+	}
+	if len(level) != len(counts) {
+		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(level), len(counts))
+	}
+	var out geom.PointCloud
+	var total uint64
+	for i, cl := range level {
+		cnt := counts[i]
+		if cnt == 0 || total+cnt > n {
+			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
+		}
+		total += cnt
+		if !cl.live || !region.Contains(cl.center) {
+			continue
+		}
+		for k := uint64(0); k < cnt; k++ {
+			out = append(out, cl.center)
+		}
+	}
+	if total != n {
+		return nil, fmt.Errorf("%w: decoded %d points, header says %d", ErrCorrupt, total, n)
+	}
+	return out, nil
+}
+
+// cellIntersects reports whether the cube cell (center, half side) overlaps
+// the box.
+func cellIntersects(center geom.Point, half float64, b geom.AABB) bool {
+	return center.X+half >= b.Min.X && center.X-half <= b.Max.X &&
+		center.Y+half >= b.Min.Y && center.Y-half <= b.Max.Y &&
+		center.Z+half >= b.Min.Z && center.Z-half <= b.Max.Z
+}

@@ -1,0 +1,114 @@
+// Package outlier implements DBGC's optimized outlier compression (§3.6):
+// sparse points that joined no polyline are coded in Cartesian space with a
+// 2D quadtree over (x, y) — LiDAR outliers are far points spread over the
+// xy-plane — while z, whose range is small, rides along as a delta-encoded
+// attribute (L_z → ΔL_z → entropy coding → B_Δz appended after the
+// quadtree stream).
+package outlier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/quadtree"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed outlier stream.
+var ErrCorrupt = errors.New("outlier: corrupt stream")
+
+// Encoded is the output of Encode.
+type Encoded struct {
+	Data []byte
+	// DecodedOrder maps decoded position j to the index (into the points
+	// given to Encode) it reconstructs.
+	DecodedOrder []int
+}
+
+// Encode compresses the outlier points with per-dimension error bound q.
+func Encode(points geom.PointCloud, q float64) (Encoded, error) {
+	if q <= 0 {
+		return Encoded{}, fmt.Errorf("outlier: error bound must be positive, got %v", q)
+	}
+	xy := make([]quadtree.Point2, len(points))
+	for i, p := range points {
+		xy[i] = quadtree.Point2{X: p.X, Y: p.Y}
+	}
+	qt, err := quadtree.Encode(xy, q)
+	if err != nil {
+		return Encoded{}, fmt.Errorf("outlier: quadtree: %w", err)
+	}
+
+	// z values in decoded (quadtree traversal) order, quantized by 2q,
+	// then delta encoded.
+	zq := make([]int64, len(points))
+	for j, oi := range qt.DecodedOrder {
+		zq[j] = int64(math.Round(points[oi].Z / (2 * q)))
+	}
+	dz := make([]int64, len(zq))
+	for i := range zq {
+		if i == 0 {
+			dz[i] = zq[i]
+			continue
+		}
+		dz[i] = zq[i] - zq[i-1]
+	}
+	zStream := arith.CompressInts(dz)
+
+	out := make([]byte, 0, len(qt.Data)+len(zStream)+24)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(q))
+	out = varint.AppendUint(out, uint64(len(qt.Data)))
+	out = append(out, qt.Data...)
+	out = varint.AppendUint(out, uint64(len(zStream)))
+	out = append(out, zStream...)
+	return Encoded{Data: out, DecodedOrder: qt.DecodedOrder}, nil
+}
+
+// Decode reconstructs the outlier points.
+func Decode(data []byte) (geom.PointCloud, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	q := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	if !(q > 0) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
+	}
+	qtLen, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: quadtree length: %w", err)
+	}
+	data = data[used:]
+	if qtLen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: quadtree stream truncated", ErrCorrupt)
+	}
+	xy, err := quadtree.Decode(data[:qtLen])
+	if err != nil {
+		return nil, fmt.Errorf("outlier: quadtree: %w", err)
+	}
+	data = data[qtLen:]
+	zLen, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: z length: %w", err)
+	}
+	data = data[used:]
+	if zLen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: z stream truncated", ErrCorrupt)
+	}
+	dz, err := arith.DecompressInts(data[:zLen], len(xy))
+	if err != nil {
+		return nil, fmt.Errorf("outlier: z deltas: %w", err)
+	}
+
+	out := make(geom.PointCloud, len(xy))
+	var zq int64
+	for i := range xy {
+		zq += dz[i]
+		out[i] = geom.Point{X: xy[i].X, Y: xy[i].Y, Z: float64(zq) * 2 * q}
+	}
+	return out, nil
+}

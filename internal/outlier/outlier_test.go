@@ -1,0 +1,128 @@
+package outlier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/octree"
+)
+
+// outlierCloud mimics real outliers: far points over a wide xy extent with
+// z concentrated near ground level (LiDAR outliers are mostly distant
+// ground and low-object returns).
+func outlierCloud(n int, seed int64) geom.PointCloud {
+	rng := rand.New(rand.NewSource(seed))
+	pc := make(geom.PointCloud, n)
+	for i := range pc {
+		x := rng.Float64()*200 - 100
+		y := rng.Float64()*200 - 100
+		// Smooth terrain: z follows the ground surface, so points that
+		// are close in (x, y) — adjacent in quadtree order — share z.
+		z := -1.7 + 0.004*x + 0.3*math.Sin(x/40)*math.Cos(y/35) + rng.NormFloat64()*0.02
+		if rng.Float64() < 0.03 {
+			z += rng.Float64() * 2 // occasional elevated return
+		}
+		pc[i] = geom.Point{X: x, Y: y, Z: z}
+	}
+	return pc
+}
+
+func checkBound(t *testing.T, orig, dec geom.PointCloud, order []int, q float64) {
+	t.Helper()
+	if len(dec) != len(orig) || len(order) != len(orig) {
+		t.Fatalf("size mismatch: dec=%d order=%d orig=%d", len(dec), len(order), len(orig))
+	}
+	seen := make([]bool, len(orig))
+	for j, oi := range order {
+		if oi < 0 || oi >= len(orig) || seen[oi] {
+			t.Fatalf("order not a permutation at %d", j)
+		}
+		seen[oi] = true
+		if d := orig[oi].ChebDist(dec[j]); d > q+1e-9 {
+			t.Fatalf("point %d error %v exceeds %v", oi, d, q)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, q := range []float64{0.02, 0.005} {
+		pc := outlierCloud(1200, 1)
+		enc, err := Encode(pc, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBound(t, pc, dec, enc.DecodedOrder, q)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	enc, err := Encode(nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d points", len(dec))
+	}
+}
+
+func TestSingle(t *testing.T) {
+	pc := geom.PointCloud{{X: 88.5, Y: -3.25, Z: 1.5}}
+	enc, err := Encode(pc, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, pc, dec, enc.DecodedOrder, 0.02)
+}
+
+func TestInvalidBound(t *testing.T) {
+	if _, err := Encode(geom.PointCloud{{X: 1}}, 0); err == nil {
+		t.Fatal("expected error for q=0")
+	}
+}
+
+func TestBeatsOctreeOnFlatOutliers(t *testing.T) {
+	// Table 2: the quadtree outlier coder should slightly beat a full
+	// octree when z is nearly flat relative to the xy extent.
+	pc := outlierCloud(3000, 2)
+	q := 0.02
+	o, err := octree.Encode(pc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Encode(pc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Data) >= len(o.Data) {
+		t.Fatalf("quadtree+Δz (%d bytes) should beat octree (%d bytes) on flat outliers",
+			len(u.Data), len(o.Data))
+	}
+	t.Logf("quadtree+Δz %d bytes vs octree %d bytes", len(u.Data), len(o.Data))
+}
+
+func TestCorruptStreams(t *testing.T) {
+	pc := outlierCloud(300, 3)
+	enc, err := Encode(pc, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc.Data); cut += 13 {
+		if _, err := Decode(enc.Data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package polyline
+
+import "sort"
+
+// MaxRefLines caps the reference polyline set. Scenes with long flat rings
+// produce hundreds of polylines at the same quantized polar angle; merging
+// all of them into every consensus line would make step 8 quadratic, and
+// only the closest preceding lines carry predictive value. The cap applies
+// identically during compression and decompression, so reference choices
+// stay reproducible.
+const MaxRefLines = 8
+
+// RefWindow returns the index range [lo, idx) of the reference polyline set
+// of lines[idx] (Definition 3.4): the preceding polylines whose polar angle
+// differs from lines[idx]'s by at most thPhi, capped at MaxRefLines. lines
+// must already be sorted by SortLines, so the window is a contiguous run
+// ending at idx.
+func RefWindow(lines []Line, idx int, thPhi int64) (lo int) {
+	phi := lines[idx].PolarAngle()
+	lo = idx
+	for lo > 0 && idx-lo < MaxRefLines && phi-lines[lo-1].PolarAngle() <= thPhi {
+		lo--
+	}
+	return lo
+}
+
+// Consensus builds the consensus reference polyline l* of lines[idx]
+// (Algorithm 2): the reference polylines are merged in ⟨PL⟩ order into one
+// θ-sorted line, each later (φ-closer) polyline replacing the consensus
+// points inside its azimuthal span. The result is nil when the reference
+// set is empty.
+//
+// Consensus construction uses only θ, φ and the r values of polylines that
+// precede lines[idx], all of which the decompressor has already recovered
+// when it needs l*, so both sides reproduce the same consensus line.
+func Consensus(lines []Line, idx int, thPhi int64) Line {
+	lo := RefWindow(lines, idx, thPhi)
+	if lo == idx {
+		return nil
+	}
+	var cons Line
+	for _, l := range lines[lo:idx] {
+		cons = mergeInto(cons, l)
+	}
+	return cons
+}
+
+// mergeInto replaces the consensus points within l's azimuthal span by l's
+// points, keeping the result sorted by θ.
+func mergeInto(cons Line, l Line) Line {
+	if len(cons) == 0 {
+		out := make(Line, len(l))
+		copy(out, l)
+		return out
+	}
+	headT := l.Head().Theta
+	tailT := l.Tail().Theta
+	// cut points: cons[:a] has θ < headT; cons[b:] has θ > tailT.
+	a := sort.Search(len(cons), func(i int) bool { return cons[i].Theta >= headT })
+	b := sort.Search(len(cons), func(i int) bool { return cons[i].Theta > tailT })
+	out := make(Line, 0, a+len(l)+len(cons)-b)
+	out = append(out, cons[:a]...)
+	out = append(out, l...)
+	out = append(out, cons[b:]...)
+	return out
+}
+
+// SearchLeft returns the rightmost point of l with θ < theta, if any.
+func SearchLeft(l Line, theta int64) (Point, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Theta >= theta })
+	if i == 0 {
+		return Point{}, false
+	}
+	return l[i-1], true
+}
+
+// SearchRight returns the leftmost point of l with θ > theta, if any.
+func SearchRight(l Line, theta int64) (Point, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Theta > theta })
+	if i == len(l) {
+		return Point{}, false
+	}
+	return l[i], true
+}
+
+// SearchAt returns a point of l with θ equal to theta, if any — the
+// "upper-middle" candidate of §3.5, which exists exactly when an aligned
+// sample sits directly above the current point.
+func SearchAt(l Line, theta int64) (Point, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Theta >= theta })
+	if i < len(l) && l[i].Theta == theta {
+		return l[i], true
+	}
+	return Point{}, false
+}

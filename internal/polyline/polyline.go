@@ -1,0 +1,230 @@
+// Package polyline implements DBGC's point organization (§3.4): sparse
+// points are arranged into roughly horizontal polylines in the spherical
+// coordinate space (Algorithm 1), the polylines are sorted by polar angle,
+// and consensus reference polylines are built for the radial-distance
+// optimized delta encoding (§3.5 step 8, Algorithm 2).
+//
+// All coordinates here are quantized integers (the output of coordinate
+// scaling, §3.5 step 1). Working on quantized values keeps the compressor
+// and decompressor bit-identical when reference-point choices are replayed
+// during decompression.
+package polyline
+
+import (
+	"sort"
+
+	"dbgc/internal/geom"
+)
+
+// Point is a sparse point in quantized spherical coordinates. Orig tracks
+// the index of the point in the original cloud for error accounting; it is
+// not transmitted.
+type Point struct {
+	Theta, Phi, R int64
+	Orig          int32
+}
+
+// Line is a polyline: a sequence of points in ascending azimuthal order.
+// The head (first point) is the leftmost.
+type Line []Point
+
+// Head returns the first point of the line.
+func (l Line) Head() Point { return l[0] }
+
+// Tail returns the last point of the line.
+func (l Line) Tail() Point { return l[len(l)-1] }
+
+// PolarAngle returns the polar angle of the line, defined in §3.4 as the
+// polar angle of its first point.
+func (l Line) PolarAngle() int64 { return l[0].Phi }
+
+// Config carries the extraction thresholds in quantized units.
+type Config struct {
+	// UTheta is the average azimuthal step between adjacent samples
+	// (u_θ), in quantized units.
+	UTheta float64
+	// UPhi is the average polar step between adjacent beams (u_φ), in
+	// quantized units.
+	UPhi float64
+	// Cartesian maps a quantized point to its Cartesian position, used
+	// for the minimum-Euclidean-distance candidate selection in
+	// Algorithm 1.
+	Cartesian func(Point) geom.Point
+}
+
+// Organize runs Algorithm 1: it partitions pts into polylines and
+// outliers. Points are consumed in (φ, θ) order so the result is
+// deterministic. Single-point lines are returned as outliers.
+func Organize(pts []Point, cfg Config) (lines []Line, outliers []Point) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	idx := newThetaPhiIndex(pts, cfg)
+	seeds := make([]int32, len(pts))
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	sort.Slice(seeds, func(a, b int) bool {
+		pa, pb := pts[seeds[a]], pts[seeds[b]]
+		if pa.Phi != pb.Phi {
+			return pa.Phi < pb.Phi
+		}
+		if pa.Theta != pb.Theta {
+			return pa.Theta < pb.Theta
+		}
+		return pa.R < pb.R
+	})
+
+	for _, s := range seeds {
+		if idx.taken[s] {
+			continue
+		}
+		idx.take(s)
+		seed := pts[s]
+		// The polyline's polar corridor is fixed by its seed (§3.4):
+		// [φ_seed − u_φ, φ_seed + u_φ].
+		phiMin := float64(seed.Phi) - cfg.UPhi
+		phiMax := float64(seed.Phi) + cfg.UPhi
+
+		line := Line{seed}
+		// Extend right: candidates have θ − θ_tail ∈ (0, 2u_θ].
+		for {
+			tail := line[len(line)-1]
+			next, ok := idx.bestCandidate(tail, phiMin, phiMax, false, cfg)
+			if !ok {
+				break
+			}
+			idx.take(next)
+			line = append(line, pts[next])
+		}
+		// Extend left, symmetrically.
+		for {
+			head := line[0]
+			prev, ok := idx.bestCandidate(head, phiMin, phiMax, true, cfg)
+			if !ok {
+				break
+			}
+			idx.take(prev)
+			line = append(Line{pts[prev]}, line...)
+		}
+		if len(line) == 1 {
+			outliers = append(outliers, seed)
+			continue
+		}
+		lines = append(lines, line)
+	}
+	SortLines(lines)
+	return lines, outliers
+}
+
+// SortLines orders polylines by ascending polar angle, breaking ties by the
+// azimuthal angle of the head (§3.4).
+func SortLines(lines []Line) {
+	sort.Slice(lines, func(a, b int) bool {
+		if lines[a].PolarAngle() != lines[b].PolarAngle() {
+			return lines[a].PolarAngle() < lines[b].PolarAngle()
+		}
+		return lines[a].Head().Theta < lines[b].Head().Theta
+	})
+}
+
+// thetaPhiIndex buckets available points on a (θ, φ) grid with cell sides
+// (u_θ, u_φ) for the candidate queries of Algorithm 1.
+type thetaPhiIndex struct {
+	pts     []Point
+	cfg     Config
+	buckets map[[2]int32][]int32
+	taken   []bool
+}
+
+func newThetaPhiIndex(pts []Point, cfg Config) *thetaPhiIndex {
+	idx := &thetaPhiIndex{
+		pts:     pts,
+		cfg:     cfg,
+		buckets: make(map[[2]int32][]int32, len(pts)/2+1),
+		taken:   make([]bool, len(pts)),
+	}
+	for i := range pts {
+		b := idx.bucketOf(pts[i])
+		idx.buckets[b] = append(idx.buckets[b], int32(i))
+	}
+	return idx
+}
+
+func (idx *thetaPhiIndex) bucketOf(p Point) [2]int32 {
+	ut := idx.cfg.UTheta
+	up := idx.cfg.UPhi
+	if ut <= 0 {
+		ut = 1
+	}
+	if up <= 0 {
+		up = 1
+	}
+	return [2]int32{int32(float64(p.Theta) / ut), int32(float64(p.Phi) / up)}
+}
+
+func (idx *thetaPhiIndex) take(i int32) { idx.taken[i] = true }
+
+// bestCandidate finds the nearest (in Euclidean distance) available point
+// extending from anchor within the polar corridor: θ strictly beyond the
+// anchor by at most 2u_θ, in the direction given by left.
+func (idx *thetaPhiIndex) bestCandidate(anchor Point, phiMin, phiMax float64, left bool, cfg Config) (int32, bool) {
+	ut := cfg.UTheta
+	up := cfg.UPhi
+	if ut <= 0 {
+		ut = 1
+	}
+	if up <= 0 {
+		up = 1
+	}
+	// The paper's candidate window is 0 < Δθ ≤ 2u_θ. With quantized
+	// coordinates the azimuthal step can round to zero (near-field groups
+	// quantize angles coarsely), so zero is admitted too: equal-θ
+	// neighbors chain with a zero delta instead of stranding as outliers.
+	var thetaLo, thetaHi float64
+	if left {
+		thetaLo = float64(anchor.Theta) - 2*ut
+		thetaHi = float64(anchor.Theta)
+	} else {
+		thetaLo = float64(anchor.Theta)
+		thetaHi = float64(anchor.Theta) + 2*ut
+	}
+	bLo := int32(thetaLo / ut)
+	bHi := int32(thetaHi / ut)
+	pLo := int32(phiMin / up)
+	pHi := int32(phiMax / up)
+
+	anchorPos := cfg.Cartesian(anchor)
+	best := int32(-1)
+	bestD := 0.0
+	for bt := bLo - 1; bt <= bHi+1; bt++ {
+		for bp := pLo - 1; bp <= pHi+1; bp++ {
+			for _, c := range idx.buckets[[2]int32{bt, bp}] {
+				if idx.taken[c] {
+					continue
+				}
+				p := idx.pts[c]
+				if float64(p.Phi) < phiMin || float64(p.Phi) > phiMax {
+					continue
+				}
+				var dTheta float64
+				if left {
+					dTheta = float64(anchor.Theta) - float64(p.Theta)
+				} else {
+					dTheta = float64(p.Theta) - float64(anchor.Theta)
+				}
+				if dTheta < 0 || dTheta > 2*ut {
+					continue
+				}
+				d := anchorPos.Dist2(cfg.Cartesian(p))
+				if best < 0 || d < bestD || (d == bestD && c < best) {
+					best, bestD = c, d
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

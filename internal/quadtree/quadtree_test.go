@@ -1,0 +1,113 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(n int, spread float64, seed int64) []Point2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point2, n)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64()*spread - spread/2, Y: rng.Float64()*spread - spread/2}
+	}
+	return pts
+}
+
+func checkBound(t *testing.T, orig, dec []Point2, order []int, q float64) {
+	t.Helper()
+	if len(dec) != len(orig) || len(order) != len(orig) {
+		t.Fatalf("size mismatch: %d dec, %d order, %d orig", len(dec), len(order), len(orig))
+	}
+	seen := make([]bool, len(orig))
+	for j, oi := range order {
+		if oi < 0 || oi >= len(orig) || seen[oi] {
+			t.Fatalf("order not a permutation at %d", j)
+		}
+		seen[oi] = true
+		dx := math.Abs(orig[oi].X - dec[j].X)
+		dy := math.Abs(orig[oi].Y - dec[j].Y)
+		if dx > q+1e-9 || dy > q+1e-9 {
+			t.Fatalf("point %d error (%v,%v) exceeds %v", oi, dx, dy, q)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, q := range []float64{0.02, 0.005, 0.5} {
+		pts := randomPoints(1500, 120, 1)
+		enc, err := Encode(pts, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBound(t, pts, dec, enc.DecodedOrder, q)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	enc, err := Encode(nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d points", len(dec))
+	}
+}
+
+func TestSingleAndDuplicate(t *testing.T) {
+	pts := []Point2{{3, 4}, {3, 4}, {-1, 2}}
+	enc, err := Encode(pts, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, pts, dec, enc.DecodedOrder, 0.01)
+}
+
+func TestCollinearDegenerate(t *testing.T) {
+	// All on one horizontal line: bounding box is degenerate in y.
+	pts := make([]Point2, 50)
+	for i := range pts {
+		pts[i] = Point2{X: float64(i) * 0.3, Y: 7}
+	}
+	enc, err := Encode(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, pts, dec, enc.DecodedOrder, 0.02)
+}
+
+func TestInvalidBound(t *testing.T) {
+	if _, err := Encode([]Point2{{1, 1}}, 0); err == nil {
+		t.Fatal("expected error for q=0")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	pts := randomPoints(300, 60, 2)
+	enc, err := Encode(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc.Data); cut += 5 {
+		if _, err := Decode(enc.Data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

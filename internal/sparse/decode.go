@@ -1,0 +1,246 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/polyline"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed sparse stream.
+var ErrCorrupt = errors.New("sparse: corrupt stream")
+
+// Decode reconstructs the polyline points from a stream produced by
+// Encode, in the same order as Encoded.DecodedOrder.
+func Decode(data []byte) (geom.PointCloud, error) {
+	flags, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: flags: %w", err)
+	}
+	data = data[used:]
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	q := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	if !(q > 0) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
+	}
+	cartesian := flags&flagCartesian != 0
+	plainDelta := flags&flagPlainDelta != 0
+
+	nGroups, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: group count: %w", err)
+	}
+	data = data[used:]
+	if nGroups > 1024 {
+		return nil, fmt.Errorf("%w: implausible group count %d", ErrCorrupt, nGroups)
+	}
+	var out geom.PointCloud
+	for gi := uint64(0); gi < nGroups; gi++ {
+		glen, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: group %d length: %w", gi, err)
+		}
+		data = data[used:]
+		if glen > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: group %d truncated", ErrCorrupt, gi)
+		}
+		pts, err := decodeGroup(data[:glen], q, cartesian, plainDelta)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: group %d: %w", gi, err)
+		}
+		out = append(out, pts...)
+		data = data[glen:]
+	}
+	return out, nil
+}
+
+func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.PointCloud, error) {
+	var qz Quantizer
+	var cq cartesianQuantizer
+	if cartesian {
+		cq = cartesianQuantizer{q: q}
+	} else {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("%w: missing rMax", ErrCorrupt)
+		}
+		rMax := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		if math.IsNaN(rMax) || math.IsInf(rMax, 0) || rMax < 0 {
+			return nil, fmt.Errorf("%w: invalid rMax %v", ErrCorrupt, rMax)
+		}
+		qz = NewQuantizer(q, rMax)
+	}
+	hdr := make([]uint64, 5)
+	for i := range hdr {
+		v, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: group header[%d]: %w", i, err)
+		}
+		hdr[i] = v
+		data = data[used:]
+	}
+	thPhi := int64(hdr[0])
+	thR := int64(hdr[1])
+	nLines := int(hdr[2])
+	nTails := int(hdr[3])
+	nRefs := int(hdr[4])
+	const sane = 1 << 28
+	if hdr[2] > sane || hdr[3] > sane || hdr[4] > sane {
+		return nil, fmt.Errorf("%w: implausible group header", ErrCorrupt)
+	}
+
+	streams := make([][]byte, 7)
+	for i := range streams {
+		l, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: stream %d length: %w", i, err)
+		}
+		data = data[used:]
+		if l > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: stream %d truncated", ErrCorrupt, i)
+		}
+		streams[i] = data[:l]
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in group", ErrCorrupt, len(data))
+	}
+
+	lens, err := arith.DecompressUints(streams[0], nLines)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: lengths: %w", err)
+	}
+	total := 0
+	for _, l := range lens {
+		if l < 2 || l > sane {
+			return nil, fmt.Errorf("%w: polyline length %d", ErrCorrupt, l)
+		}
+		total += int(l)
+	}
+	if total-nLines != nTails {
+		return nil, fmt.Errorf("%w: tail count %d does not match lengths (%d)", ErrCorrupt, nTails, total-nLines)
+	}
+
+	thetaHeadBytes, err := inflateBytes(streams[1])
+	if err != nil {
+		return nil, err
+	}
+	dThetaHeads, err := varint.DecodeInts(thetaHeadBytes, nLines)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: theta heads: %w", err)
+	}
+	thetaTailBytes, err := inflateBytes(streams[2])
+	if err != nil {
+		return nil, err
+	}
+	thetaTails, err := varint.DecodeInts(thetaTailBytes, nTails)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: theta tails: %w", err)
+	}
+	dPhiHeads, err := arith.DecompressInts(streams[3], nLines)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: phi heads: %w", err)
+	}
+	phiTails, err := arith.DecompressInts(streams[4], nTails)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: phi tails: %w", err)
+	}
+	radials, err := arith.DecompressInts(streams[5], total)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: radials: %w", err)
+	}
+	refs, err := decompressRefs(streams[6], nRefs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild θ and φ of every line (steps 2/6/7 inverted).
+	thetaHeads := undeltaInts(dThetaHeads)
+	phiHeads := undeltaInts(dPhiHeads)
+	lines := make([]polyline.Line, nLines)
+	tp := 0
+	for i := 0; i < nLines; i++ {
+		n := int(lens[i])
+		line := make(polyline.Line, n)
+		line[0] = polyline.Point{Theta: thetaHeads[i], Phi: phiHeads[i], Orig: -1}
+		for k := 1; k < n; k++ {
+			line[k] = polyline.Point{
+				Theta: line[k-1].Theta + thetaTails[tp],
+				Phi:   line[k-1].Phi + phiTails[tp],
+				Orig:  -1,
+			}
+			tp++
+		}
+		lines[i] = line
+	}
+
+	// Replay the radial reference decisions to recover r (step 8
+	// inverted).
+	rp, refp := 0, 0
+	for i, l := range lines {
+		var ctx refContext
+		if !plainDelta {
+			ctx = refContext{cons: polyline.Consensus(lines, i, thPhi), thR: thR}
+		}
+		for k := range l {
+			if k == 0 {
+				var ref int64
+				if plainDelta {
+					if i > 0 {
+						ref = lines[i-1].Head().R
+					}
+				} else {
+					ref = headRef(ctx, lines, i, l[k].Theta)
+				}
+				l[k].R = radials[rp] + ref
+				rp++
+				continue
+			}
+			blR := l[k-1].R
+			if plainDelta {
+				l[k].R = radials[rp] + blR
+				rp++
+				continue
+			}
+			d := classifyTail(ctx, l[k].Theta, blR)
+			if !d.needSymbol {
+				l[k].R = radials[rp] + d.candidates[refBottomLeft]
+				rp++
+				continue
+			}
+			if refp >= len(refs) {
+				return nil, fmt.Errorf("%w: L_ref exhausted", ErrCorrupt)
+			}
+			sym := refs[refp]
+			refp++
+			if !d.present[sym] {
+				return nil, fmt.Errorf("%w: reference symbol %d not available", ErrCorrupt, sym)
+			}
+			l[k].R = radials[rp] + d.candidates[sym]
+			rp++
+		}
+	}
+	if refp != len(refs) {
+		return nil, fmt.Errorf("%w: %d unused L_ref symbols", ErrCorrupt, len(refs)-refp)
+	}
+
+	out := make(geom.PointCloud, 0, total)
+	for _, l := range lines {
+		for _, p := range l {
+			if cartesian {
+				out = append(out, cq.Dequantize(p.Theta, p.Phi, p.R))
+			} else {
+				out = append(out, geom.ToCartesian(qz.Dequantize(p.Theta, p.Phi, p.R)))
+			}
+		}
+	}
+	return out, nil
+}

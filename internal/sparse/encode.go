@@ -1,0 +1,432 @@
+package sparse
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/geom"
+	"dbgc/internal/polyline"
+	"dbgc/internal/varint"
+)
+
+// Options configures the sparse-point compressor.
+type Options struct {
+	// Q is the Cartesian per-dimension error bound q_xyz in meters.
+	Q float64
+	// Groups is the number of radial-distance groups (§3.5 "Point
+	// Grouping"); the paper uses 3. Values below 1 mean 1.
+	Groups int
+	// UTheta and UPhi are the sensor's average angular steps in radians
+	// (§3.3), used to steer polyline extraction.
+	UTheta, UPhi float64
+	// DisableRadialOpt replaces the radial distance optimized delta
+	// encoding by plain per-line delta encoding (the paper's -Radial
+	// ablation).
+	DisableRadialOpt bool
+	// CartesianMode organizes and codes polylines on scaled Cartesian
+	// coordinates instead of spherical ones (the paper's -Conversion
+	// ablation).
+	CartesianMode bool
+	// THrMeters is the radial distance threshold TH_r; zero means the
+	// paper's 2 m.
+	THrMeters float64
+	// Parallel encodes the radial groups concurrently. The output is
+	// byte-identical to the serial encoding.
+	Parallel bool
+}
+
+func (o Options) groups() int {
+	g := o.Groups
+	if g < 1 {
+		g = 1
+	}
+	if o.CartesianMode {
+		// Grouping only matters for the r-dependent angular scaling,
+		// which Cartesian mode does not have.
+		g = 1
+	}
+	return g
+}
+
+func (o Options) thR() float64 {
+	if o.THrMeters > 0 {
+		return o.THrMeters
+	}
+	return 2.0
+}
+
+// Encoded is the output of Encode.
+type Encoded struct {
+	// Data is the self-contained B_sparse bit sequence (with grouping
+	// headers, Figure 8b).
+	Data []byte
+	// OutlierIdx lists the original-cloud indices of sparse points that
+	// joined no polyline in any group; the caller routes them to the
+	// outlier compressor (§3.6).
+	OutlierIdx []int32
+	// DecodedOrder maps decoded position j to the original-cloud index
+	// it reconstructs (polyline points only).
+	DecodedOrder []int32
+	// NumLines counts polylines across all groups.
+	NumLines int
+	// Stage timings for the paper's Figure 13 breakdown: COR (coordinate
+	// conversion and scaling), ORG (point organization), SPA (stream
+	// compression).
+	TimeConvert, TimeOrganize, TimeCompress time.Duration
+}
+
+// flag bits in the stream header.
+const (
+	flagCartesian  = 1 << 0
+	flagPlainDelta = 1 << 1
+)
+
+// Encode compresses the sparse subset of pc given by idx. The cloud's
+// origin must be the sensor position (§3.3).
+func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
+	if opts.Q <= 0 {
+		return Encoded{}, fmt.Errorf("sparse: error bound must be positive, got %v", opts.Q)
+	}
+	var enc Encoded
+	out := make([]byte, 0, 1024)
+	flags := uint64(0)
+	if opts.CartesianMode {
+		flags |= flagCartesian
+	}
+	if opts.DisableRadialOpt {
+		flags |= flagPlainDelta
+	}
+	out = varint.AppendUint(out, flags)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.Q))
+
+	// Group by radial distance (§3.5): sort by r, then split at geometric
+	// boundaries so every group's r_max/r_min ratio — and with it the
+	// excess angular precision q/r_max imposes on the group's nearest
+	// points — is bounded. (Equal-count splitting leaves the far group
+	// spanning a 10x radial range whose near end pays several wasted bits
+	// per angle.)
+	sorted := append([]int32(nil), idx...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ra, rb := pc[sorted[a]].Norm(), pc[sorted[b]].Norm()
+		if ra != rb {
+			return ra < rb
+		}
+		return sorted[a] < sorted[b]
+	})
+	g := opts.groups()
+	if len(sorted) < g {
+		g = 1
+	}
+	bounds := groupBoundaries(pc, sorted, g)
+	out = varint.AppendUint(out, uint64(g))
+	type groupResult struct {
+		data            []byte
+		outliers, order []int32
+		nLines          int
+		times           [3]time.Duration
+		err             error
+	}
+	results := make([]groupResult, g)
+	encodeOne := func(gi int) {
+		r := &results[gi]
+		r.data, r.outliers, r.order, r.nLines, r.times, r.err = encodeGroup(pc, sorted[bounds[gi]:bounds[gi+1]], opts)
+	}
+	if opts.Parallel && g > 1 {
+		var wg sync.WaitGroup
+		for gi := 0; gi < g; gi++ {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				encodeOne(gi)
+			}(gi)
+		}
+		wg.Wait()
+	} else {
+		for gi := 0; gi < g; gi++ {
+			encodeOne(gi)
+		}
+	}
+	for gi := 0; gi < g; gi++ {
+		r := &results[gi]
+		if r.err != nil {
+			return Encoded{}, fmt.Errorf("sparse: group %d: %w", gi, r.err)
+		}
+		out = varint.AppendUint(out, uint64(len(r.data)))
+		out = append(out, r.data...)
+		enc.OutlierIdx = append(enc.OutlierIdx, r.outliers...)
+		enc.DecodedOrder = append(enc.DecodedOrder, r.order...)
+		enc.NumLines += r.nLines
+		enc.TimeConvert += r.times[0]
+		enc.TimeOrganize += r.times[1]
+		enc.TimeCompress += r.times[2]
+	}
+	enc.Data = out
+	return enc, nil
+}
+
+// groupBoundaries returns g+1 cut positions into the r-sorted index list,
+// splitting the radial range [r_min, r_max] into g geometric intervals.
+// Degenerate ranges fall back to equal-count chunks.
+func groupBoundaries(pc geom.PointCloud, sorted []int32, g int) []int {
+	bounds := make([]int, g+1)
+	bounds[g] = len(sorted)
+	if len(sorted) == 0 || g <= 1 {
+		return bounds
+	}
+	rMin := pc[sorted[0]].Norm()
+	rMax := pc[sorted[len(sorted)-1]].Norm()
+	if rMin <= 0 || rMax/rMin < 1.0001 {
+		for gi := 1; gi < g; gi++ {
+			bounds[gi] = len(sorted) * gi / g
+		}
+		return bounds
+	}
+	ratio := math.Pow(rMax/rMin, 1/float64(g))
+	cut := rMin
+	pos := 0
+	for gi := 1; gi < g; gi++ {
+		cut *= ratio
+		for pos < len(sorted) && pc[sorted[pos]].Norm() <= cut {
+			pos++
+		}
+		bounds[gi] = pos
+	}
+	return bounds
+}
+
+// encodeGroup runs steps 1-9 for one radial group. times holds the COR,
+// ORG, and SPA stage durations.
+func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, outliers, order []int32, nLines int, times [3]time.Duration, err error) {
+	var qpts []polyline.Point
+	var rMax float64
+	var cfg polyline.Config
+	var thR int64
+	t0 := time.Now()
+
+	if opts.CartesianMode {
+		cq := cartesianQuantizer{q: opts.Q}
+		qpts = make([]polyline.Point, len(group))
+		var rMed float64
+		for _, i := range group {
+			rMed += pc[i].Norm()
+		}
+		if len(group) > 0 {
+			rMed /= float64(len(group))
+		}
+		for k, i := range group {
+			tx, ty, tz := cq.Quantize(pc[i])
+			qpts[k] = polyline.Point{Theta: tx, Phi: ty, R: tz, Orig: i}
+		}
+		// Thresholds: typical arc spacing mapped into quantized
+		// Cartesian units.
+		cfg = polyline.Config{
+			UTheta:    math.Max(1, opts.UTheta*rMed/(2*opts.Q)),
+			UPhi:      math.Max(1, opts.UPhi*rMed/(2*opts.Q)),
+			Cartesian: cq.Cartesian,
+		}
+		thR = int64(math.Round(opts.thR() / (2 * opts.Q)))
+	} else {
+		for _, i := range group {
+			if r := pc[i].Norm(); r > rMax {
+				rMax = r
+			}
+		}
+		qz := NewQuantizer(opts.Q, rMax)
+		qpts = make([]polyline.Point, len(group))
+		for k, i := range group {
+			t, p, r := qz.Quantize(geom.ToSpherical(pc[i]))
+			qpts[k] = polyline.Point{Theta: t, Phi: p, R: r, Orig: i}
+		}
+		cfg = polyline.Config{
+			UTheta:    math.Max(1, opts.UTheta/(2*qz.QTheta)),
+			UPhi:      math.Max(1, opts.UPhi/(2*qz.QPhi)),
+			Cartesian: qz.Cartesian,
+		}
+		thR = int64(math.Round(opts.thR() / (2 * qz.QR)))
+	}
+	if thR < 1 {
+		thR = 1
+	}
+	thPhi := int64(math.Ceil(2 * cfg.UPhi))
+	t1 := time.Now()
+
+	lines, loose := polyline.Organize(qpts, cfg)
+	for _, p := range loose {
+		outliers = append(outliers, p.Orig)
+	}
+	nLines = len(lines)
+	t2 := time.Now()
+
+	// Stream assembly (steps 2-8).
+	var lens []uint64
+	var thetaHeads, phiHeads []int64
+	var thetaTails, phiTails []int64
+	for _, l := range lines {
+		lens = append(lens, uint64(len(l)))
+		thetaHeads = append(thetaHeads, l.Head().Theta)
+		phiHeads = append(phiHeads, l.Head().Phi)
+		for k := 1; k < len(l); k++ {
+			thetaTails = append(thetaTails, l[k].Theta-l[k-1].Theta)
+			phiTails = append(phiTails, l[k].Phi-l[k-1].Phi)
+		}
+	}
+	for _, l := range lines {
+		for _, p := range l {
+			order = append(order, p.Orig)
+		}
+	}
+
+	radials, refs := encodeRadial(lines, thPhi, thR, opts.DisableRadialOpt)
+
+	// Cross-line delta on the head sequences (step 6/7).
+	dThetaHeads := deltaInts(thetaHeads)
+	dPhiHeads := deltaInts(phiHeads)
+
+	data = make([]byte, 0, 1024)
+	if !opts.CartesianMode {
+		data = binary.LittleEndian.AppendUint64(data, math.Float64bits(rMax))
+	}
+	data = varint.AppendUint(data, uint64(thPhi))
+	data = varint.AppendUint(data, uint64(thR))
+	data = varint.AppendUint(data, uint64(len(lines)))
+	data = varint.AppendUint(data, uint64(len(thetaTails)))
+	data = varint.AppendUint(data, uint64(len(refs)))
+
+	data = appendStream(data, arith.CompressUints(lens))
+	data = appendStream(data, deflateBytes(varint.EncodeInts(dThetaHeads)))
+	data = appendStream(data, deflateBytes(varint.EncodeInts(thetaTails)))
+	data = appendStream(data, arith.CompressInts(dPhiHeads))
+	data = appendStream(data, arith.CompressInts(phiTails))
+	data = appendStream(data, arith.CompressInts(radials))
+	data = appendStream(data, compressRefs(refs))
+	t3 := time.Now()
+	times = [3]time.Duration{t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)}
+	return data, outliers, order, nLines, times, nil
+}
+
+// encodeRadial produces ∇L_r and L_ref (§3.5 step 8). With plainDelta the
+// reference is always the preceding point (heads reference the previous
+// head), reproducing classic delta encoding for the -Radial ablation.
+func encodeRadial(lines []polyline.Line, thPhi, thR int64, plainDelta bool) (radials []int64, refs []int) {
+	for i, l := range lines {
+		var ctx refContext
+		if !plainDelta {
+			ctx = refContext{cons: polyline.Consensus(lines, i, thPhi), thR: thR}
+		}
+		for k, p := range l {
+			if k == 0 {
+				var ref int64
+				if plainDelta {
+					if i > 0 {
+						ref = lines[i-1].Head().R
+					}
+				} else {
+					ref = headRef(ctx, lines, i, p.Theta)
+				}
+				radials = append(radials, p.R-ref)
+				continue
+			}
+			blR := l[k-1].R
+			if plainDelta {
+				radials = append(radials, p.R-blR)
+				continue
+			}
+			d := classifyTail(ctx, p.Theta, blR)
+			if !d.needSymbol {
+				radials = append(radials, p.R-d.candidates[refBottomLeft])
+				continue
+			}
+			sym := d.choose(p.R)
+			refs = append(refs, sym)
+			radials = append(radials, p.R-d.candidates[sym])
+		}
+	}
+	return radials, refs
+}
+
+func deltaInts(vs []int64) []int64 {
+	out := make([]int64, len(vs))
+	if len(vs) == 0 {
+		return out
+	}
+	out[0] = vs[0]
+	for i := 1; i < len(vs); i++ {
+		out[i] = vs[i] - vs[i-1]
+	}
+	return out
+}
+
+func undeltaInts(vs []int64) []int64 {
+	out := make([]int64, len(vs))
+	if len(vs) == 0 {
+		return out
+	}
+	out[0] = vs[0]
+	for i := 1; i < len(vs); i++ {
+		out[i] = out[i-1] + vs[i]
+	}
+	return out
+}
+
+func compressRefs(refs []int) []byte {
+	e := arith.NewEncoder()
+	m := arith.NewModel(4)
+	for _, s := range refs {
+		e.Encode(m, s)
+	}
+	return e.Finish()
+}
+
+func decompressRefs(data []byte, n int) ([]int, error) {
+	d := arith.NewDecoder(data)
+	m := arith.NewModel(4)
+	out := make([]int, n)
+	for i := range out {
+		s, err := d.Decode(m)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: ref symbol %d/%d: %w", i, n, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func appendStream(dst, stream []byte) []byte {
+	dst = varint.AppendUint(dst, uint64(len(stream)))
+	return append(dst, stream...)
+}
+
+// deflateBytes compresses with DEFLATE at the best-compression setting, as
+// the paper uses for the azimuthal streams (step 6).
+func deflateBytes(data []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err) // only fails for invalid level
+	}
+	if _, err := w.Write(data); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func inflateBytes(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: inflate: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package sparse
+
+import (
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+// FuzzDecode hammers the sparse decoder with mutated group streams; it
+// must never panic.
+func FuzzDecode(f *testing.F) {
+	pc := geom.PointCloud{
+		{X: 5, Y: 0, Z: -1}, {X: 5.02, Y: 0.03, Z: -1}, {X: 5.04, Y: 0.06, Z: -1},
+		{X: 5.06, Y: 0.09, Z: -1}, {X: 20, Y: 3, Z: 0},
+	}
+	enc, err := Encode(pc, []int32{0, 1, 2, 3, 4}, Options{Q: 0.02, Groups: 2, UTheta: 0.003, UPhi: 0.007})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Data)
+	f.Add(enc.Data[:len(enc.Data)/3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = Decode(b)
+	})
+}

@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"dbgc/internal/geom"
+)
+
+func sortedByR(pc geom.PointCloud) []int32 {
+	idx := make([]int32, len(pc))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// pc is constructed sorted in these tests.
+	return idx
+}
+
+func TestGroupBoundariesGeometric(t *testing.T) {
+	// Points at radii 1..100; 2 geometric groups over [1,100] cut at 10.
+	var pc geom.PointCloud
+	for r := 1; r <= 100; r++ {
+		pc = append(pc, geom.Point{X: float64(r)})
+	}
+	b := groupBoundaries(pc, sortedByR(pc), 2)
+	if len(b) != 3 || b[0] != 0 || b[2] != 100 {
+		t.Fatalf("bounds = %v", b)
+	}
+	cut := pc[b[1]].Norm()
+	if math.Abs(cut-10) > 1.5 {
+		t.Fatalf("geometric cut at r=%v, want ~10", cut)
+	}
+}
+
+func TestGroupBoundariesBoundRatio(t *testing.T) {
+	// Every group's r_max/r_min must be near the g-th root of the total
+	// ratio.
+	var pc geom.PointCloud
+	for r := 0; r < 5000; r++ {
+		pc = append(pc, geom.Point{X: 2.5 + float64(r)*0.0235})
+	}
+	g := 6
+	b := groupBoundaries(pc, sortedByR(pc), g)
+	total := pc[len(pc)-1].Norm() / pc[0].Norm()
+	wantRatio := math.Pow(total, 1/float64(g))
+	for gi := 0; gi < g; gi++ {
+		if b[gi] >= b[gi+1] {
+			continue // empty group allowed at extremes
+		}
+		lo := pc[b[gi]].Norm()
+		hi := pc[b[gi+1]-1].Norm()
+		if hi/lo > wantRatio*1.2 {
+			t.Fatalf("group %d ratio %.2f exceeds target %.2f", gi, hi/lo, wantRatio)
+		}
+	}
+}
+
+func TestGroupBoundariesDegenerate(t *testing.T) {
+	// All points at one radius: equal-count fallback.
+	pc := geom.PointCloud{{X: 5}, {X: 5}, {X: 5}, {X: 5}}
+	b := groupBoundaries(pc, sortedByR(pc), 2)
+	if b[0] != 0 || b[1] != 2 || b[2] != 4 {
+		t.Fatalf("degenerate bounds = %v", b)
+	}
+	// Empty input.
+	b = groupBoundaries(nil, nil, 3)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("empty bounds = %v", b)
+		}
+	}
+	// Single group.
+	pc2 := geom.PointCloud{{X: 1}, {X: 9}}
+	b = groupBoundaries(pc2, sortedByR(pc2), 1)
+	if len(b) != 2 || b[1] != 2 {
+		t.Fatalf("single group bounds = %v", b)
+	}
+}
+
+func TestGroupBoundariesCoverAllPoints(t *testing.T) {
+	var pc geom.PointCloud
+	for r := 0; r < 777; r++ {
+		pc = append(pc, geom.Point{X: 3 + float64(r)*0.15})
+	}
+	for _, g := range []int{1, 2, 3, 6, 10} {
+		b := groupBoundaries(pc, sortedByR(pc), g)
+		if b[0] != 0 || b[g] != len(pc) {
+			t.Fatalf("g=%d: bounds do not span input: %v", g, b)
+		}
+		for i := 0; i < g; i++ {
+			if b[i] > b[i+1] {
+				t.Fatalf("g=%d: non-monotone bounds %v", g, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package sparse
+
+import "dbgc/internal/polyline"
+
+// Radial reference-point symbols recorded in L_ref when situation (2)(b)
+// of §3.5 step 8 applies. The bottom-left point needs no symbol in
+// situations (1) and (2)(a); in (2)(b) the chosen candidate is transmitted.
+const (
+	refBottomLeft = 0 // preceding point in the same polyline
+	refUpperLeft  = 1 // rightmost consensus point left of θ_p
+	refUpperRight = 2 // leftmost consensus point right of θ_p
+	refUpperMid   = 3 // consensus point exactly at θ_p, when present
+)
+
+// refContext bundles what both coder sides know when the radial reference
+// of point k of a line is determined: the consensus line and the preceding
+// point's decoded radial value.
+type refContext struct {
+	cons polyline.Line
+	thR  int64 // TH_r in quantized units
+}
+
+// headRef resolves the reference radial value for the head of line i
+// (situation (1)): the rightmost consensus point left of the head, else
+// the head of the preceding polyline, else zero for the very first line.
+func headRef(ctx refContext, lines []polyline.Line, i int, theta int64) int64 {
+	if ctx.cons != nil {
+		if p, ok := polyline.SearchLeft(ctx.cons, theta); ok {
+			return p.R
+		}
+	}
+	if i > 0 {
+		return lines[i-1].Head().R
+	}
+	return 0
+}
+
+// tailRefDecision captures the deterministic part of situation (2): which
+// branch applies and, for (2)(b), the candidate radial values on offer.
+type tailRefDecision struct {
+	// needSymbol is true in situation (2)(b): the encoder must record
+	// (and the decoder read) a reference symbol.
+	needSymbol bool
+	// candidates maps symbol → radial value; -1 marks absent candidates
+	// (only refUpperMid can be absent when needSymbol is true).
+	candidates [4]int64
+	present    [4]bool
+}
+
+// classifyTail evaluates situations (2)(a) vs (2)(b) for a non-head point
+// at azimuth theta whose bottom-left neighbor has radial value blR. The
+// decision uses only previously decoded values, so the decompressor replays
+// it exactly.
+func classifyTail(ctx refContext, theta int64, blR int64) tailRefDecision {
+	var d tailRefDecision
+	d.candidates[refBottomLeft] = blR
+	d.present[refBottomLeft] = true
+	if ctx.cons == nil {
+		return d
+	}
+	ul, okUL := polyline.SearchLeft(ctx.cons, theta)
+	ur, okUR := polyline.SearchRight(ctx.cons, theta)
+	if !okUL || !okUR {
+		return d
+	}
+	if abs64(ul.R-ur.R) <= ctx.thR && abs64(ul.R-blR) <= ctx.thR && abs64(ur.R-blR) <= ctx.thR {
+		// Situation (2)(a): locally flat scene; the bottom-left point is
+		// the reference and nothing is recorded. (An averaged
+		// bl/ul/ur reference was evaluated to suppress reference noise,
+		// but the consensus neighbors sit at different azimuths, and on
+		// sloped surfaces their bias costs more than the smoothing
+		// saves.)
+		return d
+	}
+	d.needSymbol = true
+	d.candidates[refUpperLeft] = ul.R
+	d.present[refUpperLeft] = true
+	d.candidates[refUpperRight] = ur.R
+	d.present[refUpperRight] = true
+	if um, ok := polyline.SearchAt(ctx.cons, theta); ok {
+		d.candidates[refUpperMid] = um.R
+		d.present[refUpperMid] = true
+	}
+	return d
+}
+
+// choose picks the candidate whose radial value is nearest to r, breaking
+// ties by the lowest symbol. Only the encoder calls this — the decoder
+// reads the chosen symbol from L_ref.
+func (d tailRefDecision) choose(r int64) int {
+	best := -1
+	var bestDist int64
+	for sym := 0; sym < 4; sym++ {
+		if !d.present[sym] {
+			continue
+		}
+		dist := abs64(d.candidates[sym] - r)
+		if best < 0 || dist < bestDist {
+			best, bestDist = sym, dist
+		}
+	}
+	return best
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,74 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// DecodeRadialRange decodes only the radial groups whose interval can
+// intersect [rLo, rHi], skipping the others without entropy-decoding them.
+// Groups are radial shells (each records its r_max; its lower edge is the
+// previous group's r_max), so a bounding-box query culls most groups of a
+// large frame. Cartesian-mode streams carry no radial structure and decode
+// fully.
+func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
+	flags, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: flags: %w", err)
+	}
+	data = data[used:]
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	q := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	if !(q > 0) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
+	}
+	cartesian := flags&flagCartesian != 0
+	plainDelta := flags&flagPlainDelta != 0
+
+	nGroups, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: group count: %w", err)
+	}
+	data = data[used:]
+	if nGroups > 1024 {
+		return nil, fmt.Errorf("%w: implausible group count %d", ErrCorrupt, nGroups)
+	}
+	var out geom.PointCloud
+	prevRMax := 0.0
+	for gi := uint64(0); gi < nGroups; gi++ {
+		glen, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: group %d length: %w", gi, err)
+		}
+		data = data[used:]
+		if glen > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: group %d truncated", ErrCorrupt, gi)
+		}
+		group := data[:glen]
+		data = data[glen:]
+
+		if !cartesian && len(group) >= 8 {
+			rMax := math.Float64frombits(binary.LittleEndian.Uint64(group))
+			lo := prevRMax
+			prevRMax = rMax
+			// Quantization can nudge a point just past its group edge.
+			slack := 2 * q
+			if rMax+slack < rLo || lo-slack > rHi {
+				continue // shell disjoint from the query interval
+			}
+		}
+		pts, err := decodeGroup(group, q, cartesian, plainDelta)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: group %d: %w", gi, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package sparse
+
+import "testing"
+
+// TestTHrMetersOption: the radial threshold knob must flow into the stream
+// and decode consistently.
+func TestTHrMetersOption(t *testing.T) {
+	pc, idx, meta := sparseFrame(t)
+	if len(idx) > 20000 {
+		idx = idx[:20000]
+	}
+	for _, th := range []float64{0.25, 2.0, 10.0} {
+		opts := defaultOpts(meta)
+		opts.THrMeters = th
+		enc, err := Encode(pc, idx, opts)
+		if err != nil {
+			t.Fatalf("th=%v: %v", th, err)
+		}
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatalf("th=%v: decode: %v", th, err)
+		}
+		verify(t, pc, enc, dec, opts.Q)
+	}
+}
+
+// TestOptionsDefaults checks the zero-value handling of Options helpers.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.groups() != 1 {
+		t.Fatalf("groups() = %d, want 1", o.groups())
+	}
+	if o.thR() != 2.0 {
+		t.Fatalf("thR() = %v, want 2", o.thR())
+	}
+	o.Groups = 4
+	o.CartesianMode = true
+	if o.groups() != 1 {
+		t.Fatalf("cartesian mode must force one group, got %d", o.groups())
+	}
+	o.CartesianMode = false
+	if o.groups() != 4 {
+		t.Fatalf("groups() = %d, want 4", o.groups())
+	}
+}

@@ -1,0 +1,167 @@
+// Package store implements the server-side frame storage of the DBGC
+// system (Figure 2). The paper's server writes frames to files or to a
+// relational database via ODBC; in this stdlib-only build the store is an
+// append-only segment file with an in-memory index — one record per frame,
+// holding either the compressed bit sequence B or a decompressed cloud.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Kind of a stored record.
+const (
+	// KindCompressed marks a record holding a DBGC bit sequence.
+	KindCompressed byte = 1
+	// KindDecompressed marks a record holding a raw frame (.bin layout).
+	KindDecompressed byte = 2
+)
+
+// ErrNotFound reports a missing frame.
+var ErrNotFound = errors.New("store: frame not found")
+
+// ErrCorrupt reports an unreadable store file.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is an append-only frame store. It is safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	index map[uint64]recordPos
+	end   int64
+}
+
+type recordPos struct {
+	off  int64
+	size uint32
+	kind byte
+}
+
+// record layout: seq (8) | kind (1) | size (4) | crc32c (4) | payload.
+const recordHeader = 8 + 1 + 4 + 4
+
+// Open opens or creates a store file and rebuilds the index from its
+// contents.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, index: make(map[uint64]recordPos)}
+	if err := s.rebuild(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) rebuild() error {
+	var hdr [recordHeader]byte
+	off := int64(0)
+	for {
+		if _, err := s.f.ReadAt(hdr[:], off); err == io.EOF {
+			break
+		} else if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// Torn final record (crash mid-append): truncate it.
+				break
+			}
+			return err
+		}
+		seq := binary.LittleEndian.Uint64(hdr[0:])
+		kind := hdr[8]
+		size := binary.LittleEndian.Uint32(hdr[9:])
+		next := off + recordHeader + int64(size)
+		if fi, err := s.f.Stat(); err != nil {
+			return err
+		} else if next > fi.Size() {
+			break // torn payload
+		}
+		s.index[seq] = recordPos{off: off, size: size, kind: kind}
+		off = next
+	}
+	s.end = off
+	return s.f.Truncate(off)
+}
+
+// Put appends a frame record. A later Put with the same sequence number
+// shadows the earlier one.
+func (s *Store) Put(seq uint64, kind byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], seq)
+	hdr[8] = kind
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:], crc32.Checksum(payload, castagnoli))
+	if _, err := s.f.WriteAt(hdr[:], s.end); err != nil {
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	if _, err := s.f.WriteAt(payload, s.end+recordHeader); err != nil {
+		return fmt.Errorf("store: writing payload: %w", err)
+	}
+	s.index[seq] = recordPos{off: s.end, size: uint32(len(payload)), kind: kind}
+	s.end += recordHeader + int64(len(payload))
+	return nil
+}
+
+// Get returns the payload and kind of the frame with the given sequence
+// number.
+func (s *Store) Get(seq uint64) ([]byte, byte, error) {
+	s.mu.Lock()
+	pos, ok := s.index[seq]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	var hdr [recordHeader]byte
+	if _, err := s.f.ReadAt(hdr[:], pos.off); err != nil {
+		return nil, 0, err
+	}
+	payload := make([]byte, pos.size)
+	if _, err := s.f.ReadAt(payload, pos.off+recordHeader); err != nil {
+		return nil, 0, err
+	}
+	want := binary.LittleEndian.Uint32(hdr[13:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, 0, ErrCorrupt
+	}
+	return payload, pos.kind, nil
+}
+
+// Len returns the number of stored frames.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Seqs returns the stored sequence numbers in unspecified order.
+func (s *Store) Seqs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.index))
+	for seq := range s.index {
+		out = append(out, seq)
+	}
+	return out
+}
+
+// Close flushes and closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

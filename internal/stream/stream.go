@@ -1,0 +1,366 @@
+// Package stream implements a container format for sequences of DBGC-
+// compressed frames. The paper compresses single frames and notes that
+// "single-frame compression can be a building block in compressing point
+// cloud streams" (§1); this package is that building block's composition:
+// a self-describing stream of independently compressed frames with optional
+// per-frame intensity channels, CRC protection, and sequential read-back.
+//
+// Frames are either I-frames (self-contained DBGC payloads) or, when
+// temporal mode is enabled, P-frames predicted from the previous decoded
+// frame (see temporal.go).
+//
+// Layout:
+//
+//	magic "DBGS" | version byte | q (float64) | fps (float64)
+//	frame*: marker 0x01 | seq uvarint | kind byte (0=I, 1=P)
+//	        | geomLen uvarint | geom | attrLen uvarint | attr
+//	        | crc32c (seq..attr) fixed32
+//	end:    marker 0x00
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"dbgc"
+	"dbgc/internal/attr"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("stream: corrupt container")
+
+var magic = []byte("DBGS")
+
+const version = 1
+
+const (
+	markerFrame = 0x01
+	markerEnd   = 0x00
+)
+
+// Frame kinds.
+const (
+	frameI = 0 // self-contained DBGC payload
+	frameP = 1 // predicted from the previous decoded frame
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSection bounds one frame section against corrupt headers.
+const maxSection = 256 << 20
+
+// Writer compresses frames into a container.
+type Writer struct {
+	w        *bufio.Writer
+	opts     dbgc.Options
+	seq      uint64
+	done     bool
+	interval int // 0 = all I-frames
+	prev     geom.PointCloud
+}
+
+// EnableTemporal switches the writer to temporal mode: one I-frame every
+// interval frames, P-frames predicted from the previous decoded frame in
+// between. interval must be at least 2. Suitable for static or slowly
+// changing scenes (tripod captures, §1 of the paper); for fast-moving
+// sensors P-frames degrade to mostly-residual frames and cost about as
+// much as I-frames.
+func (w *Writer) EnableTemporal(interval int) error {
+	if interval < 2 {
+		return fmt.Errorf("stream: temporal interval must be >= 2, got %d", interval)
+	}
+	w.interval = interval
+	return nil
+}
+
+// NewWriter starts a container on w, compressing every frame with opts.
+// fps is recorded for bandwidth accounting on the read side (0 if
+// unknown).
+func NewWriter(w io.Writer, opts dbgc.Options, fps float64) (*Writer, error) {
+	if opts.Q <= 0 {
+		return nil, fmt.Errorf("stream: error bound must be positive, got %v", opts.Q)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], math.Float64bits(opts.Q))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(fps))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, opts: opts}, nil
+}
+
+// FrameStats summarizes one written frame.
+type FrameStats struct {
+	Seq            uint64
+	Points         int
+	GeometryBytes  int
+	IntensityBytes int
+	Ratio          float64
+	// Predicted marks a P-frame; StaticPoints counts its points coded
+	// via the re-occupancy dictionary.
+	Predicted    bool
+	StaticPoints int
+}
+
+// WriteFrame compresses and appends one frame. intensity may be nil; when
+// present it must hold one value per point and is stored as an 8-bit
+// channel aligned with the decoded geometry.
+func (w *Writer) WriteFrame(pc geom.PointCloud, intensity []float32) (FrameStats, error) {
+	if w.done {
+		return FrameStats{}, errors.New("stream: writer already closed")
+	}
+	kind := byte(frameI)
+	var data []byte
+	var mapping []int32
+	var static int
+	if w.interval >= 2 && w.prev != nil && w.seq%uint64(w.interval) != 0 {
+		kind = frameP
+		ref := newTemporalRef(w.prev, w.opts.Q)
+		var err error
+		data, mapping, static, err = encodeP(pc, ref, w.opts)
+		if err != nil {
+			return FrameStats{}, err
+		}
+		w.prev, err = decodeP(data, ref)
+		if err != nil {
+			return FrameStats{}, fmt.Errorf("stream: verifying P-frame: %w", err)
+		}
+	} else {
+		var stats *dbgc.Stats
+		var err error
+		data, stats, err = dbgc.Compress(pc, w.opts)
+		if err != nil {
+			return FrameStats{}, err
+		}
+		mapping = stats.Mapping
+		if w.interval >= 2 {
+			w.prev, err = dbgc.Decompress(data)
+			if err != nil {
+				return FrameStats{}, fmt.Errorf("stream: verifying I-frame: %w", err)
+			}
+		}
+	}
+	var attrData []byte
+	if intensity != nil {
+		var err error
+		attrData, err = attr.EncodeIntensity(intensity, mapping, 8)
+		if err != nil {
+			return FrameStats{}, err
+		}
+	}
+	if err := w.w.WriteByte(markerFrame); err != nil {
+		return FrameStats{}, err
+	}
+	var buf []byte
+	buf = varint.AppendUint(buf, w.seq)
+	buf = append(buf, kind)
+	buf = varint.AppendUint(buf, uint64(len(data)))
+	buf = append(buf, data...)
+	buf = varint.AppendUint(buf, uint64(len(attrData)))
+	buf = append(buf, attrData...)
+	sum := crc32.Checksum(buf, castagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
+	if _, err := w.w.Write(buf); err != nil {
+		return FrameStats{}, err
+	}
+	fs := FrameStats{
+		Seq:            w.seq,
+		Points:         len(pc),
+		GeometryBytes:  len(data),
+		IntensityBytes: len(attrData),
+		Ratio:          float64(len(pc)*12) / float64(len(data)),
+		Predicted:      kind == frameP,
+		StaticPoints:   static,
+	}
+	w.seq++
+	return fs, nil
+}
+
+// Close terminates the container and flushes buffered output.
+func (w *Writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if err := w.w.WriteByte(markerEnd); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates over a container.
+type Reader struct {
+	r    *bufio.Reader
+	q    float64
+	fps  float64
+	end  bool
+	prev geom.PointCloud
+}
+
+// NewReader validates the container header and prepares iteration.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1+16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("stream: header: %w", err)
+	}
+	if string(head[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("stream: unsupported version %d", head[len(magic)])
+	}
+	q := math.Float64frombits(binary.LittleEndian.Uint64(head[len(magic)+1:]))
+	fps := math.Float64frombits(binary.LittleEndian.Uint64(head[len(magic)+9:]))
+	if !(q > 0) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
+	}
+	return &Reader{r: br, q: q, fps: fps}, nil
+}
+
+// Q returns the stream's error bound.
+func (r *Reader) Q() float64 { return r.q }
+
+// FPS returns the recorded frame rate (0 if unknown).
+func (r *Reader) FPS() float64 { return r.fps }
+
+// Frame is one decoded frame.
+type Frame struct {
+	Seq       uint64
+	Cloud     geom.PointCloud
+	Intensity []float32 // nil when the frame has no attribute channel
+}
+
+// ReadFrame returns the next frame, or io.EOF after the end marker.
+func (r *Reader) ReadFrame() (Frame, error) {
+	if r.end {
+		return Frame{}, io.EOF
+	}
+	marker, err := r.r.ReadByte()
+	if err != nil {
+		return Frame{}, fmt.Errorf("stream: marker: %w", err)
+	}
+	switch marker {
+	case markerEnd:
+		r.end = true
+		return Frame{}, io.EOF
+	case markerFrame:
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown marker %#x", ErrCorrupt, marker)
+	}
+	seq, kind, raw, err := r.readBody()
+	if err != nil {
+		return Frame{}, err
+	}
+	var cloud geom.PointCloud
+	switch kind {
+	case frameI:
+		cloud, err = dbgc.Decompress(raw.geom)
+	case frameP:
+		if r.prev == nil {
+			return Frame{}, fmt.Errorf("%w: P-frame %d without a preceding frame", ErrCorrupt, seq)
+		}
+		cloud, err = decodeP(raw.geom, newTemporalRef(r.prev, r.q))
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
+	}
+	if err != nil {
+		return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", seq, err)
+	}
+	r.prev = cloud
+	var intensity []float32
+	if len(raw.attr) > 0 {
+		intensity, err = attr.DecodeIntensity(raw.attr)
+		if err != nil {
+			return Frame{}, fmt.Errorf("stream: frame %d intensity: %w", seq, err)
+		}
+		if len(intensity) != len(cloud) {
+			return Frame{}, fmt.Errorf("%w: frame %d has %d intensities for %d points",
+				ErrCorrupt, seq, len(intensity), len(cloud))
+		}
+	}
+	return Frame{Seq: seq, Cloud: cloud, Intensity: intensity}, nil
+}
+
+type body struct {
+	geom, attr []byte
+}
+
+func (r *Reader) readBody() (uint64, byte, body, error) {
+	// Read the varint-prefixed sections while mirroring the bytes for
+	// the trailing CRC.
+	var mirrored []byte
+	readUvarint := func() (uint64, error) {
+		var v uint64
+		var shift uint
+		for {
+			b, err := r.r.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			mirrored = append(mirrored, b)
+			if shift >= 64 {
+				return 0, ErrCorrupt
+			}
+			v |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				return v, nil
+			}
+			shift += 7
+		}
+	}
+	readSection := func(name string) ([]byte, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("stream: %s length: %w", name, err)
+		}
+		if n > maxSection {
+			return nil, fmt.Errorf("%w: %s section of %d bytes", ErrCorrupt, name, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return nil, fmt.Errorf("stream: %s payload: %w", name, err)
+		}
+		mirrored = append(mirrored, buf...)
+		return buf, nil
+	}
+
+	seq, err := readUvarint()
+	if err != nil {
+		return 0, 0, body{}, fmt.Errorf("stream: seq: %w", err)
+	}
+	kind, err := r.r.ReadByte()
+	if err != nil {
+		return 0, 0, body{}, fmt.Errorf("stream: frame kind: %w", err)
+	}
+	mirrored = append(mirrored, kind)
+	var b body
+	if b.geom, err = readSection("geometry"); err != nil {
+		return 0, 0, body{}, err
+	}
+	if b.attr, err = readSection("attribute"); err != nil {
+		return 0, 0, body{}, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
+		return 0, 0, body{}, fmt.Errorf("stream: crc: %w", err)
+	}
+	if crc32.Checksum(mirrored, castagnoli) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return 0, 0, body{}, fmt.Errorf("%w: frame %d checksum mismatch", ErrCorrupt, seq)
+	}
+	return seq, kind, b, nil
+}

@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbgc"
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+)
+
+func testFrames(t *testing.T, n int) []geom.PointCloud {
+	t.Helper()
+	scene, err := lidar.NewScene(lidar.Road, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lidar.HDL64E()
+	cfg.AzimuthSteps = 300 // small frames keep the test fast
+	out := make([]geom.PointCloud, n)
+	for i := range out {
+		out[i] = cfg.Simulate(scene, int64(i+1))
+	}
+	return out
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	frames := testFrames(t, 3)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pc := range frames {
+		fs, err := w.WriteFrame(pc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Seq != uint64(i) || fs.Points != len(pc) {
+			t.Fatalf("frame stats wrong: %+v", fs)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Q() != 0.02 || r.FPS() != 10 {
+		t.Fatalf("header: q=%v fps=%v", r.Q(), r.FPS())
+	}
+	bound := math.Sqrt(3) * 0.02 * 1.0001
+	for i := 0; ; i++ {
+		fr, err := r.ReadFrame()
+		if errors.Is(err, io.EOF) {
+			if i != len(frames) {
+				t.Fatalf("read %d frames, wrote %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Cloud) != len(frames[i]) {
+			t.Fatalf("frame %d: %d points, want %d", i, len(fr.Cloud), len(frames[i]))
+		}
+		if fr.Intensity != nil {
+			t.Fatalf("frame %d: unexpected intensity channel", i)
+		}
+		// Spot-check a few points against the sorted original within the
+		// bound by nearest distance (the mapping is not carried in the
+		// container, so exact pairing is not available here).
+		for j := 0; j < len(fr.Cloud); j += 997 {
+			best := math.Inf(1)
+			for k := 0; k < len(frames[i]); k += 1 {
+				if d := fr.Cloud[j].Dist(frames[i][k]); d < best {
+					best = d
+				}
+			}
+			if best > bound {
+				t.Fatalf("frame %d point %d: nearest original %v away", i, j, best)
+			}
+		}
+	}
+	// Second read past EOF keeps returning EOF.
+	if _, err := r.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestStreamWithIntensity(t *testing.T) {
+	frames := testFrames(t, 2)
+	rng := rand.New(rand.NewSource(4))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intens := make([][]float32, len(frames))
+	for i, pc := range frames {
+		intens[i] = make([]float32, len(pc))
+		for j := range intens[i] {
+			intens[i][j] = rng.Float32()
+		}
+		fs, err := w.WriteFrame(pc, intens[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.IntensityBytes == 0 {
+			t.Fatal("intensity channel missing from stats")
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		fr, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(fr.Intensity) != len(fr.Cloud) {
+			t.Fatalf("frame %d: %d intensities for %d points", i, len(fr.Intensity), len(fr.Cloud))
+		}
+		for _, v := range fr.Intensity {
+			if v < 0 || v > 1 {
+				t.Fatalf("intensity %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestWriterClosedRejectsFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if _, err := w.WriteFrame(geom.PointCloud{{X: 1}}, nil); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := NewWriter(io.Discard, dbgc.Options{}, 0); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+func TestCorruptContainer(t *testing.T) {
+	frames := testFrames(t, 1)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteFrame(frames[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bit flip in the frame body must trip the CRC.
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)/2] ^= 0x01
+	r, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+	// Truncations never panic.
+	for cut := 0; cut < len(raw); cut += 503 {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, err := r.ReadFrame(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package varint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, math.MaxInt64: math.MaxUint64 - 1, math.MinInt64: math.MaxUint64}
+	for v, want := range cases {
+		if got := Zigzag(v); got != want {
+			t.Errorf("Zigzag(%d) = %d, want %d", v, got, want)
+		}
+		if back := Unzigzag(want); back != v {
+			t.Errorf("Unzigzag(%d) = %d, want %d", want, back, v)
+		}
+	}
+}
+
+func TestZigzagQuick(t *testing.T) {
+	f := func(v int64) bool { return Unzigzag(Zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	vs := []int64{0, -1, 1, 127, -128, 1 << 40, -(1 << 50), math.MaxInt64, math.MinInt64}
+	buf := EncodeInts(vs)
+	got, err := DecodeInts(buf, len(vs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("value %d = %d, want %d", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestIntsRoundTripQuick(t *testing.T) {
+	f := func(vs []int64) bool {
+		got, err := DecodeInts(EncodeInts(vs), len(vs))
+		if err != nil {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintsRoundTripQuick(t *testing.T) {
+	f := func(vs []uint64) bool {
+		got, err := DecodeUints(EncodeUints(vs), len(vs))
+		if err != nil {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf := EncodeInts([]int64{1 << 40})
+	if _, err := DecodeInts(buf[:len(buf)-1], 1); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	buf := append(EncodeInts([]int64{5}), 0x00)
+	if _, err := DecodeInts(buf, 1); err == nil {
+		t.Fatal("expected error on trailing bytes")
+	}
+}
+
+func TestDecodeTooFewValues(t *testing.T) {
+	buf := EncodeUints([]uint64{1, 2})
+	if _, err := DecodeUints(buf, 3); err == nil {
+		t.Fatal("expected error when fewer values than requested")
+	}
+}
