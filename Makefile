@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz
+
+# check is the CI gate: vet + full test suite, then the data-race pass
+# (which includes the reliable-transport fault-injection tests).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz sweeps over the wire decoder and the sparse codec.
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=15s ./internal/netproto
+	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/sparse

@@ -2,12 +2,18 @@
 // pulls frames from the (simulated) sensor, compresses them, and streams
 // the bit sequences to a dbgc-server over TCP.
 //
+// By default every frame is acknowledged by the server and retransmitted
+// across nacks, timeouts, and reconnects; -noack restores the legacy
+// fire-and-forget wire behaviour.
+//
 // Usage:
 //
-//	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10] [-q 0.02] [-rate 10]
+//	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10]
+//	            [-q 0.02] [-rate 10] [-window 8] [-ack-timeout 5s] [-noack]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +24,7 @@ import (
 	"dbgc"
 	"dbgc/internal/lidar"
 	"dbgc/internal/netproto"
+	"dbgc/internal/reliable"
 )
 
 func main() {
@@ -27,6 +34,9 @@ func main() {
 	q := flag.Float64("q", 0.02, "error bound in meters")
 	rate := flag.Float64("rate", 10, "sensor frame rate (frames/second); 0 = as fast as possible")
 	queryBox := flag.String("query", "", "after sending, query frame 0 for x0,y0,z0,x1,y1,z1")
+	window := flag.Int("window", 8, "max unacknowledged frames in flight")
+	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "resend frames unacked after this long")
+	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: no acks, no retransmits")
 	flag.Parse()
 
 	scene, err := lidar.NewScene(lidar.SceneKind(*sceneKind), 1)
@@ -36,11 +46,52 @@ func main() {
 	cfg := lidar.HDL64E()
 	opts := dbgc.SensorOptions(*q, cfg.Meta())
 
-	conn, err := net.Dial("tcp", *server)
-	if err != nil {
-		log.Fatalf("connecting to server: %v", err)
+	var send func(netproto.Message) error
+	var query func(netproto.Query) (netproto.Message, error)
+	var finish func() error
+
+	if *noack {
+		conn, err := net.Dial("tcp", *server)
+		if err != nil {
+			log.Fatalf("connecting to server: %v", err)
+		}
+		defer conn.Close()
+		send = func(m netproto.Message) error { return netproto.Write(conn, m) }
+		query = func(qr netproto.Query) (netproto.Message, error) {
+			if err := netproto.Write(conn, netproto.Message{
+				Kind: netproto.KindQuery, Seq: qr.Seq, Payload: netproto.EncodeQuery(qr),
+			}); err != nil {
+				return netproto.Message{}, fmt.Errorf("sending query: %w", err)
+			}
+			return awaitQueryResult(conn)
+		}
+		finish = func() error {
+			return netproto.Write(conn, netproto.Message{Kind: netproto.KindBye, Seq: uint64(*frames)})
+		}
+	} else {
+		cli, err := reliable.NewClient(reliable.Options{
+			Dial:        func() (net.Conn, error) { return net.Dial("tcp", *server) },
+			MaxInFlight: *window,
+			AckTimeout:  *ackTimeout,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		send = cli.Send
+		query = cli.Query
+		finish = func() error {
+			if err := cli.Close(); err != nil {
+				return err
+			}
+			st := cli.Stats()
+			if st.Resent > 0 || st.Reconnects > 1 {
+				log.Printf("reliability: %d/%d frames acked, %d resent, %d nacks, %d connections",
+					st.Acked, st.Sent, st.Resent, st.Nacked, st.Reconnects)
+			}
+			return nil
+		}
 	}
-	defer conn.Close()
 
 	var interval time.Duration
 	if *rate > 0 {
@@ -55,7 +106,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("compressing frame %d: %v", seq, err)
 		}
-		if err := netproto.Write(conn, netproto.Message{
+		if err := send(netproto.Message{
 			Kind:    netproto.KindCompressed,
 			Seq:     uint64(seq),
 			Payload: data,
@@ -79,24 +130,40 @@ func main() {
 			&b.Min.X, &b.Min.Y, &b.Min.Z, &b.Max.X, &b.Max.Y, &b.Max.Z); err != nil {
 			log.Fatalf("bad -query %q: %v", *queryBox, err)
 		}
-		if err := netproto.Write(conn, netproto.Message{
-			Kind:    netproto.KindQuery,
-			Payload: netproto.EncodeQuery(netproto.Query{Seq: 0, Box: b}),
-		}); err != nil {
-			log.Fatalf("sending query: %v", err)
-		}
-		resp, err := netproto.Read(conn)
-		if err != nil || resp.Kind != netproto.KindQueryResult {
-			log.Fatalf("query response: kind=%d err=%v", resp.Kind, err)
+		resp, err := query(netproto.Query{Seq: 0, Box: b})
+		if err != nil {
+			log.Fatalf("query: %v", err)
 		}
 		fmt.Printf("server returned %d points for frame 0 in box %s\n", len(resp.Payload)/16, *queryBox)
 	}
-	if err := netproto.Write(conn, netproto.Message{Kind: netproto.KindBye, Seq: uint64(*frames)}); err != nil {
-		log.Printf("sending bye: %v", err)
+	if err := finish(); err != nil {
+		log.Fatalf("finishing session: %v", err)
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stdout, "sent %d frames in %v: %d raw bytes -> %d compressed (ratio %.2f), avg bandwidth %.2f Mbps\n",
 		*frames, elapsed.Round(time.Millisecond), totalRaw, totalCompressed,
 		float64(totalRaw)/float64(totalCompressed),
 		float64(totalCompressed)*8/elapsed.Seconds()/1e6)
+}
+
+// awaitQueryResult reads responses until the query result arrives,
+// tolerating interleaved non-result frames (e.g. stray acks from a server
+// not running in -noack mode) and reporting read failures as read
+// failures — not as a bogus frame kind from a zero-valued message.
+func awaitQueryResult(conn net.Conn) (netproto.Message, error) {
+	const maxSkipped = 32
+	for skipped := 0; skipped <= maxSkipped; skipped++ {
+		resp, err := netproto.Read(conn)
+		if errors.Is(err, netproto.ErrChecksum) {
+			continue // corrupt response frame: keep waiting
+		}
+		if err != nil {
+			return netproto.Message{}, fmt.Errorf("reading query response: %w", err)
+		}
+		if resp.Kind == netproto.KindQueryResult {
+			return resp, nil
+		}
+		log.Printf("skipping interleaved frame kind %d while waiting for query result", resp.Kind)
+	}
+	return netproto.Message{}, fmt.Errorf("no query result after %d frames", maxSkipped)
 }

@@ -2,23 +2,35 @@
 // receives compressed frames from clients over TCP, optionally decompresses
 // them, and stores them in a frame store.
 //
+// Frames are acknowledged per the reliable transport protocol: a frame is
+// acked once stored, nacked (and quarantined) if its payload is corrupt or
+// undecodable, and a client disconnect or hostile payload never disturbs
+// other connections. SIGINT/SIGTERM drain active sessions before exit.
+//
 // Usage:
 //
 //	dbgc-server [-listen :7045] [-store frames.db] [-decompress]
+//	            [-fsync off|always|<interval>] [-noack]
+//	            [-read-timeout 60s] [-drain-timeout 10s]
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dbgc"
 	"dbgc/internal/lidar"
 	"dbgc/internal/netproto"
+	"dbgc/internal/reliable"
 	"dbgc/internal/store"
 )
 
@@ -26,7 +38,16 @@ func main() {
 	listen := flag.String("listen", ":7045", "address to listen on")
 	storePath := flag.String("store", "frames.db", "frame store file")
 	decompress := flag.Bool("decompress", false, "decompress frames before storing (default stores B directly)")
+	fsync := flag.String("fsync", "off", `durability mode: "off" (OS decides), "always" (sync before every ack), or a periodic interval like "500ms"`)
+	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: do not send acks/nacks")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "idle timeout per connection")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for sessions to finish on shutdown")
 	flag.Parse()
+
+	syncAlways, syncEvery, err := parseFsync(*fsync)
+	if err != nil {
+		log.Fatalf("bad -fsync: %v", err)
+	}
 
 	st, err := store.Open(*storePath)
 	if err != nil {
@@ -38,75 +59,138 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("dbgc-server listening on %s, storing to %s (decompress=%v)", ln.Addr(), *storePath, *decompress)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
+
+	srv := reliable.NewServer(reliable.ServerConfig{
+		Handle:      handler(st, *decompress, syncAlways),
+		Query:       querier(st),
+		Quarantine:  quarantiner(st),
+		ReadTimeout: *readTimeout,
+		NoAck:       *noack,
+		Logf:        log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if syncEvery > 0 {
 		go func() {
-			if err := serve(conn, st, *decompress); err != nil {
-				log.Printf("client %s: %v", conn.RemoteAddr(), err)
+			tick := time.NewTicker(syncEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := st.Sync(); err != nil {
+						log.Printf("periodic fsync: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
+
+	log.Printf("dbgc-server listening on %s, storing to %s (decompress=%v, fsync=%s, noack=%v)",
+		ln.Addr(), *storePath, *decompress, *fsync, *noack)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, reliable.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+			stop()
+		}
+	}()
+
+	<-ctx.Done()
+	log.Printf("signal received, draining sessions (up to %v)", *drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("shutdown: %v (remaining connections closed)", err)
+	}
+	if err := st.Sync(); err != nil {
+		log.Printf("final fsync: %v", err)
+	}
+	log.Printf("drained; %d frames stored", st.Len())
 }
 
-func serve(conn net.Conn, st *store.Store, decompress bool) error {
-	defer conn.Close()
-	for {
-		msg, err := netproto.Read(conn)
-		if errors.Is(err, io.EOF) {
-			return nil
+// parseFsync maps the -fsync flag onto (sync before every ack, periodic
+// interval).
+func parseFsync(mode string) (always bool, every time.Duration, err error) {
+	switch mode {
+	case "", "off":
+		return false, 0, nil
+	case "always":
+		return true, 0, nil
+	default:
+		d, err := time.ParseDuration(mode)
+		if err != nil || d <= 0 {
+			return false, 0, fmt.Errorf("want off, always, or a positive duration, got %q", mode)
 		}
-		if err != nil {
-			return fmt.Errorf("reading frame: %w", err)
-		}
-		switch msg.Kind {
-		case netproto.KindBye:
-			return nil
+		return false, d, nil
+	}
+}
+
+// handler stores one data frame, decompressing first when asked. Decode
+// failures are reported as ErrBadFrame so the session quarantines the
+// payload; store failures are plain errors (nacked, retried, not
+// quarantined).
+func handler(st *store.Store, decompress, syncAlways bool) func(m netproto.Message) error {
+	return func(m netproto.Message) error {
+		switch m.Kind {
 		case netproto.KindCompressed:
 			if decompress {
-				pc, err := dbgc.Decompress(msg.Payload)
+				pc, err := dbgc.Decompress(m.Payload)
 				if err != nil {
-					return fmt.Errorf("frame %d: %w", msg.Seq, err)
+					return fmt.Errorf("%w: frame %d: %v", reliable.ErrBadFrame, m.Seq, err)
 				}
-				raw := encodeRaw(pc)
-				if err := st.Put(msg.Seq, store.KindDecompressed, raw); err != nil {
+				if err := st.Put(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
 					return err
 				}
-				log.Printf("frame %d: %d bytes -> %d points, stored decompressed", msg.Seq, len(msg.Payload), len(pc))
+				log.Printf("frame %d: %d bytes -> %d points, stored decompressed", m.Seq, len(m.Payload), len(pc))
 			} else {
-				if err := st.Put(msg.Seq, store.KindCompressed, msg.Payload); err != nil {
+				if err := st.Put(m.Seq, store.KindCompressed, m.Payload); err != nil {
 					return err
 				}
-				log.Printf("frame %d: stored %d compressed bytes", msg.Seq, len(msg.Payload))
+				log.Printf("frame %d: stored %d compressed bytes", m.Seq, len(m.Payload))
 			}
 		case netproto.KindRaw:
-			if err := st.Put(msg.Seq, store.KindDecompressed, msg.Payload); err != nil {
+			if err := st.Put(m.Seq, store.KindDecompressed, m.Payload); err != nil {
 				return err
 			}
-			log.Printf("frame %d: stored %d raw bytes", msg.Seq, len(msg.Payload))
-		case netproto.KindQuery:
-			q, err := netproto.DecodeQuery(msg.Payload)
-			if err != nil {
-				return err
-			}
-			pts, err := answerQuery(st, q)
-			if err != nil {
-				log.Printf("query frame %d: %v", q.Seq, err)
-				pts = nil
-			}
-			if err := netproto.Write(conn, netproto.Message{
-				Kind: netproto.KindQueryResult, Seq: q.Seq, Payload: encodeRaw(pts),
-			}); err != nil {
-				return err
-			}
-			log.Printf("query frame %d: %d points in box", q.Seq, len(pts))
+			log.Printf("frame %d: stored %d raw bytes", m.Seq, len(m.Payload))
 		default:
-			return fmt.Errorf("unknown message kind %d", msg.Kind)
+			return fmt.Errorf("%w: unexpected kind %d", reliable.ErrBadFrame, m.Kind)
 		}
+		if syncAlways {
+			return st.Sync()
+		}
+		return nil
+	}
+}
+
+// querier answers spatial queries from the store.
+func querier(st *store.Store) func(q netproto.Query) ([]byte, error) {
+	return func(q netproto.Query) ([]byte, error) {
+		pts, err := answerQuery(st, q)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("query frame %d: %d points in box", q.Seq, len(pts))
+		return encodeRaw(pts), nil
+	}
+}
+
+// quarantiner preserves a rejected payload for forensics — unless a good
+// record for that sequence number already exists (a corrupt retransmit
+// must not shadow a stored frame).
+func quarantiner(st *store.Store) func(m netproto.Message, reason string) {
+	return func(m netproto.Message, reason string) {
+		if kind, ok := st.Kind(m.Seq); ok && kind != store.KindQuarantined {
+			return
+		}
+		if err := st.Put(m.Seq, store.KindQuarantined, m.Payload); err != nil {
+			log.Printf("frame %d: quarantine failed: %v", m.Seq, err)
+			return
+		}
+		log.Printf("frame %d: quarantined %d bytes (%s)", m.Seq, len(m.Payload), reason)
 	}
 }
 
@@ -132,6 +216,8 @@ func answerQuery(st *store.Store, q netproto.Query) (dbgc.PointCloud, error) {
 			}
 		}
 		return out, nil
+	case store.KindQuarantined:
+		return nil, fmt.Errorf("frame %d is quarantined", q.Seq)
 	default:
 		return nil, fmt.Errorf("unknown stored kind %d", kind)
 	}

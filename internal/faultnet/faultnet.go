@@ -1,0 +1,183 @@
+// Package faultnet wraps net.Conn with deterministic, seeded fault
+// injection — partial writes, connection drops, added latency, and payload
+// bit flips — so the reliability layer can be exercised end to end against
+// a flaky link without real network hardware. All probabilistic decisions
+// come from rand sources derived from a single seed, so a given seed
+// replays the same fault schedule (modulo goroutine interleaving).
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is returned from Read/Write after the injector severed
+// the connection.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// Config sets the fault rates. All probabilities are per I/O operation.
+type Config struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+	// FlipProb is the probability that a Write or Read has one random
+	// bit flipped somewhere in its buffer.
+	FlipProb float64
+	// DropProb is the probability that a Write delivers only a random
+	// prefix and then severs the connection.
+	DropProb float64
+	// PartialProb is the probability that a Write is torn into two
+	// separate underlying writes with a scheduling gap between them.
+	PartialProb float64
+	// MaxDelay, when positive, sleeps a uniform random duration in
+	// [0, MaxDelay) before each Write.
+	MaxDelay time.Duration
+}
+
+// Stats counts the faults actually injected, so tests can assert the link
+// really was flaky.
+type Stats struct {
+	Drops, Flips, Partials int
+}
+
+// Injector wraps connections with a shared fault schedule. One Injector
+// can wrap every connection of a reconnecting client so fault state and
+// statistics span reconnects.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	wr    *rand.Rand // write-path decisions
+	rd    *rand.Rand // read-path decisions, separate to cut cross-goroutine coupling
+	stats Stats
+}
+
+// New builds an Injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg: cfg,
+		wr:  rand.New(rand.NewSource(cfg.Seed)),
+		rd:  rand.New(rand.NewSource(cfg.Seed ^ 0x5e3779b97f4a7c15)),
+	}
+}
+
+// Wrap returns c with faults injected on both directions.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	return &conn{Conn: c, in: in}
+}
+
+// Stats returns the faults injected so far across all wrapped conns.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+type conn struct {
+	net.Conn
+	in *Injector
+
+	mu      sync.Mutex
+	dropped bool
+}
+
+// writePlan is decided under the injector lock, executed outside it.
+type writePlan struct {
+	delay   time.Duration
+	flipAt  int // byte index to flip, -1 for none
+	flipBit byte
+	dropAt  int // deliver this prefix then sever, -1 for none
+	tearAt  int // split the write here, -1 for none
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dropped
+	c.mu.Unlock()
+	if dead {
+		return 0, ErrInjectedDrop
+	}
+	in := c.in
+	in.mu.Lock()
+	plan := writePlan{flipAt: -1, dropAt: -1, tearAt: -1}
+	if in.cfg.MaxDelay > 0 {
+		plan.delay = time.Duration(in.wr.Int63n(int64(in.cfg.MaxDelay)))
+	}
+	if len(p) > 0 && in.wr.Float64() < in.cfg.FlipProb {
+		plan.flipAt = in.wr.Intn(len(p))
+		plan.flipBit = 1 << in.wr.Intn(8)
+		in.stats.Flips++
+	}
+	if in.wr.Float64() < in.cfg.DropProb {
+		plan.dropAt = in.wr.Intn(len(p) + 1)
+		in.stats.Drops++
+	} else if len(p) > 1 && in.wr.Float64() < in.cfg.PartialProb {
+		plan.tearAt = 1 + in.wr.Intn(len(p)-1)
+		in.stats.Partials++
+	}
+	in.mu.Unlock()
+
+	if plan.delay > 0 {
+		time.Sleep(plan.delay)
+	}
+	buf := p
+	if plan.flipAt >= 0 {
+		buf = append([]byte(nil), p...)
+		buf[plan.flipAt] ^= plan.flipBit
+	}
+	if plan.dropAt >= 0 {
+		n, _ := c.Conn.Write(buf[:plan.dropAt])
+		c.sever()
+		return n, ErrInjectedDrop
+	}
+	if plan.tearAt >= 0 {
+		n1, err := c.Conn.Write(buf[:plan.tearAt])
+		if err != nil {
+			return n1, err
+		}
+		time.Sleep(time.Millisecond)
+		n2, err := c.Conn.Write(buf[plan.tearAt:])
+		return n1 + n2, err
+	}
+	return c.Conn.Write(buf)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n == 0 {
+		return n, err
+	}
+	in := c.in
+	in.mu.Lock()
+	flipAt := -1
+	var flipBit byte
+	if in.rd.Float64() < in.cfg.FlipProb {
+		flipAt = in.rd.Intn(n)
+		flipBit = 1 << in.rd.Intn(8)
+		in.stats.Flips++
+	}
+	in.mu.Unlock()
+	if flipAt >= 0 {
+		p[flipAt] ^= flipBit
+	}
+	return n, err
+}
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	c.dropped = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+func (c *conn) sever() {
+	c.mu.Lock()
+	already := c.dropped
+	c.dropped = true
+	c.mu.Unlock()
+	if !already {
+		c.Conn.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client end and the raw server end of a TCP
+// loopback pair (TCP rather than net.Pipe so writes are buffered, like the
+// real link).
+func pipePair(t *testing.T, in *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	t.Cleanup(func() { client.Close(); srv.c.Close() })
+	return in.Wrap(client), srv.c
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	in := New(Config{Seed: 1})
+	c, s := pipePair(t, in)
+	msg := []byte("unfaulted bytes travel verbatim")
+	go func() {
+		c.Write(msg)
+		c.Close()
+	}()
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("faults injected with zero probabilities: %+v", st)
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 7, FlipProb: 1})
+	c, s := pipePair(t, in)
+	msg := bytes.Repeat([]byte{0x00}, 256)
+	go func() {
+		c.Write(msg)
+		c.Close()
+	}()
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msg) {
+		t.Fatalf("length changed: %d", len(got))
+	}
+	ones := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", ones)
+	}
+	if in.Stats().Flips == 0 {
+		t.Fatal("flip not counted")
+	}
+}
+
+func TestDropSeversConnection(t *testing.T) {
+	in := New(Config{Seed: 3, DropProb: 1})
+	c, _ := pipePair(t, in)
+	if _, err := c.Write(bytes.Repeat([]byte{1}, 64)); err != ErrInjectedDrop {
+		t.Fatalf("want ErrInjectedDrop, got %v", err)
+	}
+	// The conn is gone for good: later writes fail too.
+	if _, err := c.Write([]byte{2}); err != ErrInjectedDrop {
+		t.Fatalf("post-drop write: want ErrInjectedDrop, got %v", err)
+	}
+	if in.Stats().Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestPartialWriteStillDeliversEverything(t *testing.T) {
+	in := New(Config{Seed: 5, PartialProb: 1})
+	c, s := pipePair(t, in)
+	msg := bytes.Repeat([]byte{0xab}, 1000)
+	go func() {
+		c.Write(msg)
+		c.Close()
+	}()
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("torn write lost data: %d bytes", len(got))
+	}
+	if in.Stats().Partials == 0 {
+		t.Fatal("partial not counted")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []byte {
+		in := New(Config{Seed: 42, FlipProb: 0.5})
+		c, s := pipePair(t, in)
+		msg := bytes.Repeat([]byte{0x00}, 512)
+		done := make(chan []byte, 1)
+		go func() {
+			got, _ := io.ReadAll(s)
+			done <- got
+		}()
+		// One write per iteration so the rng consumption order is
+		// fixed regardless of scheduling.
+		for i := 0; i < 4; i++ {
+			if _, err := c.Write(msg[i*128 : (i+1)*128]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Close()
+		select {
+		case got := <-done:
+			return got
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+			return nil
+		}
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+}

@@ -2,6 +2,14 @@
 // system (Figure 2): compressed frames travel over a stream connection as
 // length-prefixed, checksummed messages. The paper's prototype uses Linux
 // sockets; this implementation works over any net.Conn.
+//
+// Wire format (protocol version 1): every message starts with a fixed
+// header — version (1 byte) | kind (1) | sequence (8) | payload length (4)
+// | crc32c of payload (4) | crc32c of the preceding 18 header bytes (4) —
+// followed by the payload. The trailing header checksum lets a receiver
+// distinguish a corrupt payload (framing intact: the frame can be nacked
+// and the stream resumed) from a corrupt header (framing lost: the
+// connection must be torn down and re-established).
 package netproto
 
 import (
@@ -11,6 +19,10 @@ import (
 	"hash/crc32"
 	"io"
 )
+
+// Version is the wire protocol version emitted by Write and required by
+// Read. Bump it when the header layout or frame semantics change.
+const Version byte = 1
 
 // Frame kinds.
 const (
@@ -27,6 +39,13 @@ const (
 	// KindQueryResult answers a query with a raw .bin-layout point list
 	// (empty on a miss).
 	KindQueryResult byte = 5
+	// KindAck acknowledges that the frame with the same sequence number
+	// was received, validated, and handled; the payload is empty.
+	KindAck byte = 6
+	// KindNack reports that the frame with the same sequence number was
+	// received but rejected (checksum or decode failure); the payload is
+	// a short human-readable reason. The sender should retransmit.
+	KindNack byte = 7
 )
 
 // MaxFrameSize bounds a single message; a raw HDL-64E frame is ~1.6 MB, so
@@ -37,12 +56,26 @@ const MaxFrameSize = 256 << 20
 // ErrFrameTooLarge reports a header demanding more than MaxFrameSize.
 var ErrFrameTooLarge = errors.New("netproto: frame exceeds size limit")
 
-// ErrChecksum reports payload corruption.
+// ErrChecksum reports payload corruption. The header (and therefore the
+// stream framing) is intact: Read returns the parsed message alongside
+// this error so the caller can nack it by sequence number and keep
+// reading.
 var ErrChecksum = errors.New("netproto: checksum mismatch")
 
-// Header layout: kind (1 byte) | sequence (8) | payload length (4) |
-// crc32c of payload (4).
-const headerSize = 1 + 8 + 4 + 4
+// ErrHeader reports header corruption; stream framing is lost and the
+// connection should be closed.
+var ErrHeader = errors.New("netproto: header checksum mismatch")
+
+// ErrVersion reports a frame from an incompatible protocol version.
+var ErrVersion = errors.New("netproto: unsupported protocol version")
+
+// Header layout: version (1 byte) | kind (1) | sequence (8) | payload
+// length (4) | crc32c of payload (4) | crc32c of header bytes [0,18) (4).
+const headerSize = 1 + 1 + 8 + 4 + 4 + 4
+
+// hdrCRCOff is the offset of the header checksum, which covers all bytes
+// before it.
+const hdrCRCOff = headerSize - 4
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -53,16 +86,27 @@ type Message struct {
 	Payload []byte
 }
 
+// Ack builds an acknowledgement for the frame with the given sequence
+// number.
+func Ack(seq uint64) Message { return Message{Kind: KindAck, Seq: seq} }
+
+// Nack builds a negative acknowledgement carrying a short reason.
+func Nack(seq uint64, reason string) Message {
+	return Message{Kind: KindNack, Seq: seq, Payload: []byte(reason)}
+}
+
 // Write serializes m to w.
 func Write(w io.Writer, m Message) error {
 	if len(m.Payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	var hdr [headerSize]byte
-	hdr[0] = m.Kind
-	binary.LittleEndian.PutUint64(hdr[1:], m.Seq)
-	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(m.Payload)))
-	binary.LittleEndian.PutUint32(hdr[13:], crc32.Checksum(m.Payload, castagnoli))
+	hdr[0] = Version
+	hdr[1] = m.Kind
+	binary.LittleEndian.PutUint64(hdr[2:], m.Seq)
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(hdr[14:], crc32.Checksum(m.Payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], crc32.Checksum(hdr[:hdrCRCOff], castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("netproto: writing header: %w", err)
 	}
@@ -73,14 +117,25 @@ func Write(w io.Writer, m Message) error {
 }
 
 // Read deserializes the next message from r.
+//
+// On ErrChecksum the returned Message still carries the parsed Kind, Seq,
+// and (corrupt) Payload — the header validated, so the caller may nack the
+// frame and continue reading the stream. Any other error means the stream
+// position is unreliable and the connection should be dropped.
 func Read(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	m := Message{Kind: hdr[0], Seq: binary.LittleEndian.Uint64(hdr[1:])}
-	n := binary.LittleEndian.Uint32(hdr[9:])
-	sum := binary.LittleEndian.Uint32(hdr[13:])
+	if crc32.Checksum(hdr[:hdrCRCOff], castagnoli) != binary.LittleEndian.Uint32(hdr[hdrCRCOff:]) {
+		return Message{}, ErrHeader
+	}
+	if hdr[0] != Version {
+		return Message{}, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[0], Version)
+	}
+	m := Message{Kind: hdr[1], Seq: binary.LittleEndian.Uint64(hdr[2:])}
+	n := binary.LittleEndian.Uint32(hdr[10:])
+	sum := binary.LittleEndian.Uint32(hdr[14:])
 	if n > MaxFrameSize {
 		return Message{}, ErrFrameTooLarge
 	}
@@ -89,7 +144,7 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("netproto: reading payload: %w", err)
 	}
 	if crc32.Checksum(m.Payload, castagnoli) != sum {
-		return Message{}, ErrChecksum
+		return m, ErrChecksum
 	}
 	return m, nil
 }

@@ -2,6 +2,9 @@ package netproto
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"net"
 	"testing"
@@ -37,8 +40,56 @@ func TestChecksumDetection(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	raw[len(raw)-3] ^= 0xff // corrupt payload
-	if _, err := Read(bytes.NewReader(raw)); err != ErrChecksum {
+	m, err := Read(bytes.NewReader(raw))
+	if err != ErrChecksum {
 		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+	// Framing survived: the header fields must still be usable so the
+	// receiver can nack the frame by sequence number.
+	if m.Kind != KindCompressed || m.Seq != 9 {
+		t.Fatalf("corrupt frame lost its identity: kind=%d seq=%d", m.Kind, m.Seq)
+	}
+}
+
+func TestHeaderCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Message{Kind: KindCompressed, Seq: 11, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < headerSize; off++ {
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[off] ^= 0x10
+		if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrHeader) {
+			t.Fatalf("flip at header byte %d: want ErrHeader, got %v", off, err)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	hdr := make([]byte, headerSize)
+	hdr[0] = Version + 1
+	hdr[1] = KindCompressed
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], crc32.Checksum(hdr[:hdrCRCOff], castagnoli))
+	if _, err := Read(bytes.NewReader(hdr)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestAckNackRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Ack(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, Nack(8, "checksum")); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := Read(&buf)
+	if err != nil || ack.Kind != KindAck || ack.Seq != 7 {
+		t.Fatalf("ack = %+v, %v", ack, err)
+	}
+	nack, err := Read(&buf)
+	if err != nil || nack.Kind != KindNack || nack.Seq != 8 || string(nack.Payload) != "checksum" {
+		t.Fatalf("nack = %+v, %v", nack, err)
 	}
 }
 
@@ -46,14 +97,13 @@ func TestOversizeRejected(t *testing.T) {
 	if err := Write(io.Discard, Message{Payload: make([]byte, MaxFrameSize+1)}); err != ErrFrameTooLarge {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}
-	// A forged header demanding too much must be rejected before
-	// allocation.
+	// A forged header demanding too much (with a valid header checksum)
+	// must be rejected before allocation.
 	hdr := make([]byte, headerSize)
-	hdr[0] = KindCompressed
-	hdr[9] = 0xff
-	hdr[10] = 0xff
-	hdr[11] = 0xff
-	hdr[12] = 0x7f
+	hdr[0] = Version
+	hdr[1] = KindCompressed
+	binary.LittleEndian.PutUint32(hdr[10:], MaxFrameSize+1)
+	binary.LittleEndian.PutUint32(hdr[hdrCRCOff:], crc32.Checksum(hdr[:hdrCRCOff], castagnoli))
 	if _, err := Read(bytes.NewReader(hdr)); err != ErrFrameTooLarge {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}

@@ -1,0 +1,440 @@
+// Package reliable layers fault tolerance on top of the netproto framing:
+// a Client that acknowledges every frame, bounds the in-flight window,
+// retransmits on nack or timeout, and reconnects with exponential backoff
+// and jitter; and a Server whose per-connection Sessions isolate frame
+// failures (a corrupt or undecodable frame is nacked and quarantined, not
+// fatal), recover from handler panics, enforce read/write deadlines, and
+// drain gracefully on shutdown.
+//
+// Delivery semantics: a frame is acknowledged only after the server-side
+// handler accepted it, so every acked frame was handled at least once.
+// Retransmits can deliver the same sequence number more than once (an ack
+// can be lost on the wire); handlers must therefore be idempotent per
+// sequence number, which the frame store's last-Put-wins shadowing
+// provides.
+package reliable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"dbgc/internal/netproto"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("reliable: client closed")
+
+var errAckTimeout = errors.New("reliable: timed out waiting for ack")
+
+// Options configures a Client. The zero value of every field except Dial
+// gets a sensible default.
+type Options struct {
+	// Dial opens a connection to the server. Called again, after
+	// backoff, whenever the current connection fails. Required.
+	Dial func() (net.Conn, error)
+	// MaxInFlight bounds the number of unacknowledged frames (default
+	// 8). Send blocks once the window is full.
+	MaxInFlight int
+	// AckTimeout is how long to wait for any ack before declaring the
+	// connection dead and reconnecting (default 5s).
+	AckTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s).
+	WriteTimeout time.Duration
+	// BaseBackoff and MaxBackoff bound the exponential reconnect
+	// backoff (defaults 50ms and 3s); each sleep is jittered to
+	// [0.5,1.5)× the nominal value.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxStalls is the number of consecutive connection failures
+	// without a single ack before giving up (default 12).
+	MaxStalls int
+	// FrameRetries is how many nacks a single frame survives before the
+	// client reports it undeliverable (default 64).
+	FrameRetries int
+	// Seed feeds the jitter source; 0 means a time-independent fixed
+	// seed (fine for production, deterministic for tests).
+	Seed int64
+	// Logf, when set, receives retry/reconnect diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts client activity since construction.
+type Stats struct {
+	Sent       int // frames handed to Send
+	Acked      int // frames acknowledged by the server
+	Nacked     int // negative acknowledgements received
+	Resent     int // retransmitted frames (nack or reconnect)
+	Reconnects int // successful dials, including the first
+}
+
+// Client sends frames reliably over a flaky link. It is not safe for
+// concurrent use: like the sensor pipeline it serves, it is a single
+// producer loop.
+type Client struct {
+	cfg  Options
+	rng  *rand.Rand
+	conn net.Conn
+	// events carries acks/nacks (and read errors) from the reader
+	// goroutine of the current connection; replaced on reconnect.
+	events  chan event
+	pending []*pframe // sent but unacked, in send order
+	bySeq   map[uint64]*pframe
+	stalls  int // consecutive connection failures since the last ack
+	lastErr error
+	stats   Stats
+	closed  bool
+}
+
+type pframe struct {
+	msg     netproto.Message
+	retries int
+	writes  int // wire transmissions so far; >1 means retransmitted
+}
+
+type event struct {
+	msg netproto.Message
+	err error
+}
+
+// NewClient builds a client; the first connection is dialed lazily on the
+// first Send.
+func NewClient(cfg Options) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("reliable: Options.Dial is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 3 * time.Second
+	}
+	if cfg.MaxStalls <= 0 {
+		cfg.MaxStalls = 12
+	}
+	if cfg.FrameRetries <= 0 {
+		cfg.FrameRetries = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Client{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		bySeq: make(map[uint64]*pframe),
+	}, nil
+}
+
+// Send queues m for reliable delivery and blocks while the in-flight
+// window is full. A nil error means the frame is on its way (and will be
+// retransmitted as needed), not yet that it was acked; Flush waits for
+// acknowledgement. Sequence numbers must be unique among in-flight frames
+// because acks are matched by Seq.
+func (c *Client) Send(m netproto.Message) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if _, dup := c.bySeq[m.Seq]; dup {
+		return fmt.Errorf("reliable: seq %d already in flight", m.Seq)
+	}
+	f := &pframe{msg: m}
+	c.pending = append(c.pending, f)
+	c.bySeq[m.Seq] = f
+	c.stats.Sent++
+	if c.conn == nil {
+		// reconnect transmits everything pending, including f.
+		if err := c.reconnect(); err != nil {
+			return err
+		}
+	} else {
+		f.writes++
+		if err := c.writeFrame(f.msg); err != nil {
+			c.dropConn(err)
+			if err := c.reconnect(); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain acks that already arrived, then block while over the window.
+	if err := c.drain(); err != nil {
+		return err
+	}
+	for len(c.pending) >= c.cfg.MaxInFlight {
+		if err := c.awaitEvent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every sent frame has been acknowledged.
+func (c *Client) Flush() error {
+	for len(c.pending) > 0 {
+		if err := c.awaitEvent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query sends a spatial query and waits for its result, retrying over
+// reconnects and tolerating interleaved non-result frames (stray acks).
+// All pending frames are flushed first so the result cannot be confused
+// with ack traffic for unacked frames.
+func (c *Client) Query(q netproto.Query) (netproto.Message, error) {
+	if err := c.Flush(); err != nil {
+		return netproto.Message{}, err
+	}
+	msg := netproto.Message{Kind: netproto.KindQuery, Seq: q.Seq, Payload: netproto.EncodeQuery(q)}
+	for attempt := 0; attempt <= c.cfg.FrameRetries; attempt++ {
+		if c.conn == nil {
+			if err := c.reconnect(); err != nil {
+				return netproto.Message{}, err
+			}
+		}
+		if err := c.writeFrame(msg); err != nil {
+			c.dropConn(err)
+			continue
+		}
+		deadline := time.Now().Add(c.cfg.AckTimeout)
+		for {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				c.dropConn(errAckTimeout)
+				break
+			}
+			timer := time.NewTimer(remain)
+			select {
+			case ev, ok := <-c.events:
+				timer.Stop()
+				if !ok || ev.err != nil {
+					c.dropConn(ev.err)
+				} else if ev.msg.Kind == netproto.KindQueryResult {
+					return ev.msg, nil
+				}
+				// Anything else (stray ack/nack) is skipped.
+			case <-timer.C:
+				c.dropConn(errAckTimeout)
+			}
+			if c.conn == nil {
+				break
+			}
+		}
+	}
+	return netproto.Message{}, fmt.Errorf("reliable: query failed after %d attempts: %w", c.cfg.FrameRetries+1, c.lastErr)
+}
+
+// Close flushes outstanding frames, tells the server goodbye, and releases
+// the connection. The returned error is the flush outcome: nil means every
+// frame sent was acknowledged.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	flushErr := c.Flush()
+	c.closed = true
+	if c.conn != nil {
+		_ = c.writeFrame(netproto.Message{Kind: netproto.KindBye, Seq: uint64(c.stats.Sent)})
+		c.dropConn(nil)
+	}
+	return flushErr
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// awaitEvent blocks for the next ack/nack (up to AckTimeout) and processes
+// it; a timeout or connection error triggers reconnect-and-retransmit.
+func (c *Client) awaitEvent() error {
+	timer := time.NewTimer(c.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case ev, ok := <-c.events:
+		if !ok {
+			c.dropConn(c.lastErr)
+			return c.reconnect()
+		}
+		return c.handleEvent(ev)
+	case <-timer.C:
+		c.dropConn(errAckTimeout)
+		return c.reconnect()
+	}
+}
+
+// drain processes without blocking whatever the reader has already
+// delivered.
+func (c *Client) drain() error {
+	for {
+		select {
+		case ev, ok := <-c.events:
+			if !ok {
+				c.dropConn(c.lastErr)
+				return c.reconnect()
+			}
+			if err := c.handleEvent(ev); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *Client) handleEvent(ev event) error {
+	if ev.err != nil {
+		c.dropConn(ev.err)
+		return c.reconnect()
+	}
+	switch ev.msg.Kind {
+	case netproto.KindAck:
+		c.ack(ev.msg.Seq)
+	case netproto.KindNack:
+		f, ok := c.bySeq[ev.msg.Seq]
+		if !ok {
+			return nil // late nack for a frame that was since acked
+		}
+		c.stats.Nacked++
+		f.retries++
+		if f.retries > c.cfg.FrameRetries {
+			return fmt.Errorf("reliable: frame %d rejected %d times (%s), giving up",
+				ev.msg.Seq, f.retries, ev.msg.Payload)
+		}
+		c.cfg.Logf("reliable: frame %d nacked (%s), resending (try %d)", ev.msg.Seq, ev.msg.Payload, f.retries)
+		c.stats.Resent++
+		f.writes++
+		if err := c.writeFrame(f.msg); err != nil {
+			c.dropConn(err)
+			return c.reconnect()
+		}
+	default:
+		// Stray frame (e.g. a late query result): ignore.
+	}
+	return nil
+}
+
+func (c *Client) ack(seq uint64) {
+	f, ok := c.bySeq[seq]
+	if !ok {
+		return // duplicate ack after a retransmit
+	}
+	delete(c.bySeq, seq)
+	for i, p := range c.pending {
+		if p == f {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	c.stats.Acked++
+	c.stalls = 0 // acks are the progress signal
+}
+
+func (c *Client) writeFrame(m netproto.Message) error {
+	if c.cfg.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	return netproto.Write(c.conn, m)
+}
+
+// dropConn tears down the current connection and drains its reader.
+func (c *Client) dropConn(reason error) {
+	if reason != nil {
+		c.lastErr = reason
+	}
+	if c.conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+	// The reader unblocks on the closed conn, sends its error, and
+	// closes the channel; consume the leftovers so it can exit.
+	for range c.events {
+	}
+	c.events = nil
+}
+
+// reconnect dials (with backoff and jitter) until a connection accepts a
+// retransmit of every pending frame, or the stall budget runs out.
+func (c *Client) reconnect() error {
+	for {
+		if c.stalls >= c.cfg.MaxStalls {
+			return fmt.Errorf("reliable: giving up after %d consecutive failures: %w", c.stalls, c.lastErr)
+		}
+		if c.stalls > 0 {
+			c.sleepBackoff(c.stalls)
+		}
+		c.stalls++
+		conn, err := c.cfg.Dial()
+		if err != nil {
+			c.lastErr = err
+			c.cfg.Logf("reliable: dial failed (attempt %d): %v", c.stalls, err)
+			continue
+		}
+		c.conn = conn
+		c.events = make(chan event, 2*c.cfg.MaxInFlight+8)
+		go readLoop(conn, c.events)
+		c.stats.Reconnects++
+		resent := true
+		for _, f := range c.pending {
+			// A frame already on the wire once counts as a
+			// retransmit; the first write of a fresh frame (e.g.
+			// on the initial dial) does not.
+			if f.writes > 0 {
+				c.stats.Resent++
+			}
+			f.writes++
+			if err := c.writeFrame(f.msg); err != nil {
+				c.cfg.Logf("reliable: retransmit of frame %d failed: %v", f.msg.Seq, err)
+				c.dropConn(err)
+				resent = false
+				break
+			}
+		}
+		if resent {
+			return nil
+		}
+	}
+}
+
+func (c *Client) sleepBackoff(attempt int) {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.cfg.BaseBackoff << shift
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+	time.Sleep(d)
+}
+
+// readLoop forwards server responses to the event channel until the
+// connection dies, then reports the error and closes the channel.
+func readLoop(conn net.Conn, ch chan event) {
+	defer close(ch)
+	for {
+		m, err := netproto.Read(conn)
+		if errors.Is(err, netproto.ErrChecksum) {
+			// A corrupt response with intact framing: drop it and
+			// keep reading — the affected frame retransmits on
+			// ack timeout.
+			continue
+		}
+		if err != nil {
+			ch <- event{err: err}
+			return
+		}
+		ch <- event{msg: m}
+	}
+}

@@ -1,0 +1,303 @@
+package reliable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbgc/internal/netproto"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("reliable: server closed")
+
+// ErrBadFrame marks a handler failure caused by the frame's content (it
+// arrived intact but cannot be decoded). Sessions quarantine such frames;
+// any other handler error (e.g. storage trouble) is nacked without
+// quarantine because retrying may genuinely succeed.
+var ErrBadFrame = errors.New("reliable: bad frame")
+
+// ServerConfig configures Sessions. Handle is required; everything else
+// defaults.
+type ServerConfig struct {
+	// Handle processes one data frame (KindCompressed or KindRaw). A
+	// nil return acks the frame; an error nacks it. Wrap content errors
+	// in ErrBadFrame to also quarantine the payload. Must be safe for
+	// concurrent use across sessions and idempotent per sequence number
+	// (retransmits can redeliver).
+	Handle func(m netproto.Message) error
+	// Query, when set, answers KindQuery frames; the returned payload
+	// travels back as KindQueryResult. A nil Query nacks queries.
+	Query func(q netproto.Query) ([]byte, error)
+	// Quarantine, when set, receives frames that failed validation (wire
+	// checksum mismatch, ErrBadFrame, or a handler panic) before they
+	// are nacked.
+	Quarantine func(m netproto.Message, reason string)
+	// ReadTimeout is the maximum idle time between frames before the
+	// session is considered abandoned (default 60s).
+	ReadTimeout time.Duration
+	// WriteTimeout is the deadline for writing a response (default 10s).
+	WriteTimeout time.Duration
+	// NoAck suppresses ack/nack responses for wire compatibility with
+	// fire-and-forget clients; fault isolation still applies.
+	NoAck bool
+	// Logf, when set, receives per-session diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *ServerConfig) fillDefaults() {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 60 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+// Server accepts connections and runs a Session per connection.
+type Server struct {
+	cfg        ServerConfig
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[net.Conn]struct{}
+	wg         sync.WaitGroup
+	inShutdown atomic.Bool
+}
+
+// NewServer builds a server around the given config.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.fillDefaults()
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown closes it, running each
+// connection's Session on its own goroutine. A session failure never
+// affects other sessions.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.inShutdown.Load() || errors.Is(err, net.ErrClosed) {
+				return ErrServerClosed
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			return err
+		}
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			sess := NewSession(conn, s.cfg)
+			if err := sess.Run(); err != nil {
+				s.cfg.Logf("reliable: client %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Shutdown stops accepting connections and waits for active sessions to
+// drain. If ctx expires first, remaining connections are closed forcibly
+// and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Session serves one connection: reads frames, dispatches them, and
+// responds with acks/nacks. Frame-level failures (checksum, decode,
+// handler panic) are isolated — nacked and quarantined — while
+// framing-level failures (corrupt header, torn stream) end the session so
+// the client can reconnect.
+type Session struct {
+	conn net.Conn
+	cfg  ServerConfig
+}
+
+// NewSession wraps an accepted connection.
+func NewSession(conn net.Conn, cfg ServerConfig) *Session {
+	cfg.fillDefaults()
+	return &Session{conn: conn, cfg: cfg}
+}
+
+// Run serves the connection until the client says goodbye, disconnects, or
+// the stream framing is lost. A panic anywhere in the session (including
+// the dispatch path) is caught and reported as an error rather than
+// crashing the server.
+func (s *Session) Run() (err error) {
+	defer s.conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("reliable: session panic: %v", r)
+		}
+	}()
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		m, rerr := netproto.Read(s.conn)
+		switch {
+		case rerr == nil:
+		case errors.Is(rerr, io.EOF), errors.Is(rerr, net.ErrClosed):
+			return nil // client hung up (or drain closed us): normal end
+		case errors.Is(rerr, netproto.ErrChecksum):
+			// Payload corrupt but framing intact: isolate the frame
+			// and keep the stream.
+			s.quarantine(m, "payload checksum mismatch")
+			if err := s.respond(netproto.Nack(m.Seq, "checksum")); err != nil {
+				return err
+			}
+			continue
+		default:
+			// Header corruption, torn read, version mismatch: the
+			// stream position is gone; force a reconnect.
+			return fmt.Errorf("reliable: reading frame: %w", rerr)
+		}
+		switch m.Kind {
+		case netproto.KindBye:
+			return nil
+		case netproto.KindCompressed, netproto.KindRaw:
+			if herr := s.dispatch(m); herr != nil {
+				reason := herr.Error()
+				s.cfg.Logf("reliable: frame %d rejected: %v", m.Seq, herr)
+				if err := s.respond(netproto.Nack(m.Seq, clip(reason))); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := s.respond(netproto.Ack(m.Seq)); err != nil {
+				return err
+			}
+		case netproto.KindQuery:
+			if err := s.answer(m); err != nil {
+				return err
+			}
+		default:
+			// Unknown kind from a newer client: reject the frame,
+			// keep the session.
+			if err := s.respond(netproto.Nack(m.Seq, "unknown kind")); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dispatch runs the handler with its own panic isolation: a decoder blowing
+// up on a hostile payload costs one nack, not the connection.
+func (s *Session) dispatch(m netproto.Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: handler panic: %v", ErrBadFrame, r)
+			s.quarantine(m, err.Error())
+		}
+	}()
+	if s.cfg.Handle == nil {
+		return errors.New("no handler")
+	}
+	err = s.cfg.Handle(m)
+	if err != nil && errors.Is(err, ErrBadFrame) {
+		s.quarantine(m, err.Error())
+	}
+	return err
+}
+
+func (s *Session) answer(m netproto.Message) error {
+	if s.cfg.Query == nil {
+		return s.respond(netproto.Nack(m.Seq, "queries unsupported"))
+	}
+	q, err := netproto.DecodeQuery(m.Payload)
+	if err != nil {
+		return s.respond(netproto.Nack(m.Seq, clip(err.Error())))
+	}
+	payload, err := s.callQuery(q)
+	if err != nil {
+		s.cfg.Logf("reliable: query frame %d: %v", q.Seq, err)
+		payload = nil // an empty result, like a miss
+	}
+	return s.write(netproto.Message{Kind: netproto.KindQueryResult, Seq: q.Seq, Payload: payload})
+}
+
+func (s *Session) callQuery(q netproto.Query) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query panic: %v", r)
+		}
+	}()
+	return s.cfg.Query(q)
+}
+
+func (s *Session) quarantine(m netproto.Message, reason string) {
+	if s.cfg.Quarantine != nil {
+		s.cfg.Quarantine(m, reason)
+	}
+}
+
+// respond writes an ack/nack unless running in fire-and-forget mode.
+func (s *Session) respond(m netproto.Message) error {
+	if s.cfg.NoAck {
+		return nil
+	}
+	return s.write(m)
+}
+
+func (s *Session) write(m netproto.Message) error {
+	if s.cfg.WriteTimeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return netproto.Write(s.conn, m)
+}
+
+// clip bounds nack reasons so a pathological error string cannot bloat the
+// response frame.
+func clip(reason string) string {
+	const max = 200
+	if len(reason) > max {
+		return reason[:max]
+	}
+	return reason
+}

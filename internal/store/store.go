@@ -3,6 +3,19 @@
 // relational database via ODBC; in this stdlib-only build the store is an
 // append-only segment file with an in-memory index — one record per frame,
 // holding either the compressed bit sequence B or a decompressed cloud.
+//
+// # Durability contract
+//
+// Put appends through the OS page cache and does not fsync; a record is
+// guaranteed on stable storage only once a later Sync (or Close) returns.
+// Open verifies every record's checksum while rebuilding the index and
+// truncates the file at the first torn or corrupt record, so after a crash
+// the store recovers exactly a durable prefix of the append order: every
+// record before the corruption point is intact and indexed, everything
+// from it on is discarded. Callers that acknowledge writes to a remote
+// peer (see cmd/dbgc-server's -fsync flag) must call Sync before — or
+// periodically between — acknowledgements to bound how many acked frames
+// a power loss can undo.
 package store
 
 import (
@@ -21,6 +34,11 @@ const (
 	KindCompressed byte = 1
 	// KindDecompressed marks a record holding a raw frame (.bin layout).
 	KindDecompressed byte = 2
+	// KindQuarantined marks a record holding a payload that failed
+	// validation on receipt (wire checksum or decode failure). It is
+	// kept for forensics, never served to queries, and is shadowed by a
+	// later successful Put of the same sequence number.
+	KindQuarantined byte = 3
 )
 
 // ErrNotFound reports a missing frame.
@@ -63,7 +81,17 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
+// rebuild scans the segment file, verifying each record's checksum, and
+// truncates at the first torn or corrupt record: a corrupt length field
+// would otherwise mis-walk the rest of the segment, and a corrupt payload
+// would be silently indexed only to fail at Get. Everything before the
+// corruption point survives; everything after it is discarded.
 func (s *Store) rebuild() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := fi.Size()
 	var hdr [recordHeader]byte
 	off := int64(0)
 	for {
@@ -79,11 +107,17 @@ func (s *Store) rebuild() error {
 		seq := binary.LittleEndian.Uint64(hdr[0:])
 		kind := hdr[8]
 		size := binary.LittleEndian.Uint32(hdr[9:])
+		want := binary.LittleEndian.Uint32(hdr[13:])
 		next := off + recordHeader + int64(size)
-		if fi, err := s.f.Stat(); err != nil {
-			return err
-		} else if next > fi.Size() {
-			break // torn payload
+		if next > fileSize || next < off {
+			break // torn payload or corrupt length
+		}
+		sum := crc32.New(castagnoli)
+		if _, err := io.Copy(sum, io.NewSectionReader(s.f, off+recordHeader, int64(size))); err != nil {
+			break // unreadable payload: treat as corruption
+		}
+		if sum.Sum32() != want {
+			break // corrupt record: stop and truncate here
 		}
 		s.index[seq] = recordPos{off: off, size: size, kind: kind}
 		off = next
@@ -135,6 +169,23 @@ func (s *Store) Get(seq uint64) ([]byte, byte, error) {
 		return nil, 0, ErrCorrupt
 	}
 	return payload, pos.kind, nil
+}
+
+// Kind reports the stored kind of the frame with the given sequence
+// number without reading its payload.
+func (s *Store) Kind(seq uint64) (byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pos, ok := s.index[seq]
+	return pos.kind, ok
+}
+
+// Sync flushes all appended records to stable storage. See the package
+// comment for the durability contract.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
 }
 
 // Len returns the number of stored frames.

@@ -113,7 +113,7 @@ func TestTornRecordTruncated(t *testing.T) {
 	}
 }
 
-func TestCorruptPayloadDetected(t *testing.T) {
+func TestCorruptPayloadTruncatedAtOpen(t *testing.T) {
 	s, path := tempStore(t)
 	if err := s.Put(7, KindCompressed, bytes.Repeat([]byte{7}, 100)); err != nil {
 		t.Fatal(err)
@@ -127,13 +127,111 @@ func TestCorruptPayloadDetected(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// The rebuild scan verifies checksums, so the corrupt record is
+	// dropped and truncated rather than indexed.
 	s2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, _, err := s2.Get(7); err != ErrCorrupt {
+	if _, _, err := s2.Get(7); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound after truncation, got %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("corrupt record not truncated: size=%d err=%v", fi.Size(), err)
+	}
+}
+
+func TestRebuildStopsAtMidFileCorruption(t *testing.T) {
+	s, path := tempStore(t)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Put(seq, KindCompressed, bytes.Repeat([]byte{byte(seq)}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	recordLen := int64(recordHeader + 200)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the middle record.
+	raw[recordLen+recordHeader+50] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// The scan stops at the first corrupt record: record 1 survives,
+	// records 2 and 3 are discarded and the file is truncated.
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+	if got, _, err := s2.Get(1); err != nil || !bytes.Equal(got, bytes.Repeat([]byte{1}, 200)) {
+		t.Fatalf("record 1 damaged: %v", err)
+	}
+	for _, seq := range []uint64{2, 3} {
+		if _, _, err := s2.Get(seq); err != ErrNotFound {
+			t.Fatalf("Get(%d): want ErrNotFound, got %v", seq, err)
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != recordLen {
+		t.Fatalf("file size = %d, want %d (err=%v)", fi.Size(), recordLen, err)
+	}
+	// Appends must resume cleanly at the truncation point.
+	if err := s2.Put(4, KindCompressed, []byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s2.Get(4); err != nil || string(got) != "after-recovery" {
+		t.Fatalf("post-recovery append broken: %q %v", got, err)
+	}
+}
+
+func TestCorruptionAfterOpenDetectedAtGet(t *testing.T) {
+	s, path := tempStore(t)
+	defer s.Close()
+	if err := s.Put(7, KindCompressed, bytes.Repeat([]byte{7}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the live file behind the store's back (bit rot after the
+	// rebuild scan): Get's own checksum must still catch it.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, recordHeader+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := s.Get(7); err != ErrCorrupt {
 		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestSyncAndKind(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	if err := s.Put(1, KindQuarantined, []byte("bad-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if kind, ok := s.Kind(1); !ok || kind != KindQuarantined {
+		t.Fatalf("Kind(1) = %d, %v", kind, ok)
+	}
+	if _, ok := s.Kind(2); ok {
+		t.Fatal("Kind(2) reported a missing frame")
+	}
+	// A later good Put shadows the quarantined record.
+	if err := s.Put(1, KindCompressed, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if kind, ok := s.Kind(1); !ok || kind != KindCompressed {
+		t.Fatalf("after shadowing, Kind(1) = %d, %v", kind, ok)
 	}
 }
 
