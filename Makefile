@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz
+.PHONY: check build vet test race fuzz bench-json
 
 # check is the CI gate: vet + full test suite, then the data-race pass
 # (which includes the reliable-transport fault-injection tests).
@@ -17,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Machine-readable performance numbers: parallel decode speedup, per-decode
+# allocation counts, and frame-pipeline FPS for this machine.
+bench-json:
+	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_2.json
 
 # Short fuzz sweeps over the wire decoder and the sparse codec.
 fuzz:

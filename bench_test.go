@@ -7,7 +7,11 @@
 package dbgc_test
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"dbgc"
 	"dbgc/internal/benchkit"
@@ -15,6 +19,7 @@ import (
 	"dbgc/internal/core"
 	"dbgc/internal/lidar"
 	"dbgc/internal/octree"
+	"dbgc/internal/stream"
 )
 
 func cityFrame(b *testing.B) dbgc.PointCloud {
@@ -94,6 +99,7 @@ func BenchmarkFig10OctreeFraction(b *testing.B) {
 	pc := cityFrame(b)
 	opts := dbgc.DefaultOptions(benchkit.DefaultQ)
 	opts.ForceOctreeFraction = 0.5
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -124,6 +130,7 @@ func BenchmarkFig11Ablations(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			opts := dbgc.DefaultOptions(benchkit.DefaultQ)
 			mod(&opts)
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				data, _, err := dbgc.Compress(pc, opts)
@@ -154,6 +161,7 @@ func BenchmarkTable2Outliers(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			opts := dbgc.DefaultOptions(benchkit.DefaultQ)
 			opts.OutlierMode = mode
+			b.ReportAllocs()
 			var ratio float64
 			for i := 0; i < b.N; i++ {
 				data, _, err := dbgc.Compress(pc, opts)
@@ -172,6 +180,7 @@ func BenchmarkTable2Outliers(b *testing.B) {
 func BenchmarkFig12Latency(b *testing.B) {
 	pc := cityFrame(b)
 	b.Run("Compress", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ)); err != nil {
 				b.Fatal(err)
@@ -183,6 +192,7 @@ func BenchmarkFig12Latency(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("Decompress", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dbgc.Decompress(data); err != nil {
 				b.Fatal(err)
@@ -191,10 +201,135 @@ func BenchmarkFig12Latency(b *testing.B) {
 	})
 }
 
+// BenchmarkDecodeThroughput measures the decode path serially and with the
+// parallel section/group decoder, reporting points per second. On a
+// single-core host the two should match; the parallel variant scales with
+// cores.
+func BenchmarkDecodeThroughput(b *testing.B) {
+	pc := cityFrame(b)
+	data, _, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		opts dbgc.DecompressOptions
+	}{
+		{"Serial", dbgc.DecompressOptions{}},
+		{"Parallel", dbgc.DecompressOptions{Parallel: true}},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := dbgc.DecompressWith(data, variant.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(len(pc)*b.N)/elapsed/1e6, "Mpoints/s")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineFPS measures end-to-end frames per second through the
+// stream container, serial vs the framepipe worker pool.
+func BenchmarkPipelineFPS(b *testing.B) {
+	clouds, err := benchkit.Frames(lidar.City, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dbgc.DefaultOptions(benchkit.DefaultQ)
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("Pack/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			frames := 0
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				w, err := stream.NewWriter(&buf, opts, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers > 1 {
+					if err := w.EnablePipeline(workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, pc := range clouds {
+					if _, err := w.WriteFrame(pc, nil); err != nil {
+						b.Fatal(err)
+					}
+					frames++
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(frames)/elapsed, "frames/s")
+			}
+		})
+	}
+	var container bytes.Buffer
+	w, err := stream.NewWriter(&container, opts, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pc := range clouds {
+		if _, err := w.WriteFrame(pc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("Read/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			frames := 0
+			for i := 0; i < b.N; i++ {
+				r, err := stream.NewReader(bytes.NewReader(container.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers > 1 {
+					if err := r.EnablePipeline(workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for range clouds {
+					if _, err := r.ReadFrame(); err != nil {
+						b.Fatal(err)
+					}
+					frames++
+				}
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(frames)/elapsed, "frames/s")
+			}
+		})
+	}
+}
+
 // BenchmarkFig13Breakdown exercises the staged pipeline that Figure 13
 // decomposes; stage shares are printed by `dbgc-bench -exp fig13`.
 func BenchmarkFig13Breakdown(b *testing.B) {
 	pc := cityFrame(b)
+	b.ReportAllocs()
 	var spaShare float64
 	for i := 0; i < b.N; i++ {
 		_, stats, err := dbgc.Compress(pc, dbgc.DefaultOptions(benchkit.DefaultQ))
@@ -215,11 +350,13 @@ func BenchmarkClusteringApproxSpeedup(b *testing.B) {
 	pc := cityFrame(b)
 	params := cluster.DefaultParams(benchkit.DefaultQ)
 	b.Run("Exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster.CellBased(pc, params)
 		}
 	})
 	b.Run("Approximate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster.Approximate(pc, params)
 		}
@@ -232,6 +369,7 @@ func BenchmarkThroughput(b *testing.B) {
 	pc := cityFrame(b)
 	opts := dbgc.DefaultOptions(benchkit.DefaultQ)
 	var mbps float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, _, err := dbgc.Compress(pc, opts)
@@ -252,6 +390,7 @@ func BenchmarkTemporalPFrame(b *testing.B) {
 	}
 	_ = res
 	b.ReportMetric(res.Gain, "temporal-gain")
+	b.ReportAllocs()
 	// The heavy path is re-running the two-frame experiment.
 	for i := 0; i < b.N; i++ {
 		if _, err := benchkit.Temporal(lidar.Campus, 2, benchkit.DefaultQ); err != nil {

@@ -8,10 +8,11 @@
 //	dbgc-bench -exp fig9 -frames 3 # one experiment, 3 frames per config
 //
 // Experiments: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster,
-// throughput, memory, temporal, all.
+// throughput, memory, temporal, perf, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +23,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, all")
+	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, perf, all")
 	frames := flag.Int("frames", 2, "frames per configuration (the paper uses 1000)")
 	quick := flag.Bool("quick", false, "restrict sweeps to fewer error bounds and scenes")
 	csvDir := flag.String("csv", "", "also write raw rows as CSV files into this directory")
+	jsonPath := flag.String("json", "", "write the perf experiment result as JSON to this file")
 	flag.Parse()
+	jsonOut = *jsonPath
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
@@ -47,8 +50,9 @@ func main() {
 		"throughput": runThroughput,
 		"memory":     runMemory,
 		"temporal":   runTemporal,
+		"perf":       runPerf,
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal"}
+	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal", "perf"}
 
 	var selected []string
 	if *exp == "all" {
@@ -281,6 +285,44 @@ func runTemporal(frames int, quick bool) error {
 	}
 	fmt.Printf("all-I container %d bytes, temporal %d bytes: %.2fx\n",
 		res.PlainBytes, res.TemporalBytes, res.Gain)
+	return nil
+}
+
+// jsonOut, when set, receives the perf experiment result as JSON.
+var jsonOut string
+
+func runPerf(frames int, quick bool) error {
+	header("Performance architecture: parallel decode, scratch reuse, frame pipeline (city, q=2cm)")
+	res, err := benchkit.Perf(benchkit.DefaultQ, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cores: %d, %d points/frame, %d bytes compressed (ratio %.2f)\n",
+		res.Cores, res.PointsPerFrame, res.FrameBytes, res.Ratio)
+	fmt.Printf("decode:   serial %7.1f ms, parallel %7.1f ms (%.2fx)\n",
+		res.SerialDecodeMs, res.ParallelDecodeMs, res.DecodeSpeedup)
+	fmt.Printf("          allocs/op: serial %.0f, parallel %.0f\n",
+		res.SerialDecodeAllocs, res.ParallelDecodeAllocs)
+	fmt.Printf("compress: serial %7.1f ms, parallel %7.1f ms (%.2fx)\n",
+		res.SerialCompressMs, res.ParallelCompressMs, res.CompressSpeedup)
+	fmt.Printf("pipeline (%d frames, %d workers): pack %.1f -> %.1f fps, read %.1f -> %.1f fps, byte-identical: %v\n",
+		res.PipelineFrames, res.PipelineWorkers,
+		res.SerialPackFPS, res.PipelinedPackFPS,
+		res.SerialReadFPS, res.PipelinedReadFPS, res.PipelineIdentical)
+	if res.Cores == 1 {
+		fmt.Println("note: single-core host; parallel paths cannot show wall-clock gains here")
+	}
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 	return nil
 }
 

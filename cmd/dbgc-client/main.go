@@ -10,6 +10,7 @@
 //
 //	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10]
 //	            [-q 0.02] [-rate 10] [-window 8] [-ack-timeout 5s] [-noack]
+//	            [-workers 1]
 package main
 
 import (
@@ -22,10 +23,24 @@ import (
 	"time"
 
 	"dbgc"
+	"dbgc/internal/framepipe"
 	"dbgc/internal/lidar"
 	"dbgc/internal/netproto"
 	"dbgc/internal/reliable"
 )
+
+// captureJob and compressedFrame carry frames through the -workers
+// compression pipeline.
+type captureJob struct {
+	seq int
+	pc  dbgc.PointCloud
+}
+
+type compressedFrame struct {
+	seq, points, rawSize int
+	data                 []byte
+	stats                *dbgc.Stats
+}
 
 func main() {
 	server := flag.String("server", "localhost:7045", "dbgc-server address")
@@ -37,6 +52,7 @@ func main() {
 	window := flag.Int("window", 8, "max unacknowledged frames in flight")
 	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "resend frames unacked after this long")
 	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: no acks, no retransmits")
+	workers := flag.Int("workers", 1, "compress this many frames concurrently (frames are sent in order)")
 	flag.Parse()
 
 	scene, err := lidar.NewScene(lidar.SceneKind(*sceneKind), 1)
@@ -99,28 +115,80 @@ func main() {
 	}
 	var totalRaw, totalCompressed int
 	start := time.Now()
-	for seq := 0; seq < *frames; seq++ {
-		frameStart := time.Now()
-		pc := cfg.Simulate(scene, int64(seq+1))
-		data, stats, err := dbgc.Compress(pc, opts)
+	deliver := func(c compressedFrame, err error) {
 		if err != nil {
-			log.Fatalf("compressing frame %d: %v", seq, err)
+			log.Fatal(err)
 		}
 		if err := send(netproto.Message{
 			Kind:    netproto.KindCompressed,
-			Seq:     uint64(seq),
-			Payload: data,
+			Seq:     uint64(c.seq),
+			Payload: c.data,
 		}); err != nil {
-			log.Fatalf("sending frame %d: %v", seq, err)
+			log.Fatalf("sending frame %d: %v", c.seq, err)
 		}
-		totalRaw += pc.RawSize()
-		totalCompressed += len(data)
+		totalRaw += c.rawSize
+		totalCompressed += len(c.data)
+		s := c.stats
 		log.Printf("frame %d: %d points, %d bytes (ratio %.2f), compress %v",
-			seq, len(pc), len(data), stats.CompressionRatio(),
-			(stats.DEN + stats.OCT + stats.COR + stats.ORG + stats.SPA + stats.OUT).Round(time.Millisecond))
-		if interval > 0 {
-			if sleep := interval - time.Since(frameStart); sleep > 0 {
-				time.Sleep(sleep)
+			c.seq, c.points, len(c.data), s.CompressionRatio(),
+			(s.DEN + s.OCT + s.COR + s.ORG + s.SPA + s.OUT).Round(time.Millisecond))
+	}
+	compressOne := func(j captureJob) (compressedFrame, error) {
+		data, stats, err := dbgc.Compress(j.pc, opts)
+		if err != nil {
+			return compressedFrame{}, fmt.Errorf("compressing frame %d: %w", j.seq, err)
+		}
+		return compressedFrame{
+			seq: j.seq, points: len(j.pc), rawSize: j.pc.RawSize(),
+			data: data, stats: stats,
+		}, nil
+	}
+	if *workers > 1 {
+		// Frame pipeline: capture stays paced on this goroutine while up to
+		// -workers frames compress concurrently; frames are still sent in
+		// capture order.
+		pipe := framepipe.New(*workers, 2**workers, compressOne)
+		for seq := 0; seq < *frames; seq++ {
+			frameStart := time.Now()
+			pc := cfg.Simulate(scene, int64(seq+1))
+			for {
+				c, err, ok := pipe.TryNext()
+				if !ok {
+					break
+				}
+				deliver(c, err)
+			}
+			for pipe.Full() {
+				c, err, ok := pipe.Next()
+				if !ok {
+					break
+				}
+				deliver(c, err)
+			}
+			pipe.Submit(captureJob{seq: seq, pc: pc})
+			if interval > 0 {
+				if sleep := interval - time.Since(frameStart); sleep > 0 {
+					time.Sleep(sleep)
+				}
+			}
+		}
+		for {
+			c, err, ok := pipe.Next()
+			if !ok {
+				break
+			}
+			deliver(c, err)
+		}
+		pipe.Close()
+	} else {
+		for seq := 0; seq < *frames; seq++ {
+			frameStart := time.Now()
+			pc := cfg.Simulate(scene, int64(seq+1))
+			deliver(compressOne(captureJob{seq: seq, pc: pc}))
+			if interval > 0 {
+				if sleep := interval - time.Since(frameStart); sleep > 0 {
+					time.Sleep(sleep)
+				}
 			}
 		}
 	}

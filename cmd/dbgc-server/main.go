@@ -38,6 +38,7 @@ func main() {
 	listen := flag.String("listen", ":7045", "address to listen on")
 	storePath := flag.String("store", "frames.db", "frame store file")
 	decompress := flag.Bool("decompress", false, "decompress frames before storing (default stores B directly)")
+	parallel := flag.Bool("parallel", false, "decode the sections of each frame on separate goroutines (with -decompress)")
 	fsync := flag.String("fsync", "off", `durability mode: "off" (OS decides), "always" (sync before every ack), or a periodic interval like "500ms"`)
 	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: do not send acks/nacks")
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "idle timeout per connection")
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	srv := reliable.NewServer(reliable.ServerConfig{
-		Handle:      handler(st, *decompress, syncAlways),
+		Handle:      handler(st, *decompress, *parallel, syncAlways),
 		Query:       querier(st),
 		Quarantine:  quarantiner(st),
 		ReadTimeout: *readTimeout,
@@ -132,12 +133,12 @@ func parseFsync(mode string) (always bool, every time.Duration, err error) {
 // failures are reported as ErrBadFrame so the session quarantines the
 // payload; store failures are plain errors (nacked, retried, not
 // quarantined).
-func handler(st *store.Store, decompress, syncAlways bool) func(m netproto.Message) error {
+func handler(st *store.Store, decompress, parallel, syncAlways bool) func(m netproto.Message) error {
 	return func(m netproto.Message) error {
 		switch m.Kind {
 		case netproto.KindCompressed:
 			if decompress {
-				pc, err := dbgc.Decompress(m.Payload)
+				pc, err := dbgc.DecompressWith(m.Payload, dbgc.DecompressOptions{Parallel: parallel})
 				if err != nil {
 					return fmt.Errorf("%w: frame %d: %v", reliable.ErrBadFrame, m.Seq, err)
 				}

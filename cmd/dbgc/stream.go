@@ -21,9 +21,10 @@ func runPack(args []string) error {
 	q := fs.Float64("q", 0.02, "per-dimension error bound in meters")
 	fps := fs.Float64("fps", 10, "sensor frame rate recorded in the container")
 	withIntensity := fs.Bool("intensity", false, "carry the intensity channel")
+	workers := fs.Int("workers", 1, "compress this many frames concurrently")
 	fs.Parse(args)
 	if fs.NArg() < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dbgc pack [-q m] [-fps n] [-intensity] frame1.bin [frame2.bin ...] output.dbgs")
+		fmt.Fprintln(os.Stderr, "usage: dbgc pack [-q m] [-fps n] [-intensity] [-workers n] frame1.bin [frame2.bin ...] output.dbgs")
 		os.Exit(2)
 	}
 	inputs := fs.Args()[:fs.NArg()-1]
@@ -66,6 +67,19 @@ func runPack(args []string) error {
 		return err
 	}
 	var rawTotal, compTotal int
+	// Definitive per-frame stats arrive via the callback: in pipelined mode
+	// WriteFrame returns before compression finishes.
+	w.OnStats = func(fstat stream.FrameStats) {
+		compTotal += fstat.GeometryBytes + fstat.IntensityBytes
+		fmt.Printf("%s: %d points -> %d bytes (ratio %.2f)\n",
+			frames[fstat.Seq], fstat.Points, fstat.GeometryBytes, fstat.Ratio)
+	}
+	if *workers > 1 {
+		if err := w.EnablePipeline(*workers); err != nil {
+			out.Close()
+			return err
+		}
+	}
 	for _, path := range frames {
 		f, err := os.Open(path)
 		if err != nil {
@@ -82,14 +96,10 @@ func runPack(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fstat, err := w.WriteFrame(pc, intens)
-		if err != nil {
+		if _, err := w.WriteFrame(pc, intens); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		rawTotal += pc.RawSize()
-		compTotal += fstat.GeometryBytes + fstat.IntensityBytes
-		fmt.Printf("%s: %d points -> %d bytes (ratio %.2f)\n",
-			path, fstat.Points, fstat.GeometryBytes, fstat.Ratio)
 	}
 	if err := w.Close(); err != nil {
 		out.Close()
@@ -106,9 +116,10 @@ func runPack(args []string) error {
 // runUnpack extracts a .dbgs container back into .bin frames.
 func runUnpack(args []string) error {
 	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	workers := fs.Int("workers", 1, "decode this many frames concurrently")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dbgc unpack input.dbgs output-dir")
+		fmt.Fprintln(os.Stderr, "usage: dbgc unpack [-workers n] input.dbgs output-dir")
 		os.Exit(2)
 	}
 	in, err := os.Open(fs.Arg(0))
@@ -123,6 +134,11 @@ func runUnpack(args []string) error {
 	r, err := stream.NewReader(in)
 	if err != nil {
 		return err
+	}
+	if *workers > 1 {
+		if err := r.EnablePipeline(*workers); err != nil {
+			return err
+		}
 	}
 	n := 0
 	for {

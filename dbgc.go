@@ -97,6 +97,18 @@ func Decompress(data []byte) (PointCloud, error) {
 	return core.Decompress(data)
 }
 
+// DecompressOptions configures decompression. The zero value decodes
+// serially, matching Decompress.
+type DecompressOptions = core.DecompressOptions
+
+// DecompressWith is Decompress with explicit options. With Parallel set the
+// dense, sparse, and outlier sections — and the radial groups inside the
+// sparse section — decode on separate goroutines; the result is
+// point-identical to Decompress.
+func DecompressWith(data []byte, opts DecompressOptions) (PointCloud, error) {
+	return core.DecompressWith(data, opts)
+}
+
 // AABB is an axis-aligned query box.
 type AABB = geom.AABB
 

@@ -10,28 +10,41 @@ import (
 // the "arithmetic coder" building block the paper applies to serialized
 // occupancy codes and varint-encoded delta streams.
 func CompressBytes(buf []byte) []byte {
-	e := NewEncoder()
-	m := NewModel(256)
-	for _, b := range buf {
-		e.Encode(m, int(b))
+	return AppendCompressBytes(nil, buf)
+}
+
+// clampCap bounds a count taken from an untrusted stream header before it
+// becomes an allocation capacity. Decoding appends past the clamp when the
+// stream genuinely carries that many elements.
+func clampCap(n int) int {
+	const maxPrealloc = 1 << 22
+	if n < 0 {
+		return 0
 	}
-	return e.Finish()
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
 }
 
 // DecompressBytes inverts CompressBytes. n is the number of original bytes,
 // which callers carry out of band (all DBGC streams record their element
 // counts).
 func DecompressBytes(buf []byte, n int) ([]byte, error) {
-	d := NewDecoder(buf)
-	m := NewModel(256)
-	out := make([]byte, n)
-	for i := range out {
+	d := GetDecoder(buf)
+	m := GetModel(256)
+	out := make([]byte, 0, clampCap(n))
+	for i := 0; i < n; i++ {
 		sym, err := d.Decode(m)
 		if err != nil {
+			PutModel(m)
+			PutDecoder(d)
 			return nil, fmt.Errorf("arith: byte %d/%d: %w", i, n, err)
 		}
-		out[i] = byte(sym)
+		out = append(out, byte(sym))
 	}
+	PutModel(m)
+	PutDecoder(d)
 	return out, nil
 }
 
@@ -39,42 +52,50 @@ func DecompressBytes(buf []byte, n int) ([]byte, error) {
 // This is how DBGC entropy-codes integer delta sequences whose alphabet is
 // unbounded (Δφ, ∇r, Δz).
 func CompressInts(vs []int64) []byte {
-	return CompressBytes(varint.EncodeInts(vs))
+	return AppendCompressInts(nil, vs)
 }
 
 // DecompressInts inverts CompressInts, decoding exactly n integers.
 func DecompressInts(buf []byte, n int) ([]int64, error) {
-	d := NewDecoder(buf)
-	m := NewModel(256)
-	out := make([]int64, 0, n)
+	d := GetDecoder(buf)
+	m := GetModel(256)
+	out := make([]int64, 0, clampCap(n))
 	for i := 0; i < n; i++ {
 		v, err := decodeVarint(d, m)
 		if err != nil {
+			PutModel(m)
+			PutDecoder(d)
 			return nil, fmt.Errorf("arith: int %d/%d: %w", i, n, err)
 		}
 		out = append(out, varint.Unzigzag(v))
 	}
+	PutModel(m)
+	PutDecoder(d)
 	return out, nil
 }
 
 // CompressUints is CompressInts for unsigned sequences (e.g. polyline
 // lengths, leaf point counts).
 func CompressUints(vs []uint64) []byte {
-	return CompressBytes(varint.EncodeUints(vs))
+	return AppendCompressUints(nil, vs)
 }
 
 // DecompressUints inverts CompressUints, decoding exactly n integers.
 func DecompressUints(buf []byte, n int) ([]uint64, error) {
-	d := NewDecoder(buf)
-	m := NewModel(256)
-	out := make([]uint64, 0, n)
+	d := GetDecoder(buf)
+	m := GetModel(256)
+	out := make([]uint64, 0, clampCap(n))
 	for i := 0; i < n; i++ {
 		v, err := decodeVarint(d, m)
 		if err != nil {
+			PutModel(m)
+			PutDecoder(d)
 			return nil, fmt.Errorf("arith: uint %d/%d: %w", i, n, err)
 		}
 		out = append(out, v)
 	}
+	PutModel(m)
+	PutDecoder(d)
 	return out, nil
 }
 

@@ -38,6 +38,14 @@ func NewEncoder() *Encoder {
 	return &Encoder{high: codeMask}
 }
 
+// Reset clears the encoder for reuse, keeping the output buffer's capacity.
+func (e *Encoder) Reset() {
+	e.w.Reset()
+	e.low, e.high = 0, codeMask
+	e.pending = 0
+	e.finished = false
+}
+
 func (e *Encoder) emit(bit int) {
 	e.w.WriteBit(bit)
 	inv := 1 - bit
@@ -104,6 +112,14 @@ func (e *Encoder) Finish() []byte {
 	return e.w.Bytes()
 }
 
+// AppendFinish flushes the terminating bits and appends the encoded stream
+// to dst, returning the extended slice. Unlike Finish, the returned bytes
+// do not alias the encoder's internal buffer, so the encoder can be pooled
+// and reused afterwards.
+func (e *Encoder) AppendFinish(dst []byte) []byte {
+	return append(dst, e.Finish()...)
+}
+
 // EncodeUniform codes v under a uniform distribution over {0,...,total-1}
 // at a cost of log2(total) bits. The kd-tree coder uses it for split
 // counts.
@@ -116,7 +132,7 @@ func (e *Encoder) EncodeUniform(v, total uint32) {
 
 // Decoder is the matching arithmetic decoder.
 type Decoder struct {
-	r       *bitio.Reader
+	r       bitio.Reader
 	low     uint64
 	high    uint64
 	code    uint64
@@ -130,11 +146,21 @@ const maxOverrun = codeBits + 2
 
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder {
-	d := &Decoder{r: bitio.NewReader(buf), high: codeMask}
+	d := new(Decoder)
+	d.Reset(buf)
+	return d
+}
+
+// Reset repositions the decoder at the start of buf, discarding all prior
+// state, so one Decoder can decode many streams without reallocating.
+func (d *Decoder) Reset(buf []byte) {
+	d.r.Reset(buf)
+	d.low, d.high = 0, codeMask
+	d.code = 0
+	d.overrun = 0
 	for i := 0; i < codeBits; i++ {
 		d.code = d.code<<1 | uint64(d.nextBit())
 	}
-	return d
 }
 
 func (d *Decoder) nextBit() int {

@@ -40,6 +40,16 @@ func NewModel(n int) *Model {
 	return m
 }
 
+// Reset restores the model to its initial uniform state (every count 1),
+// as if freshly returned by NewModel, without allocating. A Fenwick node i
+// covering all-one counts holds exactly i&(-i).
+func (m *Model) Reset() {
+	for i := 1; i <= m.n; i++ {
+		m.tree[i] = uint32(i & (-i))
+	}
+	m.total = uint32(m.n)
+}
+
 func (m *Model) add(sym int, delta uint32) {
 	for i := sym + 1; i <= m.n; i += i & (-i) {
 		m.tree[i] += delta

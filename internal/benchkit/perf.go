@@ -1,0 +1,196 @@
+package benchkit
+
+import (
+	"bytes"
+	"runtime"
+	"time"
+
+	"dbgc"
+	"dbgc/internal/lidar"
+	"dbgc/internal/stream"
+)
+
+// PerfResult reports the performance-architecture experiment: parallel
+// decode speedup, per-decode allocation counts (scratch reuse), and frame
+// pipeline throughput. All numbers are honest about the machine — Cores
+// records what was actually available, and on a single-core host the
+// parallel paths are expected to land near 1.0x.
+type PerfResult struct {
+	Cores          int     `json:"cores"`
+	PointsPerFrame int     `json:"points_per_frame"`
+	FrameBytes     int     `json:"frame_bytes"`
+	Ratio          float64 `json:"ratio"`
+
+	SerialDecodeMs   float64 `json:"serial_decode_ms"`
+	ParallelDecodeMs float64 `json:"parallel_decode_ms"`
+	DecodeSpeedup    float64 `json:"decode_speedup"`
+
+	SerialDecodeAllocs   float64 `json:"serial_decode_allocs"`
+	ParallelDecodeAllocs float64 `json:"parallel_decode_allocs"`
+
+	SerialCompressMs   float64 `json:"serial_compress_ms"`
+	ParallelCompressMs float64 `json:"parallel_compress_ms"`
+	CompressSpeedup    float64 `json:"compress_speedup"`
+
+	PipelineFrames    int     `json:"pipeline_frames"`
+	PipelineWorkers   int     `json:"pipeline_workers"`
+	SerialPackFPS     float64 `json:"serial_pack_fps"`
+	PipelinedPackFPS  float64 `json:"pipelined_pack_fps"`
+	SerialReadFPS     float64 `json:"serial_read_fps"`
+	PipelinedReadFPS  float64 `json:"pipelined_read_fps"`
+	PipelineIdentical bool    `json:"pipeline_identical"`
+}
+
+// timeOp runs fn iters times and returns (per-op duration, per-op mallocs).
+func timeOp(iters int, fn func() error) (time.Duration, float64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	d := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return d / time.Duration(iters), float64(m1.Mallocs-m0.Mallocs) / float64(iters), nil
+}
+
+// Perf measures the parallel decode path, scratch-reuse allocation counts,
+// and the frame pipeline, on the city scene at q. iters controls the
+// repetitions per measurement (at least 1).
+func Perf(q float64, iters int) (PerfResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	res := PerfResult{Cores: runtime.GOMAXPROCS(0)}
+	pc, err := Frame(lidar.City, 1)
+	if err != nil {
+		return res, err
+	}
+	res.PointsPerFrame = len(pc)
+
+	opts := dbgc.DefaultOptions(q)
+	data, stats, err := dbgc.Compress(pc, opts)
+	if err != nil {
+		return res, err
+	}
+	res.FrameBytes = len(data)
+	res.Ratio = stats.CompressionRatio()
+
+	// Decode: serial vs parallel, with per-op allocation counts.
+	d, allocs, err := timeOp(iters, func() error {
+		_, err := dbgc.Decompress(data)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SerialDecodeMs = d.Seconds() * 1e3
+	res.SerialDecodeAllocs = allocs
+	d, allocs, err = timeOp(iters, func() error {
+		_, err := dbgc.DecompressWith(data, dbgc.DecompressOptions{Parallel: true})
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ParallelDecodeMs = d.Seconds() * 1e3
+	res.ParallelDecodeAllocs = allocs
+	if res.ParallelDecodeMs > 0 {
+		res.DecodeSpeedup = res.SerialDecodeMs / res.ParallelDecodeMs
+	}
+
+	// Compress: serial vs parallel options.
+	d, _, err = timeOp(iters, func() error {
+		_, _, err := dbgc.Compress(pc, opts)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SerialCompressMs = d.Seconds() * 1e3
+	popts := opts
+	popts.Parallel = true
+	d, _, err = timeOp(iters, func() error {
+		_, _, err := dbgc.Compress(pc, popts)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ParallelCompressMs = d.Seconds() * 1e3
+	if res.ParallelCompressMs > 0 {
+		res.CompressSpeedup = res.SerialCompressMs / res.ParallelCompressMs
+	}
+
+	// Frame pipeline: pack and read a short all-I stream serially and
+	// pipelined, reporting frames per second end to end.
+	const nFrames = 4
+	res.PipelineFrames = nFrames
+	res.PipelineWorkers = res.Cores
+	clouds, err := Frames(lidar.City, nFrames)
+	if err != nil {
+		return res, err
+	}
+	pack := func(workers int) ([]byte, float64, error) {
+		var buf bytes.Buffer
+		w, err := stream.NewWriter(&buf, opts, 10)
+		if err != nil {
+			return nil, 0, err
+		}
+		if workers > 1 {
+			if err := w.EnablePipeline(workers); err != nil {
+				return nil, 0, err
+			}
+		}
+		t0 := time.Now()
+		for _, c := range clouds {
+			if _, err := w.WriteFrame(c, nil); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, 0, err
+		}
+		return buf.Bytes(), nFrames / time.Since(t0).Seconds(), nil
+	}
+	serialPack, fps, err := pack(1)
+	if err != nil {
+		return res, err
+	}
+	res.SerialPackFPS = fps
+	pipedPack, fps, err := pack(res.PipelineWorkers)
+	if err != nil {
+		return res, err
+	}
+	res.PipelinedPackFPS = fps
+	res.PipelineIdentical = bytes.Equal(serialPack, pipedPack)
+
+	read := func(workers int) (float64, error) {
+		r, err := stream.NewReader(bytes.NewReader(serialPack))
+		if err != nil {
+			return 0, err
+		}
+		if workers > 1 {
+			if err := r.EnablePipeline(workers); err != nil {
+				return 0, err
+			}
+		}
+		t0 := time.Now()
+		for i := 0; i < nFrames; i++ {
+			if _, err := r.ReadFrame(); err != nil {
+				return 0, err
+			}
+		}
+		return nFrames / time.Since(t0).Seconds(), nil
+	}
+	if res.SerialReadFPS, err = read(1); err != nil {
+		return res, err
+	}
+	if res.PipelinedReadFPS, err = read(res.PipelineWorkers); err != nil {
+		return res, err
+	}
+	return res, nil
+}

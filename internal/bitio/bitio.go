@@ -81,6 +81,13 @@ type Reader struct {
 // NewReader returns a Reader over buf. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset repositions the reader at the start of buf, replacing any previous
+// buffer.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos, r.bit = 0, 0
+}
+
 // ReadBit returns the next bit (0 or 1).
 func (r *Reader) ReadBit() (int, error) {
 	if r.pos >= len(r.buf) {

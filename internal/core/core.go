@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dbgc/internal/cluster"
@@ -142,10 +144,8 @@ func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 	// Real capture files occasionally carry garbage records; a NaN or
 	// infinite coordinate would silently poison quantization, so reject
 	// the frame up front with a pointed error.
-	for i, p := range pc {
-		if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
-			return nil, nil, fmt.Errorf("core: point %d has a non-finite coordinate: %v", i, p)
-		}
+	if bad := firstNonFinite(pc, opts.Parallel); bad >= 0 {
+		return nil, nil, fmt.Errorf("core: point %d has a non-finite coordinate: %v", bad, pc[bad])
 	}
 	stats := &Stats{NumPoints: len(pc)}
 
@@ -318,6 +318,50 @@ func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
 // finite reports whether v is neither NaN nor infinite.
 func finite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// firstNonFinite returns the lowest index of a point with a NaN or infinite
+// coordinate, or -1 if all points are finite. With parallel set the scan is
+// chunked across goroutines; the reported index is deterministic either way.
+func firstNonFinite(pc geom.PointCloud, parallel bool) int {
+	const minChunk = 1 << 15
+	workers := runtime.GOMAXPROCS(0)
+	if !parallel || workers < 2 || len(pc) < 2*minChunk {
+		for i, p := range pc {
+			if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+				return i
+			}
+		}
+		return -1
+	}
+	if max := (len(pc) + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+	firsts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			firsts[w] = -1
+			lo, hi := len(pc)*w/workers, len(pc)*(w+1)/workers
+			for i := lo; i < hi; i++ {
+				p := pc[i]
+				if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+					firsts[w] = i
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Chunks cover ascending ranges, so the first hit is the lowest index.
+	for _, i := range firsts {
+		if i >= 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 func appendFloat32(dst []byte, f float32) []byte {

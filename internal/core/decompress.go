@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync"
 
 	"dbgc/internal/geom"
 	"dbgc/internal/octree"
@@ -12,11 +13,25 @@ import (
 	"dbgc/internal/varint"
 )
 
+// DecompressOptions configures decoding. The zero value decodes serially.
+type DecompressOptions struct {
+	// Parallel decodes the dense, sparse, and outlier sections — and the
+	// radial groups within the sparse section — on separate goroutines.
+	// Each section is an independently entropy-coded stream, so the output
+	// is point-identical to serial decoding.
+	Parallel bool
+}
+
 // Decompress reconstructs the point cloud from a stream produced by
 // Compress. Points come back in decode order (dense, then polyline, then
 // outlier points); Stats.Mapping from the compressor relates them to the
 // original indices.
 func Decompress(data []byte) (geom.PointCloud, error) {
+	return DecompressWith(data, DecompressOptions{})
+}
+
+// DecompressWith is Decompress with explicit options.
+func DecompressWith(data []byte, opts DecompressOptions) (geom.PointCloud, error) {
 	if len(data) < len(magic)+1 {
 		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
 	}
@@ -47,17 +62,37 @@ func Decompress(data []byte) (geom.PointCloud, error) {
 		return nil, err
 	}
 
-	densePts, err := octree.Decode(denseData)
-	if err != nil {
-		return nil, fmt.Errorf("core: dense: %w", err)
+	var densePts, sparsePts, outlierPts geom.PointCloud
+	var denseErr, sparseErr, outlierErr error
+	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel}
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			densePts, denseErr = octree.Decode(denseData)
+		}()
+		go func() {
+			defer wg.Done()
+			outlierPts, outlierErr = decodeOutliers(outlierData, mode)
+		}()
+		// The sparse section fans its radial groups out to further
+		// goroutines; decode it on this one.
+		sparsePts, sparseErr = sparse.DecodeWith(sparseData, sparseOpts)
+		wg.Wait()
+	} else {
+		densePts, denseErr = octree.Decode(denseData)
+		sparsePts, sparseErr = sparse.DecodeWith(sparseData, sparseOpts)
+		outlierPts, outlierErr = decodeOutliers(outlierData, mode)
 	}
-	sparsePts, err := sparse.Decode(sparseData)
-	if err != nil {
-		return nil, fmt.Errorf("core: sparse: %w", err)
+	if denseErr != nil {
+		return nil, fmt.Errorf("core: dense: %w", denseErr)
 	}
-	outlierPts, err := decodeOutliers(outlierData, mode)
-	if err != nil {
-		return nil, fmt.Errorf("core: outliers: %w", err)
+	if sparseErr != nil {
+		return nil, fmt.Errorf("core: sparse: %w", sparseErr)
+	}
+	if outlierErr != nil {
+		return nil, fmt.Errorf("core: outliers: %w", outlierErr)
 	}
 
 	out := make(geom.PointCloud, 0, len(densePts)+len(sparsePts)+len(outlierPts))
@@ -79,8 +114,10 @@ func decodeOutliers(data []byte, mode OutlierMode) (geom.PointCloud, error) {
 			return nil, fmt.Errorf("core: raw outlier count: %w", err)
 		}
 		data = data[used:]
-		if uint64(len(data)) != 12*n {
-			return nil, fmt.Errorf("%w: raw outlier section has %d bytes, want %d", ErrCorrupt, len(data), 12*n)
+		// Bound n before multiplying: 12*n wraps for adversarial counts
+		// near 2^64, which would let a huge n pass the length check.
+		if n != uint64(len(data))/12 || uint64(len(data)) != 12*n {
+			return nil, fmt.Errorf("%w: raw outlier section has %d bytes, want 12*%d", ErrCorrupt, len(data), n)
 		}
 		out := make(geom.PointCloud, n)
 		for i := range out {

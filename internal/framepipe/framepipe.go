@@ -1,0 +1,135 @@
+// Package framepipe provides a bounded worker pool that runs per-frame jobs
+// concurrently while delivering results strictly in submission order. DBGC
+// frames in a stream are (outside temporal mode) independently coded, so
+// compression and decompression of consecutive frames can overlap; the
+// container format is still sequential, so results must come back in order.
+//
+// The pool is designed for a single goroutine that both submits and drains
+// (the stream writer or reader): Submit never blocks while the in-flight
+// window has room, and the caller checks Full before submitting, draining
+// completed results with Next or TryNext to open the window back up.
+package framepipe
+
+import "sync"
+
+type job[In, Out any] struct {
+	in   In
+	slot chan result[Out]
+}
+
+type result[Out any] struct {
+	out Out
+	err error
+}
+
+// Pool runs fn over submitted inputs on a fixed set of workers. Results are
+// retrieved in submission order regardless of completion order.
+type Pool[In, Out any] struct {
+	jobs chan job[In, Out]
+	sem  chan struct{} // in-flight window tokens
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	pending []chan result[Out] // result slots in submission order
+}
+
+// New starts workers goroutines applying fn. window bounds the number of
+// submitted-but-undrained jobs; values below workers are raised to workers.
+func New[In, Out any](workers, window int, fn func(In) (Out, error)) *Pool[In, Out] {
+	if workers < 1 {
+		workers = 1
+	}
+	if window < workers {
+		window = workers
+	}
+	p := &Pool[In, Out]{
+		jobs: make(chan job[In, Out], window),
+		sem:  make(chan struct{}, window),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				var r result[Out]
+				r.out, r.err = fn(j.in)
+				j.slot <- r
+			}
+		}()
+	}
+	return p
+}
+
+// Full reports whether the in-flight window is exhausted. A full pool's
+// Submit would block until the caller drains a result, so a single
+// submit-and-drain goroutine must check Full first.
+func (p *Pool[In, Out]) Full() bool { return len(p.sem) == cap(p.sem) }
+
+// InFlight returns the number of submitted jobs not yet drained.
+func (p *Pool[In, Out]) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Submit queues one input. It blocks while the window is full.
+func (p *Pool[In, Out]) Submit(in In) {
+	p.sem <- struct{}{}
+	slot := make(chan result[Out], 1)
+	p.mu.Lock()
+	p.pending = append(p.pending, slot)
+	p.mu.Unlock()
+	p.jobs <- job[In, Out]{in: in, slot: slot}
+}
+
+// Next blocks for the oldest in-flight result. ok is false when nothing is
+// in flight.
+func (p *Pool[In, Out]) Next() (out Out, err error, ok bool) {
+	slot := p.pop()
+	if slot == nil {
+		return out, nil, false
+	}
+	r := <-slot
+	<-p.sem
+	return r.out, r.err, true
+}
+
+// TryNext returns the oldest in-flight result only if it has already
+// finished; ok is false when nothing is in flight or the oldest job is
+// still running.
+func (p *Pool[In, Out]) TryNext() (out Out, err error, ok bool) {
+	p.mu.Lock()
+	if len(p.pending) == 0 {
+		p.mu.Unlock()
+		return out, nil, false
+	}
+	slot := p.pending[0]
+	select {
+	case r := <-slot:
+		p.pending = p.pending[1:]
+		p.mu.Unlock()
+		<-p.sem
+		return r.out, r.err, true
+	default:
+		p.mu.Unlock()
+		return out, nil, false
+	}
+}
+
+func (p *Pool[In, Out]) pop() chan result[Out] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.pending) == 0 {
+		return nil
+	}
+	slot := p.pending[0]
+	p.pending = p.pending[1:]
+	return slot
+}
+
+// Close stops the workers once queued jobs finish. Drain every result with
+// Next before closing; in-flight results are unreachable afterwards.
+func (p *Pool[In, Out]) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

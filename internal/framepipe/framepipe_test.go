@@ -1,0 +1,185 @@
+package framepipe
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrdering: results come back in submission order even when jobs finish
+// out of order.
+func TestOrdering(t *testing.T) {
+	// Earlier jobs sleep longer, so completion order is reversed.
+	p := New(4, 8, func(i int) (int, error) {
+		time.Sleep(time.Duration(16-i) * time.Millisecond)
+		return i * i, nil
+	})
+	defer p.Close()
+	const n = 16
+	got := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		for p.Full() {
+			v, err, ok := p.Next()
+			if !ok || err != nil {
+				t.Fatalf("Next: %v %v", err, ok)
+			}
+			got = append(got, v)
+		}
+		p.Submit(i)
+	}
+	for {
+		v, err, ok := p.Next()
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d results, want %d", len(got), n)
+	}
+}
+
+// TestErrorStaysInOrder: a failing job surfaces at its position, not
+// earlier or later.
+func TestErrorStaysInOrder(t *testing.T) {
+	boom := errors.New("boom")
+	p := New(3, 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		p.Submit(i)
+	}
+	for i := 0; i < 4; i++ {
+		v, err, ok := p.Next()
+		if !ok {
+			t.Fatalf("Next %d: pool empty", i)
+		}
+		if i == 2 {
+			if !errors.Is(err, boom) {
+				t.Fatalf("position 2: got err %v, want boom", err)
+			}
+			continue
+		}
+		if err != nil || v != i {
+			t.Fatalf("position %d: got (%d, %v)", i, v, err)
+		}
+	}
+	if _, _, ok := p.Next(); ok {
+		t.Fatal("pool should be drained")
+	}
+}
+
+// TestTryNext: TryNext never blocks and only returns finished heads.
+func TestTryNext(t *testing.T) {
+	release := make(chan struct{})
+	p := New(1, 2, func(i int) (int, error) {
+		<-release
+		return i, nil
+	})
+	defer p.Close()
+	if _, _, ok := p.TryNext(); ok {
+		t.Fatal("TryNext on empty pool returned ok")
+	}
+	p.Submit(7)
+	if _, _, ok := p.TryNext(); ok {
+		t.Fatal("TryNext returned a result for a job that cannot have finished")
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, err, ok := p.TryNext(); ok {
+			if err != nil || v != 7 {
+				t.Fatalf("got (%d, %v), want (7, nil)", v, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TryNext never saw the finished job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWindowBound: no more than window jobs run-or-wait at once.
+func TestWindowBound(t *testing.T) {
+	var active, peak atomic.Int64
+	p := New(2, 3, func(i int) (int, error) {
+		a := active.Add(1)
+		for {
+			pk := peak.Load()
+			if a <= pk || peak.CompareAndSwap(pk, a) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		active.Add(-1)
+		return i, nil
+	})
+	defer p.Close()
+	for i := 0; i < 12; i++ {
+		for p.Full() {
+			if _, err, ok := p.Next(); !ok || err != nil {
+				t.Fatalf("Next: %v %v", err, ok)
+			}
+		}
+		p.Submit(i)
+	}
+	for {
+		if _, _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	if pk := peak.Load(); pk > 2 {
+		t.Fatalf("%d jobs ran concurrently, want <= 2 workers", pk)
+	}
+}
+
+// TestManyJobsStress drives enough jobs through a small pool to shake out
+// ordering races under -race.
+func TestManyJobsStress(t *testing.T) {
+	p := New(4, 4, func(i int) (string, error) {
+		return fmt.Sprintf("job-%d", i), nil
+	})
+	defer p.Close()
+	next := 0
+	check := func(v string, err error, ok bool) {
+		if !ok {
+			t.Fatal("pool empty mid-drain")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("job-%d", next); v != want {
+			t.Fatalf("got %q, want %q", v, want)
+		}
+		next++
+	}
+	for i := 0; i < 500; i++ {
+		for p.Full() {
+			v, err, ok := p.Next()
+			check(v, err, ok)
+		}
+		p.Submit(i)
+	}
+	for p.InFlight() > 0 {
+		v, err, ok := p.Next()
+		check(v, err, ok)
+	}
+	if next != 500 {
+		t.Fatalf("drained %d results, want 500", next)
+	}
+}

@@ -77,8 +77,13 @@ func EncodeGrouped(points geom.PointCloud, q float64) (Encoded, error) {
 // buildWithParents is buildAndSerialize plus, for every emitted occupancy
 // code, the occupancy code of its parent (0 for the root, which has none).
 func buildWithParents(points geom.PointCloud, min geom.Point, side float64, depth int) (occ, parents []byte, counts []uint64, order []int) {
+	// Octree_i is a comparison baseline, not a hot path, so it keeps the
+	// simple bucket-per-node construction instead of the pooled scatter
+	// buffers of buildAndSerialize.
 	type pnode struct {
-		node
+		pts        []int32
+		center     geom.Point
+		half       float64
 		parentCode byte
 	}
 	all := make([]int32, len(points))
@@ -86,7 +91,7 @@ func buildWithParents(points geom.PointCloud, min geom.Point, side float64, dept
 		all[i] = int32(i)
 	}
 	half := side / 2
-	level := []pnode{{node: node{pts: all, center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}}
+	level := []pnode{{pts: all, center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}
 
 	for d := 0; d < depth; d++ {
 		next := make([]pnode, 0, len(level)*2)
@@ -111,7 +116,9 @@ func buildWithParents(points geom.PointCloud, min geom.Point, side float64, dept
 					continue
 				}
 				next = append(next, pnode{
-					node:       node{pts: buckets[c], center: childCenter(nd.center, qh, c), half: qh},
+					pts:        buckets[c],
+					center:     childCenter(nd.center, qh, c),
+					half:       qh,
 					parentCode: code,
 				})
 			}
@@ -252,10 +259,11 @@ func DecodeGrouped(data []byte) (geom.PointCloud, error) {
 	if len(level) != len(counts) {
 		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(level), len(counts))
 	}
-	out := make(geom.PointCloud, 0, n)
+	out := make(geom.PointCloud, 0, clampCap(n))
 	for i, cl := range level {
 		cnt := counts[i]
-		if cnt == 0 || uint64(len(out))+cnt > n {
+		// Remaining-budget comparison: summing first could wrap uint64.
+		if cnt == 0 || cnt > n-uint64(len(out)) {
 			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
 		}
 		for k := uint64(0); k < cnt; k++ {

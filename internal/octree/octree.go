@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dbgc/internal/arith"
 	"dbgc/internal/geom"
@@ -41,12 +42,35 @@ type Encoded struct {
 	DecodedOrder []int
 }
 
-// node is one octree node during breadth-first construction: a slice of
-// point indices that fall inside its cell.
-type node struct {
-	pts    []int32
-	center geom.Point
-	half   float64 // half side length of the cell
+// span is one octree node during breadth-first construction: a range of the
+// scratch index array holding the points inside its cell. All nodes of one
+// level share the same half side length, so only the center is per-node.
+type span struct {
+	start, end int
+	center     geom.Point
+}
+
+// buildScratch holds the reusable state of one breadth-first construction:
+// two ping-pong point index arrays, the per-point child octant cache, the
+// node spans of the current and next level, and the occupancy/count output
+// sequences. Pooled so steady-state Encode allocates only its output.
+type buildScratch struct {
+	idx    [2][]int32
+	octant []uint8
+	cur    []span
+	next   []span
+	occ    []byte
+	counts []uint64
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// grow returns s with length n, reallocating only when capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Encode compresses points so that every reconstructed coordinate differs
@@ -79,11 +103,12 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 	header = appendFloat(header, side)
 	header = varint.AppendUint(header, uint64(depth))
 
-	occ, counts, order := buildAndSerialize(points, cube.Min, side, depth)
+	scratch := buildPool.Get().(*buildScratch)
+	occ, counts, order := buildAndSerialize(scratch, points, cube.Min, side, depth)
 	enc.DecodedOrder = order
 
 	occStream := compressOccupancy(occ)
-	countStream := arith.CompressUints(counts)
+	countStream := arith.AppendCompressUints(nil, counts)
 
 	out := header
 	out = varint.AppendUint(out, uint64(len(occ)))
@@ -92,6 +117,7 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 	out = varint.AppendUint(out, uint64(len(counts)))
 	out = varint.AppendUint(out, uint64(len(countStream)))
 	out = append(out, countStream...)
+	buildPool.Put(scratch)
 	enc.Data = out
 	return enc, nil
 }
@@ -112,52 +138,76 @@ func depthFor(side, q float64) int {
 	return int(d)
 }
 
-// buildAndSerialize performs the breadth-first construction, returning the
-// occupancy code sequence, the per-leaf point counts (in leaf emission
-// order), and the decoded-order mapping.
-func buildAndSerialize(points geom.PointCloud, min geom.Point, side float64, depth int) (occ []byte, counts []uint64, order []int) {
-	all := make([]int32, len(points))
-	for i := range all {
-		all[i] = int32(i)
+// buildAndSerialize performs the breadth-first construction on pooled
+// scratch, returning the occupancy code sequence, the per-leaf point counts
+// (in leaf emission order), and the decoded-order mapping. occ and counts
+// alias the scratch and are only valid until it is returned to the pool;
+// order is freshly allocated (it leaves Encode as DecodedOrder).
+func buildAndSerialize(s *buildScratch, points geom.PointCloud, min geom.Point, side float64, depth int) (occ []byte, counts []uint64, order []int) {
+	n := len(points)
+	src := grow(s.idx[0], n)
+	dst := grow(s.idx[1], n)
+	s.octant = grow(s.octant, n)
+	for i := range src {
+		src[i] = int32(i)
 	}
 	half := side / 2
-	level := []node{{pts: all, center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}
+	s.cur = append(s.cur[:0], span{start: 0, end: n, center: min.Add(geom.Point{X: half, Y: half, Z: half})})
+	s.occ = s.occ[:0]
 
 	for d := 0; d < depth; d++ {
-		next := make([]node, 0, len(level)*2)
-		for _, nd := range level {
-			var buckets [8][]int32
-			for _, idx := range nd.pts {
+		next := s.next[:0]
+		qh := half / 2
+		for _, nd := range s.cur {
+			// Pass 1: octant of every point, and per-child counts.
+			var count [8]int
+			for _, idx := range src[nd.start:nd.end] {
 				c := childIndex(points[idx], nd.center)
-				buckets[c] = append(buckets[c], idx)
+				s.octant[idx] = uint8(c)
+				count[c]++
+			}
+			// Prefix offsets inside the node's range, then scatter.
+			var off [8]int
+			off[0] = nd.start
+			for c := 1; c < 8; c++ {
+				off[c] = off[c-1] + count[c-1]
+			}
+			pos := off
+			for _, idx := range src[nd.start:nd.end] {
+				c := s.octant[idx]
+				dst[pos[c]] = idx
+				pos[c]++
 			}
 			var code byte
-			qh := nd.half / 2
 			for c := 0; c < 8; c++ {
-				if len(buckets[c]) == 0 {
+				if count[c] == 0 {
 					continue
 				}
 				code |= 1 << uint(c)
-				next = append(next, node{
-					pts:    buckets[c],
+				next = append(next, span{
+					start:  off[c],
+					end:    off[c] + count[c],
 					center: childCenter(nd.center, qh, c),
-					half:   qh,
 				})
 			}
-			occ = append(occ, code)
+			s.occ = append(s.occ, code)
 		}
-		level = next
+		s.next = s.cur[:0]
+		s.cur = next
+		src, dst = dst, src
+		half = qh
 	}
+	s.idx[0], s.idx[1] = src, dst
 
-	order = make([]int, 0, len(points))
-	counts = make([]uint64, 0, len(level))
-	for _, leaf := range level {
-		counts = append(counts, uint64(len(leaf.pts)))
-		for _, idx := range leaf.pts {
+	order = make([]int, 0, n)
+	s.counts = s.counts[:0]
+	for _, leaf := range s.cur {
+		s.counts = append(s.counts, uint64(leaf.end-leaf.start))
+		for _, idx := range src[leaf.start:leaf.end] {
 			order = append(order, int(idx))
 		}
 	}
-	return occ, counts, order
+	return s.occ, s.counts, order
 }
 
 // childIndex selects the octant of p relative to the cell center: bit 0 for
@@ -193,12 +243,15 @@ func childCenter(center geom.Point, qh float64, c int) geom.Point {
 }
 
 func compressOccupancy(occ []byte) []byte {
-	e := arith.NewEncoder()
-	m := arith.NewModel(256)
+	e := arith.GetEncoder()
+	m := arith.GetModel(256)
 	for _, code := range occ {
 		e.Encode(m, int(code))
 	}
-	return e.Finish()
+	out := e.AppendFinish(nil)
+	arith.PutModel(m)
+	arith.PutEncoder(e)
+	return out
 }
 
 // Decode reconstructs the point cloud from a stream produced by Encode.
@@ -263,10 +316,12 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if len(leaves) != len(counts) {
 		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(leaves), len(counts))
 	}
-	out := make(geom.PointCloud, 0, n)
+	out := make(geom.PointCloud, 0, clampCap(n))
 	for i, c := range leaves {
 		cnt := counts[i]
-		if cnt == 0 || uint64(len(out))+cnt > n {
+		// Compare against the remaining budget; summing cnt into the
+		// running total first could wrap uint64 for adversarial counts.
+		if cnt == 0 || cnt > n-uint64(len(out)) {
 			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
 		}
 		for k := uint64(0); k < cnt; k++ {
@@ -279,57 +334,84 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	return out, nil
 }
 
+// rebuildScratch holds the two ping-pong center slices of the decode-side
+// breadth-first replay.
+type rebuildScratch struct {
+	cur, next []geom.Point
+}
+
+var rebuildPool = sync.Pool{New: func() any { return new(rebuildScratch) }}
+
 // rebuildLeaves replays the breadth-first subdivision and returns the leaf
-// centers in emission order.
+// centers in emission order. All cells of one level share the same half
+// side length, so the replay tracks centers only. The returned slice is
+// freshly allocated; the working levels come from a pool.
 func rebuildLeaves(occ []byte, min geom.Point, side float64, depth int) ([]geom.Point, error) {
+	s := rebuildPool.Get().(*rebuildScratch)
+	defer rebuildPool.Put(s)
 	half := side / 2
-	type cell struct {
-		center geom.Point
-		half   float64
-	}
-	level := []cell{{center: min.Add(geom.Point{X: half, Y: half, Z: half}), half: half}}
+	level := append(s.cur[:0], min.Add(geom.Point{X: half, Y: half, Z: half}))
+	next := s.next[:0]
 	pos := 0
 	for d := 0; d < depth; d++ {
-		next := make([]cell, 0, len(level)*2)
-		for _, cl := range level {
+		next = next[:0]
+		qh := half / 2
+		for _, center := range level {
 			if pos >= len(occ) {
+				s.cur, s.next = level, next
 				return nil, fmt.Errorf("%w: occupancy stream too short", ErrCorrupt)
 			}
 			code := occ[pos]
 			pos++
 			if code == 0 {
+				s.cur, s.next = level, next
 				return nil, fmt.Errorf("%w: empty occupancy code", ErrCorrupt)
 			}
-			qh := cl.half / 2
 			for c := 0; c < 8; c++ {
 				if code&(1<<uint(c)) != 0 {
-					next = append(next, cell{center: childCenter(cl.center, qh, c), half: qh})
+					next = append(next, childCenter(center, qh, c))
 				}
 			}
 		}
-		level = next
+		level, next = next, level
+		half = qh
 	}
+	s.cur, s.next = level, next
 	if pos != len(occ) {
 		return nil, fmt.Errorf("%w: %d unused occupancy codes", ErrCorrupt, len(occ)-pos)
 	}
 	centers := make([]geom.Point, len(level))
-	for i, cl := range level {
-		centers[i] = cl.center
-	}
+	copy(centers, level)
 	return centers, nil
 }
 
+// clampCap bounds a header-declared element count before it is used as an
+// allocation capacity, so a corrupt header cannot trigger a huge up-front
+// allocation. Decoding still appends past the clamp when the stream really
+// carries that many elements.
+func clampCap(n uint64) int {
+	const maxPrealloc = 1 << 22
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
 func decompressOccupancy(stream []byte, n int) ([]byte, error) {
-	d := arith.NewDecoder(stream)
-	m := arith.NewModel(256)
-	out := make([]byte, n)
-	for i := range out {
+	d := arith.GetDecoder(stream)
+	m := arith.GetModel(256)
+	out := make([]byte, 0, clampCap(uint64(n)))
+	for i := 0; i < n; i++ {
 		sym, err := d.Decode(m)
 		if err != nil {
+			arith.PutModel(m)
+			arith.PutDecoder(d)
 			return nil, fmt.Errorf("octree: occupancy %d/%d: %w", i, n, err)
 		}
-		out[i] = byte(sym)
+		out = append(out, byte(sym))
 	}
+	arith.PutModel(m)
+	arith.PutDecoder(d)
 	return out, nil
 }
 

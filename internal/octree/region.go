@@ -112,7 +112,8 @@ func DecodeRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 	var total uint64
 	for i, cl := range level {
 		cnt := counts[i]
-		if cnt == 0 || total+cnt > n {
+		// Remaining-budget comparison: summing first could wrap uint64.
+		if cnt == 0 || cnt > n-total {
 			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
 		}
 		total += cnt

@@ -262,10 +262,18 @@ func Decode(data []byte) ([]Point2, error) {
 	if len(level) != len(counts) {
 		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(level), len(counts))
 	}
-	out := make([]Point2, 0, n)
+	// Clamp the header-declared count before it becomes an allocation
+	// capacity; appends grow past the clamp if the stream really carries
+	// that many points.
+	capHint := n
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	out := make([]Point2, 0, capHint)
 	for i, cl := range level {
 		cnt := counts[i]
-		if cnt == 0 || uint64(len(out))+cnt > n {
+		// Remaining-budget comparison: summing first could wrap uint64.
+		if cnt == 0 || cnt > n-uint64(len(out)) {
 			return nil, fmt.Errorf("%w: leaf counts disagree with point total", ErrCorrupt)
 		}
 		for k := uint64(0); k < cnt; k++ {

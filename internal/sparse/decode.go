@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dbgc/internal/arith"
 	"dbgc/internal/geom"
@@ -15,9 +16,22 @@ import (
 // ErrCorrupt reports a malformed sparse stream.
 var ErrCorrupt = errors.New("sparse: corrupt stream")
 
+// DecodeOptions configures decoding. The zero value decodes serially.
+type DecodeOptions struct {
+	// Parallel decodes the radial groups on separate goroutines. Each
+	// group is an independently entropy-coded section, so the output is
+	// point-identical to serial decoding.
+	Parallel bool
+}
+
 // Decode reconstructs the polyline points from a stream produced by
 // Encode, in the same order as Encoded.DecodedOrder.
 func Decode(data []byte) (geom.PointCloud, error) {
+	return DecodeWith(data, DecodeOptions{})
+}
+
+// DecodeWith is Decode with explicit options.
+func DecodeWith(data []byte, opts DecodeOptions) (geom.PointCloud, error) {
 	flags, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: flags: %w", err)
@@ -42,7 +56,11 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if nGroups > 1024 {
 		return nil, fmt.Errorf("%w: implausible group count %d", ErrCorrupt, nGroups)
 	}
-	var out geom.PointCloud
+
+	// Slice the group payloads out of the stream (a cheap varint walk), so
+	// each group — an independently entropy-coded section — can decode on
+	// its own goroutine.
+	groups := make([][]byte, 0, nGroups)
 	for gi := uint64(0); gi < nGroups; gi++ {
 		glen, used, err := varint.Uint(data)
 		if err != nil {
@@ -52,12 +70,38 @@ func Decode(data []byte) (geom.PointCloud, error) {
 		if glen > uint64(len(data)) {
 			return nil, fmt.Errorf("%w: group %d truncated", ErrCorrupt, gi)
 		}
-		pts, err := decodeGroup(data[:glen], q, cartesian, plainDelta)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: group %d: %w", gi, err)
-		}
-		out = append(out, pts...)
+		groups = append(groups, data[:glen])
 		data = data[glen:]
+	}
+
+	pts := make([]geom.PointCloud, len(groups))
+	errs := make([]error, len(groups))
+	if opts.Parallel && len(groups) > 1 {
+		var wg sync.WaitGroup
+		for gi := range groups {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta)
+			}(gi)
+		}
+		wg.Wait()
+	} else {
+		for gi := range groups {
+			pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta)
+		}
+	}
+
+	total := 0
+	for gi := range groups {
+		if errs[gi] != nil {
+			return nil, fmt.Errorf("sparse: group %d: %w", gi, errs[gi])
+		}
+		total += len(pts[gi])
+	}
+	out := make(geom.PointCloud, 0, total)
+	for _, p := range pts {
+		out = append(out, p...)
 	}
 	return out, nil
 }

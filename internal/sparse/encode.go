@@ -300,13 +300,26 @@ func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, 
 	data = varint.AppendUint(data, uint64(len(thetaTails)))
 	data = varint.AppendUint(data, uint64(len(refs)))
 
-	data = appendStream(data, arith.CompressUints(lens))
-	data = appendStream(data, deflateBytes(varint.EncodeInts(dThetaHeads)))
-	data = appendStream(data, deflateBytes(varint.EncodeInts(thetaTails)))
-	data = appendStream(data, arith.CompressInts(dPhiHeads))
-	data = appendStream(data, arith.CompressInts(phiTails))
-	data = appendStream(data, arith.CompressInts(radials))
-	data = appendStream(data, compressRefs(refs))
+	// Stage each stream in one pooled scratch buffer; appendStream copies
+	// into the output, so the scratch is safe to reuse immediately.
+	sp := streamScratch.Get().(*[]byte)
+	s := *sp
+	s = arith.AppendCompressUints(s[:0], lens)
+	data = appendStream(data, s)
+	s = varint.AppendInts(s[:0], dThetaHeads)
+	data = appendStream(data, deflateBytes(s))
+	s = varint.AppendInts(s[:0], thetaTails)
+	data = appendStream(data, deflateBytes(s))
+	s = arith.AppendCompressInts(s[:0], dPhiHeads)
+	data = appendStream(data, s)
+	s = arith.AppendCompressInts(s[:0], phiTails)
+	data = appendStream(data, s)
+	s = arith.AppendCompressInts(s[:0], radials)
+	data = appendStream(data, s)
+	s = appendCompressRefs(s[:0], refs)
+	data = appendStream(data, s)
+	*sp = s
+	streamScratch.Put(sp)
 	t3 := time.Now()
 	times = [3]time.Duration{t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)}
 	return data, outliers, order, nLines, times, nil
@@ -376,26 +389,39 @@ func undeltaInts(vs []int64) []int64 {
 	return out
 }
 
-func compressRefs(refs []int) []byte {
-	e := arith.NewEncoder()
-	m := arith.NewModel(4)
+// streamScratch recycles the per-group staging buffer for stream assembly.
+var streamScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 8192)
+	return &b
+}}
+
+func appendCompressRefs(dst []byte, refs []int) []byte {
+	e := arith.GetEncoder()
+	m := arith.GetModel(4)
 	for _, s := range refs {
 		e.Encode(m, s)
 	}
-	return e.Finish()
+	dst = e.AppendFinish(dst)
+	arith.PutModel(m)
+	arith.PutEncoder(e)
+	return dst
 }
 
 func decompressRefs(data []byte, n int) ([]int, error) {
-	d := arith.NewDecoder(data)
-	m := arith.NewModel(4)
+	d := arith.GetDecoder(data)
+	m := arith.GetModel(4)
 	out := make([]int, n)
 	for i := range out {
 		s, err := d.Decode(m)
 		if err != nil {
+			arith.PutModel(m)
+			arith.PutDecoder(d)
 			return nil, fmt.Errorf("sparse: ref symbol %d/%d: %w", i, n, err)
 		}
 		out[i] = s
 	}
+	arith.PutModel(m)
+	arith.PutDecoder(d)
 	return out, nil
 }
 
@@ -404,20 +430,29 @@ func appendStream(dst, stream []byte) []byte {
 	return append(dst, stream...)
 }
 
+// flatePool recycles DEFLATE compressors; flate.NewWriter allocates large
+// internal tables that Reset reuses across frames.
+var flatePool = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(nil, flate.BestCompression)
+	if err != nil {
+		panic(err) // only fails for invalid level
+	}
+	return w
+}}
+
 // deflateBytes compresses with DEFLATE at the best-compression setting, as
 // the paper uses for the azimuthal streams (step 6).
 func deflateBytes(data []byte) []byte {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestCompression)
-	if err != nil {
-		panic(err) // only fails for invalid level
-	}
+	w := flatePool.Get().(*flate.Writer)
+	w.Reset(&buf)
 	if _, err := w.Write(data); err != nil {
 		panic(err) // bytes.Buffer cannot fail
 	}
 	if err := w.Close(); err != nil {
 		panic(err)
 	}
+	flatePool.Put(w)
 	return buf.Bytes()
 }
 

@@ -169,7 +169,7 @@ func TestPropertyRefsRoundTrip(t *testing.T) {
 		for i, b := range raw {
 			refs[i] = int(b % 4)
 		}
-		dec, err := decompressRefs(compressRefs(refs), len(refs))
+		dec, err := decompressRefs(appendCompressRefs(nil, refs), len(refs))
 		if err != nil {
 			return false
 		}

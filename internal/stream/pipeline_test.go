@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dbgc"
+)
+
+// TestPipelinedWriterByteIdentical: the pipelined writer must produce
+// exactly the container the serial writer produces — compression is
+// deterministic and frames are written in submission order.
+func TestPipelinedWriterByteIdentical(t *testing.T) {
+	frames := testFrames(t, 4)
+	opts := dbgc.DefaultOptions(0.02)
+
+	var serial bytes.Buffer
+	ws, err := NewWriter(&serial, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range frames {
+		if _, err := ws.WriteFrame(pc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var piped bytes.Buffer
+	wp, err := NewWriter(&piped, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statSeqs []uint64
+	wp.OnStats = func(fs FrameStats) {
+		statSeqs = append(statSeqs, fs.Seq)
+		if fs.GeometryBytes == 0 || fs.Ratio == 0 {
+			t.Errorf("frame %d: OnStats delivered incomplete stats: %+v", fs.Seq, fs)
+		}
+	}
+	if err := wp.EnablePipeline(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, pc := range frames {
+		fs, err := wp.WriteFrame(pc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Seq != uint64(i) || fs.Points != len(pc) {
+			t.Fatalf("queued frame stats wrong: %+v", fs)
+		}
+	}
+	if err := wp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(serial.Bytes(), piped.Bytes()) {
+		t.Fatalf("pipelined container differs: %d vs %d bytes", piped.Len(), serial.Len())
+	}
+	if len(statSeqs) != len(frames) {
+		t.Fatalf("OnStats fired %d times, want %d", len(statSeqs), len(frames))
+	}
+	for i, seq := range statSeqs {
+		if seq != uint64(i) {
+			t.Fatalf("OnStats order: position %d got seq %d", i, seq)
+		}
+	}
+}
+
+// TestPipelinedReaderMatchesSerial: a pipelined reader returns the same
+// frames in the same order as a serial reader, including the intensity
+// channel.
+func TestPipelinedReaderMatchesSerial(t *testing.T) {
+	frames := testFrames(t, 4)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, pc := range frames {
+		intens := make([]float32, len(pc))
+		for i := range intens {
+			intens[i] = float32((i+fi)%256) / 255
+		}
+		if _, err := w.WriteFrame(pc, intens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readAll := func(r *Reader) []Frame {
+		var out []Frame
+		for {
+			fr, err := r.ReadFrame()
+			if errors.Is(err, io.EOF) {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fr)
+		}
+	}
+	rs, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := readAll(rs)
+	rp, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.EnablePipeline(3); err != nil {
+		t.Fatal(err)
+	}
+	piped := readAll(rp)
+
+	if len(serial) != len(piped) {
+		t.Fatalf("pipelined read %d frames, serial %d", len(piped), len(serial))
+	}
+	for i := range serial {
+		if serial[i].Seq != piped[i].Seq {
+			t.Fatalf("frame %d: seq %d vs %d", i, piped[i].Seq, serial[i].Seq)
+		}
+		if len(serial[i].Cloud) != len(piped[i].Cloud) {
+			t.Fatalf("frame %d: %d points vs %d", i, len(piped[i].Cloud), len(serial[i].Cloud))
+		}
+		for j := range serial[i].Cloud {
+			if serial[i].Cloud[j] != piped[i].Cloud[j] {
+				t.Fatalf("frame %d point %d differs", i, j)
+			}
+		}
+		for j := range serial[i].Intensity {
+			if serial[i].Intensity[j] != piped[i].Intensity[j] {
+				t.Fatalf("frame %d intensity %d differs", i, j)
+			}
+		}
+	}
+	// Reading past EOF stays EOF.
+	if _, err := rp.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestPipelinedReaderTemporalStream: a pipelined reader on a temporal
+// stream must still decode correctly — P-frames force a drain and decode
+// serially against the preceding frame.
+func TestPipelinedReaderTemporalStream(t *testing.T) {
+	frames := testFrames(t, 5)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableTemporal(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range frames {
+		if _, err := w.WriteFrame(pc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.EnablePipeline(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		sf, serr := rs.ReadFrame()
+		pf, perr := rp.ReadFrame()
+		if errors.Is(serr, io.EOF) {
+			if !errors.Is(perr, io.EOF) {
+				t.Fatalf("serial EOF at %d but pipelined err %v", i, perr)
+			}
+			if i != len(frames) {
+				t.Fatalf("read %d frames, wrote %d", i, len(frames))
+			}
+			return
+		}
+		if serr != nil || perr != nil {
+			t.Fatalf("frame %d: serial err %v, pipelined err %v", i, serr, perr)
+		}
+		if sf.Seq != pf.Seq || len(sf.Cloud) != len(pf.Cloud) {
+			t.Fatalf("frame %d mismatch: seq %d/%d, %d/%d points",
+				i, sf.Seq, pf.Seq, len(sf.Cloud), len(pf.Cloud))
+		}
+		for j := range sf.Cloud {
+			if sf.Cloud[j] != pf.Cloud[j] {
+				t.Fatalf("frame %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestPipelineTemporalMutuallyExclusive: the two writer modes cannot
+// combine in either order.
+func TestPipelineTemporalMutuallyExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableTemporal(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnablePipeline(2); err == nil {
+		t.Fatal("EnablePipeline after EnableTemporal succeeded")
+	}
+
+	w2, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.EnablePipeline(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.EnableTemporal(2); err == nil {
+		t.Fatal("EnableTemporal after EnablePipeline succeeded")
+	}
+}
+
+// TestPipelinedWriterErrorSurfaces: a compression failure inside the pool
+// surfaces on a later WriteFrame or Close instead of being swallowed.
+func TestPipelinedWriterErrorSurfaces(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dbgc.DefaultOptions(0.02), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnablePipeline(2); err != nil {
+		t.Fatal(err)
+	}
+	// A NaN coordinate makes dbgc.Compress fail inside the worker.
+	bad := dbgc.PointCloud{{X: 1, Y: 2, Z: 3}}
+	bad[0].X = nan()
+	if _, err := w.WriteFrame(bad, nil); err != nil {
+		t.Fatalf("submission itself should succeed, got %v", err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("compression error never surfaced")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

@@ -29,6 +29,7 @@ import (
 
 	"dbgc"
 	"dbgc/internal/attr"
+	"dbgc/internal/framepipe"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -64,6 +65,87 @@ type Writer struct {
 	done     bool
 	interval int // 0 = all I-frames
 	prev     geom.PointCloud
+
+	// Pipelined mode (EnablePipeline).
+	pipe *framepipe.Pool[pipeJob, pipeFrame]
+	err  error // first compression or write error, sticky
+
+	// OnStats, when set, receives the definitive FrameStats of each frame
+	// as it completes. In pipelined mode it is called from later WriteFrame
+	// and Close calls on the caller's goroutine; in serial mode WriteFrame
+	// calls it before returning.
+	OnStats func(FrameStats)
+}
+
+// pipeJob is one frame submitted to the compression pool.
+type pipeJob struct {
+	seq       uint64
+	pc        geom.PointCloud
+	intensity []float32
+	opts      dbgc.Options
+}
+
+// pipeFrame is a fully framed body (seq..crc) ready to write.
+type pipeFrame struct {
+	buf   []byte
+	stats FrameStats
+}
+
+// EnablePipeline compresses frames on workers concurrent goroutines while
+// writing them in submission order. It is mutually exclusive with temporal
+// mode: P-frames are predicted from the previous decoded frame, so a
+// temporal stream has no independent frames to overlap.
+//
+// In pipelined mode WriteFrame returns as soon as the frame is queued; the
+// returned FrameStats carries only Seq and Points, and compression errors
+// surface on a later WriteFrame or on Close. Set OnStats to observe the
+// definitive per-frame statistics. The caller must not mutate the cloud or
+// intensity slice after passing them in.
+func (w *Writer) EnablePipeline(workers int) error {
+	if w.interval >= 2 {
+		return errors.New("stream: pipeline is incompatible with temporal mode")
+	}
+	if w.pipe != nil {
+		return errors.New("stream: pipeline already enabled")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	w.pipe = framepipe.New(workers, 2*workers, func(j pipeJob) (pipeFrame, error) {
+		return encodeFrameBody(j)
+	})
+	return nil
+}
+
+// encodeFrameBody compresses one I-frame and assembles the container body
+// (seq | kind | sections | crc). It is safe to call concurrently.
+func encodeFrameBody(j pipeJob) (pipeFrame, error) {
+	data, stats, err := dbgc.Compress(j.pc, j.opts)
+	if err != nil {
+		return pipeFrame{}, fmt.Errorf("stream: frame %d: %w", j.seq, err)
+	}
+	var attrData []byte
+	if j.intensity != nil {
+		attrData, err = attr.EncodeIntensity(j.intensity, stats.Mapping, 8)
+		if err != nil {
+			return pipeFrame{}, fmt.Errorf("stream: frame %d intensity: %w", j.seq, err)
+		}
+	}
+	var buf []byte
+	buf = varint.AppendUint(buf, j.seq)
+	buf = append(buf, frameI)
+	buf = varint.AppendUint(buf, uint64(len(data)))
+	buf = append(buf, data...)
+	buf = varint.AppendUint(buf, uint64(len(attrData)))
+	buf = append(buf, attrData...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return pipeFrame{buf: buf, stats: FrameStats{
+		Seq:            j.seq,
+		Points:         len(j.pc),
+		GeometryBytes:  len(data),
+		IntensityBytes: len(attrData),
+		Ratio:          float64(len(j.pc)*12) / float64(len(data)),
+	}}, nil
 }
 
 // EnableTemporal switches the writer to temporal mode: one I-frame every
@@ -75,6 +157,9 @@ type Writer struct {
 func (w *Writer) EnableTemporal(interval int) error {
 	if interval < 2 {
 		return fmt.Errorf("stream: temporal interval must be >= 2, got %d", interval)
+	}
+	if w.pipe != nil {
+		return errors.New("stream: temporal mode is incompatible with pipeline")
 	}
 	w.interval = interval
 	return nil
@@ -122,6 +207,9 @@ type FrameStats struct {
 func (w *Writer) WriteFrame(pc geom.PointCloud, intensity []float32) (FrameStats, error) {
 	if w.done {
 		return FrameStats{}, errors.New("stream: writer already closed")
+	}
+	if w.pipe != nil {
+		return w.writeFramePipelined(pc, intensity)
 	}
 	kind := byte(frameI)
 	var data []byte
@@ -187,15 +275,81 @@ func (w *Writer) WriteFrame(pc geom.PointCloud, intensity []float32) (FrameStats
 		StaticPoints:   static,
 	}
 	w.seq++
+	if w.OnStats != nil {
+		w.OnStats(fs)
+	}
 	return fs, nil
 }
 
-// Close terminates the container and flushes buffered output.
+// writeFramePipelined queues one frame on the compression pool, first
+// draining completed frames (and, when the window is full, blocking on the
+// oldest) so the pool can never deadlock on its own window.
+func (w *Writer) writeFramePipelined(pc geom.PointCloud, intensity []float32) (FrameStats, error) {
+	for {
+		f, err, ok := w.pipe.TryNext()
+		if !ok {
+			break
+		}
+		w.finishPipelined(f, err)
+	}
+	for w.pipe.Full() {
+		f, err, ok := w.pipe.Next()
+		if !ok {
+			break
+		}
+		w.finishPipelined(f, err)
+	}
+	if w.err != nil {
+		return FrameStats{}, w.err
+	}
+	seq := w.seq
+	w.seq++
+	w.pipe.Submit(pipeJob{seq: seq, pc: pc, intensity: intensity, opts: w.opts})
+	return FrameStats{Seq: seq, Points: len(pc)}, nil
+}
+
+// finishPipelined writes one completed frame body, keeping the first error.
+func (w *Writer) finishPipelined(f pipeFrame, err error) {
+	if w.err != nil {
+		return
+	}
+	if err != nil {
+		w.err = err
+		return
+	}
+	if err := w.w.WriteByte(markerFrame); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(f.buf); err != nil {
+		w.err = err
+		return
+	}
+	if w.OnStats != nil {
+		w.OnStats(f.stats)
+	}
+}
+
+// Close drains any pipelined frames, terminates the container, and flushes
+// buffered output.
 func (w *Writer) Close() error {
 	if w.done {
 		return nil
 	}
 	w.done = true
+	if w.pipe != nil {
+		for {
+			f, err, ok := w.pipe.Next()
+			if !ok {
+				break
+			}
+			w.finishPipelined(f, err)
+		}
+		w.pipe.Close()
+		if w.err != nil {
+			return w.err
+		}
+	}
 	if err := w.w.WriteByte(markerEnd); err != nil {
 		return err
 	}
@@ -209,6 +363,62 @@ type Reader struct {
 	fps  float64
 	end  bool
 	prev geom.PointCloud
+
+	// Pipelined mode (EnablePipeline).
+	pipe    *framepipe.Pool[readJob, Frame]
+	stashP  *readJob // raw P-frame body waiting for in-flight frames
+	readErr error    // deferred read error, surfaced after the drain
+}
+
+// readJob is one raw frame body handed to the decode pool.
+type readJob struct {
+	seq uint64
+	raw body
+}
+
+// EnablePipeline decodes consecutive I-frames on workers concurrent
+// goroutines while returning frames in stream order. Read-ahead stops at a
+// P-frame — it is predicted from the immediately preceding decoded frame —
+// and resumes after it, so all-I streams (the only kind the pipelined
+// Writer produces) parallelize freely while temporal streams degrade to
+// serial decoding without losing correctness.
+func (r *Reader) EnablePipeline(workers int) error {
+	if r.pipe != nil {
+		return errors.New("stream: pipeline already enabled")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r.pipe = framepipe.New(workers, 2*workers, decodeIFrame)
+	return nil
+}
+
+// decodeIFrame decodes one self-contained frame body. It is safe to call
+// concurrently.
+func decodeIFrame(j readJob) (Frame, error) {
+	cloud, err := dbgc.Decompress(j.raw.geom)
+	if err != nil {
+		return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", j.seq, err)
+	}
+	return frameFromParts(j.seq, cloud, j.raw.attr)
+}
+
+// frameFromParts attaches the optional intensity channel to a decoded
+// cloud.
+func frameFromParts(seq uint64, cloud geom.PointCloud, attrData []byte) (Frame, error) {
+	var intensity []float32
+	if len(attrData) > 0 {
+		var err error
+		intensity, err = attr.DecodeIntensity(attrData)
+		if err != nil {
+			return Frame{}, fmt.Errorf("stream: frame %d intensity: %w", seq, err)
+		}
+		if len(intensity) != len(cloud) {
+			return Frame{}, fmt.Errorf("%w: frame %d has %d intensities for %d points",
+				ErrCorrupt, seq, len(intensity), len(cloud))
+		}
+	}
+	return Frame{Seq: seq, Cloud: cloud, Intensity: intensity}, nil
 }
 
 // NewReader validates the container header and prepares iteration.
@@ -247,6 +457,9 @@ type Frame struct {
 
 // ReadFrame returns the next frame, or io.EOF after the end marker.
 func (r *Reader) ReadFrame() (Frame, error) {
+	if r.pipe != nil {
+		return r.readFramePipelined()
+	}
 	if r.end {
 		return Frame{}, io.EOF
 	}
@@ -282,18 +495,67 @@ func (r *Reader) ReadFrame() (Frame, error) {
 		return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", seq, err)
 	}
 	r.prev = cloud
-	var intensity []float32
-	if len(raw.attr) > 0 {
-		intensity, err = attr.DecodeIntensity(raw.attr)
+	return frameFromParts(seq, cloud, raw.attr)
+}
+
+// readFramePipelined tops the decode window up with consecutive I-frames,
+// then returns the oldest decoded frame. A P-frame pauses read-ahead (its
+// prediction reference is the frame right before it), drains the window,
+// decodes serially, and read-ahead resumes.
+func (r *Reader) readFramePipelined() (Frame, error) {
+	for r.stashP == nil && !r.end && r.readErr == nil && !r.pipe.Full() {
+		marker, err := r.r.ReadByte()
 		if err != nil {
-			return Frame{}, fmt.Errorf("stream: frame %d intensity: %w", seq, err)
+			r.readErr = fmt.Errorf("stream: marker: %w", err)
+			break
 		}
-		if len(intensity) != len(cloud) {
-			return Frame{}, fmt.Errorf("%w: frame %d has %d intensities for %d points",
-				ErrCorrupt, seq, len(intensity), len(cloud))
+		if marker == markerEnd {
+			r.end = true
+			break
+		}
+		if marker != markerFrame {
+			r.readErr = fmt.Errorf("%w: unknown marker %#x", ErrCorrupt, marker)
+			break
+		}
+		seq, kind, raw, err := r.readBody()
+		if err != nil {
+			r.readErr = err
+			break
+		}
+		switch kind {
+		case frameI:
+			r.pipe.Submit(readJob{seq: seq, raw: raw})
+		case frameP:
+			r.stashP = &readJob{seq: seq, raw: raw}
+		default:
+			r.readErr = fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 		}
 	}
-	return Frame{Seq: seq, Cloud: cloud, Intensity: intensity}, nil
+	if f, err, ok := r.pipe.Next(); ok {
+		if err != nil {
+			return Frame{}, err
+		}
+		r.prev = f.Cloud
+		return f, nil
+	}
+	// Nothing in flight: a stashed P-frame, a deferred read error, or the
+	// end of the stream — in stream order, so the stash comes first.
+	if s := r.stashP; s != nil {
+		r.stashP = nil
+		if r.prev == nil {
+			return Frame{}, fmt.Errorf("%w: P-frame %d without a preceding frame", ErrCorrupt, s.seq)
+		}
+		cloud, err := decodeP(s.raw.geom, newTemporalRef(r.prev, r.q))
+		if err != nil {
+			return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", s.seq, err)
+		}
+		r.prev = cloud
+		return frameFromParts(s.seq, cloud, s.raw.attr)
+	}
+	if r.readErr != nil {
+		return Frame{}, r.readErr
+	}
+	return Frame{}, io.EOF
 }
 
 type body struct {

@@ -45,14 +45,26 @@ func Int(buf []byte) (int64, int, error) {
 	return Unzigzag(u), n, nil
 }
 
+// AppendInts appends the concatenated zigzag varints of vs to dst.
+func AppendInts(dst []byte, vs []int64) []byte {
+	for _, v := range vs {
+		dst = AppendInt(dst, v)
+	}
+	return dst
+}
+
+// AppendUints appends the concatenated varints of vs to dst.
+func AppendUints(dst []byte, vs []uint64) []byte {
+	for _, v := range vs {
+		dst = AppendUint(dst, v)
+	}
+	return dst
+}
+
 // EncodeInts serializes a slice of signed integers as concatenated zigzag
 // varints.
 func EncodeInts(vs []int64) []byte {
-	out := make([]byte, 0, len(vs)*2)
-	for _, v := range vs {
-		out = AppendInt(out, v)
-	}
-	return out
+	return AppendInts(make([]byte, 0, len(vs)*2), vs)
 }
 
 // DecodeInts decodes exactly n zigzag varints from buf. It returns an error
@@ -76,11 +88,7 @@ func DecodeInts(buf []byte, n int) ([]int64, error) {
 // EncodeUints serializes a slice of unsigned integers as concatenated
 // varints.
 func EncodeUints(vs []uint64) []byte {
-	out := make([]byte, 0, len(vs)*2)
-	for _, v := range vs {
-		out = AppendUint(out, v)
-	}
-	return out
+	return AppendUints(make([]byte, 0, len(vs)*2), vs)
 }
 
 // DecodeUints decodes exactly n unsigned varints from buf.
