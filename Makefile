@@ -23,7 +23,14 @@ race:
 bench-json:
 	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_2.json
 
-# Short fuzz sweeps over the wire decoder and the sparse codec.
+# Short fuzz sweeps over the wire decoder and every geometry decoder, each
+# running under DecodeLimits so a decompression bomb fails the target.
+FUZZTIME ?= 15s
 fuzz:
-	$(GO) test -fuzz=FuzzRead -fuzztime=15s ./internal/netproto
-	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/sparse
+	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/netproto
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/kdtree
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/gpcc
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/quadtree
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/arith
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/core

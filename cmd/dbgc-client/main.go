@@ -10,7 +10,7 @@
 //
 //	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10]
 //	            [-q 0.02] [-rate 10] [-window 8] [-ack-timeout 5s] [-noack]
-//	            [-workers 1]
+//	            [-workers 1] [-partial] [-max-points n] [-mem-budget bytes]
 package main
 
 import (
@@ -53,6 +53,9 @@ func main() {
 	ackTimeout := flag.Duration("ack-timeout", 5*time.Second, "resend frames unacked after this long")
 	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: no acks, no retransmits")
 	workers := flag.Int("workers", 1, "compress this many frames concurrently (frames are sent in order)")
+	partial := flag.Bool("partial", false, "skip frames the server permanently rejects instead of aborting the run")
+	maxPoints := flag.Int64("max-points", 0, "verify each frame decodes under this point limit before sending (0 = no verification)")
+	memBudget := flag.Int64("mem-budget", 0, "verify each frame decodes under this memory budget before sending (0 = no verification)")
 	flag.Parse()
 
 	scene, err := lidar.NewScene(lidar.SceneKind(*sceneKind), 1)
@@ -113,8 +116,9 @@ func main() {
 	if *rate > 0 {
 		interval = time.Duration(float64(time.Second) / *rate)
 	}
-	var totalRaw, totalCompressed int
+	var totalRaw, totalCompressed, rejected int
 	start := time.Now()
+	limits := dbgc.DecodeLimits{MaxPoints: *maxPoints, MemBudget: *memBudget}
 	deliver := func(c compressedFrame, err error) {
 		if err != nil {
 			log.Fatal(err)
@@ -124,6 +128,14 @@ func main() {
 			Seq:     uint64(c.seq),
 			Payload: c.data,
 		}); err != nil {
+			// With -partial an undeliverable frame (rejected by the server
+			// past its retry budget) is logged and skipped; the connection
+			// and the rest of the stream continue.
+			if *partial && errors.Is(err, reliable.ErrFrameRejected) {
+				rejected++
+				log.Printf("frame %d: undeliverable, skipping: %v", c.seq, err)
+				return
+			}
 			log.Fatalf("sending frame %d: %v", c.seq, err)
 		}
 		totalRaw += c.rawSize
@@ -137,6 +149,13 @@ func main() {
 		data, stats, err := dbgc.Compress(j.pc, opts)
 		if err != nil {
 			return compressedFrame{}, fmt.Errorf("compressing frame %d: %w", j.seq, err)
+		}
+		if limits.MaxPoints > 0 || limits.MemBudget > 0 {
+			// Pre-send check: a frame that exceeds the server's decode
+			// limits would be nacked on arrival; catch it here instead.
+			if _, err := dbgc.DecompressWith(data, dbgc.DecompressOptions{Limits: limits}); err != nil {
+				return compressedFrame{}, fmt.Errorf("frame %d exceeds decode limits: %w", j.seq, err)
+			}
 		}
 		return compressedFrame{
 			seq: j.seq, points: len(j.pc), rawSize: j.pc.RawSize(),
@@ -208,8 +227,11 @@ func main() {
 		log.Fatalf("finishing session: %v", err)
 	}
 	elapsed := time.Since(start)
+	if rejected > 0 {
+		log.Printf("%d of %d frames were undeliverable and skipped", rejected, *frames)
+	}
 	fmt.Fprintf(os.Stdout, "sent %d frames in %v: %d raw bytes -> %d compressed (ratio %.2f), avg bandwidth %.2f Mbps\n",
-		*frames, elapsed.Round(time.Millisecond), totalRaw, totalCompressed,
+		*frames-rejected, elapsed.Round(time.Millisecond), totalRaw, totalCompressed,
 		float64(totalRaw)/float64(totalCompressed),
 		float64(totalCompressed)*8/elapsed.Seconds()/1e6)
 }

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	dbgc-server [-listen :7045] [-store frames.db] [-decompress]
+//	            [-partial] [-max-points n] [-mem-budget bytes]
 //	            [-fsync off|always|<interval>] [-noack]
 //	            [-read-timeout 60s] [-drain-timeout 10s]
 package main
@@ -24,6 +25,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +41,9 @@ func main() {
 	storePath := flag.String("store", "frames.db", "frame store file")
 	decompress := flag.Bool("decompress", false, "decompress frames before storing (default stores B directly)")
 	parallel := flag.Bool("parallel", false, "decode the sections of each frame on separate goroutines (with -decompress)")
+	partial := flag.Bool("partial", false, "with -decompress: store the intact sections of damaged frames and quarantine the rest instead of nacking")
+	maxPoints := flag.Int64("max-points", dbgc.DefaultDecodeLimits().MaxPoints, "decode limit: maximum points per frame (0 = unlimited)")
+	memBudget := flag.Int64("mem-budget", dbgc.DefaultDecodeLimits().MemBudget, "decode limit: decoded-memory budget per frame in bytes (0 = unlimited)")
 	fsync := flag.String("fsync", "off", `durability mode: "off" (OS decides), "always" (sync before every ack), or a periodic interval like "500ms"`)
 	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: do not send acks/nacks")
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "idle timeout per connection")
@@ -61,8 +66,9 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 
+	limits := dbgc.DecodeLimits{MaxPoints: *maxPoints, MemBudget: *memBudget}
 	srv := reliable.NewServer(reliable.ServerConfig{
-		Handle:      handler(st, *decompress, *parallel, syncAlways),
+		Handle:      handler(st, *decompress, *parallel, *partial, syncAlways, limits),
 		Query:       querier(st),
 		Quarantine:  quarantiner(st),
 		ReadTimeout: *readTimeout,
@@ -132,13 +138,43 @@ func parseFsync(mode string) (always bool, every time.Duration, err error) {
 // handler stores one data frame, decompressing first when asked. Decode
 // failures are reported as ErrBadFrame so the session quarantines the
 // payload; store failures are plain errors (nacked, retried, not
-// quarantined).
-func handler(st *store.Store, decompress, parallel, syncAlways bool) func(m netproto.Message) error {
+// quarantined). In partial mode a frame with some damaged sections stores
+// what decoded and reports a PartialFrameError so the session quarantines
+// only the damaged bytes and still acks.
+func handler(st *store.Store, decompress, parallel, partial, syncAlways bool, limits dbgc.DecodeLimits) func(m netproto.Message) error {
+	opts := dbgc.DecompressOptions{Parallel: parallel, Limits: limits}
 	return func(m netproto.Message) error {
 		switch m.Kind {
 		case netproto.KindCompressed:
-			if decompress {
-				pc, err := dbgc.DecompressWith(m.Payload, dbgc.DecompressOptions{Parallel: parallel})
+			if decompress && partial {
+				pc, reports, err := dbgc.DecompressPartial(m.Payload, opts)
+				if err != nil {
+					return fmt.Errorf("%w: frame %d: %v", reliable.ErrBadFrame, m.Seq, err)
+				}
+				var damaged []byte
+				var reasons []string
+				for _, rep := range reports {
+					if rep.Err != nil {
+						damaged = append(damaged, rep.Raw...)
+						reasons = append(reasons, fmt.Sprintf("%s: %v", rep.Section, rep.Err))
+					}
+				}
+				if err := st.Put(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
+					return err
+				}
+				if len(reasons) == 0 {
+					log.Printf("frame %d: %d bytes -> %d points, stored decompressed", m.Seq, len(m.Payload), len(pc))
+					break
+				}
+				log.Printf("frame %d: partial recovery, stored %d points", m.Seq, len(pc))
+				if syncAlways {
+					if err := st.Sync(); err != nil {
+						return err
+					}
+				}
+				return &reliable.PartialFrameError{Reason: strings.Join(reasons, "; "), Damaged: damaged}
+			} else if decompress {
+				pc, err := dbgc.DecompressWith(m.Payload, opts)
 				if err != nil {
 					return fmt.Errorf("%w: frame %d: %v", reliable.ErrBadFrame, m.Seq, err)
 				}
@@ -181,9 +217,21 @@ func querier(st *store.Store) func(q netproto.Query) ([]byte, error) {
 
 // quarantiner preserves a rejected payload for forensics — unless a good
 // record for that sequence number already exists (a corrupt retransmit
-// must not shadow a stored frame).
+// must not shadow a stored frame). Damaged sections of a partially
+// recovered frame land under the sequence number with the top bit set, so
+// they coexist with the frame's stored good sections.
 func quarantiner(st *store.Store) func(m netproto.Message, reason string) {
 	return func(m netproto.Message, reason string) {
+		if strings.HasPrefix(reason, "partial: ") {
+			key := m.Seq | 1<<63
+			if err := st.Put(key, store.KindQuarantined, m.Payload); err != nil {
+				log.Printf("frame %d: quarantining damaged sections failed: %v", m.Seq, err)
+				return
+			}
+			log.Printf("frame %d: quarantined %d damaged section bytes under key %#x (%s)",
+				m.Seq, len(m.Payload), key, reason)
+			return
+		}
 		if kind, ok := st.Kind(m.Seq); ok && kind != store.KindQuarantined {
 			return
 		}

@@ -117,10 +117,16 @@ func runPack(args []string) error {
 func runUnpack(args []string) error {
 	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
 	workers := fs.Int("workers", 1, "decode this many frames concurrently")
+	maxPoints := fs.Int64("max-points", 0, "decode limit: maximum points per frame (0 = unlimited)")
+	memBudget := fs.Int64("mem-budget", 0, "decode limit: decoded-memory budget per frame in bytes (0 = unlimited)")
+	partial := fs.Bool("partial", false, "recover intact sections of damaged frames instead of aborting")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dbgc unpack [-workers n] input.dbgs output-dir")
+		fmt.Fprintln(os.Stderr, "usage: dbgc unpack [-workers n] [-max-points n] [-mem-budget bytes] [-partial] input.dbgs output-dir")
 		os.Exit(2)
+	}
+	if *partial && *workers > 1 {
+		return errors.New("-partial is incompatible with -workers > 1")
 	}
 	in, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -135,12 +141,20 @@ func runUnpack(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *maxPoints > 0 || *memBudget > 0 {
+		r.SetLimits(dbgc.DecodeLimits{MaxPoints: *maxPoints, MemBudget: *memBudget})
+	}
+	if *partial {
+		if err := r.EnablePartial(); err != nil {
+			return err
+		}
+	}
 	if *workers > 1 {
 		if err := r.EnablePipeline(*workers); err != nil {
 			return err
 		}
 	}
-	n := 0
+	n, damaged := 0, 0
 	for {
 		fr, err := r.ReadFrame()
 		if errors.Is(err, io.EOF) {
@@ -161,9 +175,38 @@ func runUnpack(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d points\n", path, len(fr.Cloud))
+		if fr.Damage != nil {
+			damaged++
+			fmt.Printf("%s: %d points (damaged: %s)\n", path, len(fr.Cloud), describeDamage(fr.Damage))
+		} else {
+			fmt.Printf("%s: %d points\n", path, len(fr.Cloud))
+		}
 		n++
 	}
-	fmt.Printf("unpacked %d frames (q=%g, fps=%g)\n", n, r.Q(), r.FPS())
+	if damaged > 0 {
+		fmt.Printf("unpacked %d frames, %d damaged (q=%g, fps=%g)\n", n, damaged, r.Q(), r.FPS())
+	} else {
+		fmt.Printf("unpacked %d frames (q=%g, fps=%g)\n", n, r.Q(), r.FPS())
+	}
 	return nil
+}
+
+// describeDamage renders a FrameDamage for the unpack log.
+func describeDamage(d *stream.FrameDamage) string {
+	var parts []string
+	if d.Err != nil {
+		parts = append(parts, d.Err.Error())
+	}
+	for _, rep := range d.Sections {
+		if rep.Err != nil {
+			parts = append(parts, fmt.Sprintf("%s section: %v", rep.Section, rep.Err))
+		}
+	}
+	if d.CRCMismatch && len(parts) == 0 {
+		parts = append(parts, "frame checksum mismatch")
+	}
+	if d.AttrErr != nil {
+		parts = append(parts, fmt.Sprintf("intensity dropped: %v", d.AttrErr))
+	}
+	return strings.Join(parts, "; ")
 }

@@ -101,12 +101,51 @@ func Decompress(data []byte) (PointCloud, error) {
 // serially, matching Decompress.
 type DecompressOptions = core.DecompressOptions
 
+// DecodeLimits bounds the resources a decode may spend on one untrusted
+// frame: decoded points, entropy symbols / tree nodes, per-section
+// compressed bytes, total decoded-output memory, and an optional context
+// whose deadline or cancellation aborts the decode. The zero value is
+// unlimited.
+type DecodeLimits = core.DecodeLimits
+
+// ErrDecodeLimit is wrapped by errors returned when a decode exceeds its
+// DecodeLimits.
+var ErrDecodeLimit = core.ErrLimit
+
+// DefaultDecodeLimits returns production limits generous enough for any
+// real LiDAR frame while bounding hostile input.
+func DefaultDecodeLimits() DecodeLimits { return core.DefaultDecodeLimits() }
+
 // DecompressWith is Decompress with explicit options. With Parallel set the
 // dense, sparse, and outlier sections — and the radial groups inside the
 // sparse section — decode on separate goroutines; the result is
 // point-identical to Decompress.
 func DecompressWith(data []byte, opts DecompressOptions) (PointCloud, error) {
 	return core.DecompressWith(data, opts)
+}
+
+// SectionID names one of a frame's three sections (dense, sparse,
+// outlier) in container order.
+type SectionID = core.SectionID
+
+// Section identifiers, in container order.
+const (
+	SectionDense   = core.SectionDense
+	SectionSparse  = core.SectionSparse
+	SectionOutlier = core.SectionOutlier
+)
+
+// SectionReport describes the decode outcome of one frame section, as
+// returned by DecompressPartial.
+type SectionReport = core.SectionReport
+
+// DecompressPartial decodes every intact section of a frame and skips
+// damaged ones, returning the partial cloud plus one report per section.
+// Damage is detected by the per-section CRC32s of container version 2 and
+// by decode failure on both versions. The error is non-nil only when the
+// frame envelope itself cannot be parsed.
+func DecompressPartial(data []byte, opts DecompressOptions) (PointCloud, []SectionReport, error) {
+	return core.DecompressPartial(data, opts)
 }
 
 // AABB is an axis-aligned query box.

@@ -3,6 +3,7 @@ package arith
 import (
 	"fmt"
 
+	"dbgc/internal/declimits"
 	"dbgc/internal/varint"
 )
 
@@ -31,6 +32,16 @@ func clampCap(n int) int {
 // which callers carry out of band (all DBGC streams record their element
 // counts).
 func DecompressBytes(buf []byte, n int) ([]byte, error) {
+	return DecompressBytesLimited(buf, n, nil)
+}
+
+// DecompressBytesLimited is DecompressBytes charging the n decoded symbols
+// against b up front (the decode loop is bounded by n, so one charge
+// covers it). A nil budget is unlimited.
+func DecompressBytesLimited(buf []byte, n int, b *declimits.Budget) ([]byte, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
 	d := GetDecoder(buf)
 	m := GetModel(256)
 	out := make([]byte, 0, clampCap(n))
@@ -57,6 +68,15 @@ func CompressInts(vs []int64) []byte {
 
 // DecompressInts inverts CompressInts, decoding exactly n integers.
 func DecompressInts(buf []byte, n int) ([]int64, error) {
+	return DecompressIntsLimited(buf, n, nil)
+}
+
+// DecompressIntsLimited is DecompressInts charging the n decoded elements
+// (and their 8 output bytes each) against b up front.
+func DecompressIntsLimited(buf []byte, n int, b *declimits.Budget) ([]int64, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
 	d := GetDecoder(buf)
 	m := GetModel(256)
 	out := make([]int64, 0, clampCap(n))
@@ -82,6 +102,15 @@ func CompressUints(vs []uint64) []byte {
 
 // DecompressUints inverts CompressUints, decoding exactly n integers.
 func DecompressUints(buf []byte, n int) ([]uint64, error) {
+	return DecompressUintsLimited(buf, n, nil)
+}
+
+// DecompressUintsLimited is DecompressUints charging the n decoded
+// elements (and their 8 output bytes each) against b up front.
+func DecompressUintsLimited(buf []byte, n int, b *declimits.Budget) ([]uint64, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
 	d := GetDecoder(buf)
 	m := GetModel(256)
 	out := make([]uint64, 0, clampCap(n))

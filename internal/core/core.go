@@ -7,8 +7,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"runtime"
 	"sort"
@@ -124,9 +126,19 @@ func (s Stats) CompressionRatio() float64 {
 }
 
 const (
-	magic   = "DBGC"
-	version = 1
+	magic = "DBGC"
+	// version1 frames each section as "length uvarint | payload".
+	version1 = 1
+	// version2 adds a CRC32-C per section ("length uvarint | crc fixed32
+	// LE | payload") so damage is attributable to one section and the
+	// others stay recoverable (DecompressPartial). Both versions decode.
+	version2 = 2
+	// version is what Compress emits.
+	version = version2
 )
+
+// castagnoli is the CRC32-C table shared by section framing and checks.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Compress encodes pc under opts and returns the bit sequence B plus
 // compression statistics. The cloud must be in the sensor frame (origin at
@@ -371,5 +383,6 @@ func appendFloat32(dst []byte, f float32) []byte {
 
 func appendSection(dst, payload []byte) []byte {
 	dst = varint.AppendUint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
 	return append(dst, payload...)
 }

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
 
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/octree"
 	"dbgc/internal/outlier"
@@ -13,13 +16,156 @@ import (
 	"dbgc/internal/varint"
 )
 
-// DecompressOptions configures decoding. The zero value decodes serially.
+// DecodeLimits bounds the resources one frame decode may consume: total
+// decoded points, entropy symbols / tree nodes, per-section compressed
+// bytes, total decoded-output memory, and an optional context whose
+// deadline or cancellation aborts the decode. The zero value is unlimited
+// and reproduces the historical behaviour.
+type DecodeLimits = declimits.Limits
+
+// ErrLimit is wrapped by errors returned when a decode exceeds its
+// DecodeLimits. The stream may be well-formed; decoding it just costs more
+// than the caller allows.
+var ErrLimit = declimits.ErrLimit
+
+// DefaultDecodeLimits returns production limits generous enough for any
+// real LiDAR frame while bounding hostile input.
+func DefaultDecodeLimits() DecodeLimits { return declimits.DefaultLimits() }
+
+// DecompressOptions configures decoding. The zero value decodes serially
+// with no resource limits.
 type DecompressOptions struct {
 	// Parallel decodes the dense, sparse, and outlier sections — and the
 	// radial groups within the sparse section — on separate goroutines.
 	// Each section is an independently entropy-coded stream, so the output
 	// is point-identical to serial decoding.
 	Parallel bool
+	// Limits bounds the decode. Sections decoding in parallel share one
+	// budget, so the caps hold for the frame as a whole.
+	Limits DecodeLimits
+}
+
+// SectionID names one of the three frame sections, in container order.
+type SectionID int
+
+const (
+	SectionDense SectionID = iota
+	SectionSparse
+	SectionOutlier
+	numSections
+)
+
+func (s SectionID) String() string {
+	switch s {
+	case SectionDense:
+		return "dense"
+	case SectionSparse:
+		return "sparse"
+	case SectionOutlier:
+		return "outlier"
+	default:
+		return fmt.Sprintf("section(%d)", int(s))
+	}
+}
+
+// SectionReport describes the decode outcome of one frame section, as
+// returned by DecompressPartial.
+type SectionReport struct {
+	// Section identifies the section.
+	Section SectionID
+	// Bytes is the compressed length of the section.
+	Bytes int
+	// Points is the number of points recovered from the section (0 when
+	// the section is damaged).
+	Points int
+	// Err is nil for an intact section; otherwise it explains why the
+	// section was skipped (CRC mismatch or decode failure).
+	Err error
+	// Raw is the section's compressed payload, aliasing the input frame.
+	// Callers quarantining damaged bytes should copy it before the input
+	// buffer is reused.
+	Raw []byte
+}
+
+// section is one framed payload with its integrity metadata.
+type section struct {
+	payload []byte
+	crc     uint32
+	hasCRC  bool
+}
+
+// verify checks the section CRC when the container version carries one.
+func (s *section) verify(id SectionID) error {
+	if s.hasCRC && crc32.Checksum(s.payload, castagnoli) != s.crc {
+		return fmt.Errorf("%w: %s section CRC mismatch", ErrCorrupt, id)
+	}
+	return nil
+}
+
+// container is a parsed frame envelope: version, outlier mode, and the
+// three section payloads (not yet decoded or CRC-verified).
+type container struct {
+	version byte
+	mode    OutlierMode
+	sec     [numSections]section
+}
+
+// parseContainer splits a frame into its envelope and sections, charging
+// declared section lengths against b. It reads both container versions:
+// v1 frames section payloads with a bare length, v2 adds a CRC32-C per
+// section (length uvarint, CRC fixed32 LE, payload).
+func parseContainer(data []byte, b *declimits.Budget) (container, error) {
+	var c container
+	if len(data) < len(magic)+1 {
+		return c, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return c, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	c.version = data[len(magic)]
+	if c.version != version1 && c.version != version2 {
+		return c, fmt.Errorf("core: unsupported version %d", c.version)
+	}
+	data = data[len(magic)+1:]
+	mode64, used, err := varint.Uint(data)
+	if err != nil {
+		return c, fmt.Errorf("core: outlier mode: %w", err)
+	}
+	data = data[used:]
+	c.mode = OutlierMode(mode64)
+
+	for id := SectionID(0); id < numSections; id++ {
+		l, used, err := varint.Uint(data)
+		if err != nil {
+			return c, fmt.Errorf("core: %s length: %w", id, err)
+		}
+		data = data[used:]
+		if err := b.Section(int64(l)); err != nil {
+			return c, err
+		}
+		if c.version >= version2 {
+			if len(data) < 4 {
+				return c, fmt.Errorf("%w: %s CRC truncated", ErrCorrupt, id)
+			}
+			c.sec[id].crc = binary.LittleEndian.Uint32(data)
+			c.sec[id].hasCRC = true
+			data = data[4:]
+		}
+		if l > uint64(len(data)) {
+			return c, fmt.Errorf("%w: %s section truncated", ErrCorrupt, id)
+		}
+		c.sec[id].payload = data[:l]
+		data = data[l:]
+	}
+	return c, nil
+}
+
+// newBudget returns nil (unlimited, zero overhead) for zero limits.
+func newBudget(l DecodeLimits) *declimits.Budget {
+	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.Ctx == nil {
+		return nil
+	}
+	return declimits.New(l)
 }
 
 // Decompress reconstructs the point cloud from a stream produced by
@@ -32,82 +178,105 @@ func Decompress(data []byte) (geom.PointCloud, error) {
 
 // DecompressWith is Decompress with explicit options.
 func DecompressWith(data []byte, opts DecompressOptions) (geom.PointCloud, error) {
-	if len(data) < len(magic)+1 {
-		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
-	}
-	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if data[len(magic)] != version {
-		return nil, fmt.Errorf("core: unsupported version %d", data[len(magic)])
-	}
-	data = data[len(magic)+1:]
-	mode64, used, err := varint.Uint(data)
+	b := newBudget(opts.Limits)
+	c, err := parseContainer(data, b)
 	if err != nil {
-		return nil, fmt.Errorf("core: outlier mode: %w", err)
+		return nil, err
 	}
-	data = data[used:]
-	mode := OutlierMode(mode64)
+	for id := range c.sec {
+		if err := c.sec[id].verify(SectionID(id)); err != nil {
+			return nil, err
+		}
+	}
+	pts, errs := decodeSections(c, opts, b)
+	for id, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", SectionID(id), err)
+		}
+	}
+	out := make(geom.PointCloud, 0, len(pts[SectionDense])+len(pts[SectionSparse])+len(pts[SectionOutlier]))
+	out = append(out, pts[SectionDense]...)
+	out = append(out, pts[SectionSparse]...)
+	out = append(out, pts[SectionOutlier]...)
+	return out, nil
+}
 
-	denseData, data, err := readSection(data, "dense")
+// DecompressPartial decodes every intact section of a frame and skips
+// damaged ones, returning the partial cloud (sections in container order)
+// and a report per section. Damage is detected by section CRC on v2 frames
+// and by decode failure on both versions. The error is non-nil only when
+// the frame envelope itself cannot be parsed — then nothing is
+// recoverable.
+func DecompressPartial(data []byte, opts DecompressOptions) (geom.PointCloud, []SectionReport, error) {
+	b := newBudget(opts.Limits)
+	c, err := parseContainer(data, b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sparseData, data, err := readSection(data, "sparse")
-	if err != nil {
-		return nil, err
+	reports := make([]SectionReport, numSections)
+	for id := range c.sec {
+		reports[id] = SectionReport{
+			Section: SectionID(id),
+			Bytes:   len(c.sec[id].payload),
+			Raw:     c.sec[id].payload,
+		}
+		if err := c.sec[id].verify(SectionID(id)); err != nil {
+			reports[id].Err = err
+			// Don't hand known-bad bytes to the decoder: empty the payload
+			// so decodeSections fails it immediately at the header.
+			c.sec[id].payload = nil
+		}
 	}
-	outlierData, _, err := readSection(data, "outlier")
-	if err != nil {
-		return nil, err
+	pts, errs := decodeSections(c, opts, b)
+	out := geom.PointCloud{}
+	for id := range reports {
+		if reports[id].Err != nil {
+			continue
+		}
+		if errs[id] != nil {
+			reports[id].Err = errs[id]
+			continue
+		}
+		reports[id].Points = len(pts[id])
+		out = append(out, pts[id]...)
 	}
+	return out, reports, nil
+}
 
-	var densePts, sparsePts, outlierPts geom.PointCloud
-	var denseErr, sparseErr, outlierErr error
-	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel}
+// decodeSections decodes the three sections of a parsed frame, in parallel
+// when requested, charging b throughout.
+func decodeSections(c container, opts DecompressOptions, b *declimits.Budget) (pts [numSections]geom.PointCloud, errs [numSections]error) {
+	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel, Budget: b}
 	if opts.Parallel {
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			densePts, denseErr = octree.Decode(denseData)
+			pts[SectionDense], errs[SectionDense] = octree.DecodeLimited(c.sec[SectionDense].payload, b)
 		}()
 		go func() {
 			defer wg.Done()
-			outlierPts, outlierErr = decodeOutliers(outlierData, mode)
+			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b)
 		}()
 		// The sparse section fans its radial groups out to further
 		// goroutines; decode it on this one.
-		sparsePts, sparseErr = sparse.DecodeWith(sparseData, sparseOpts)
+		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
 		wg.Wait()
 	} else {
-		densePts, denseErr = octree.Decode(denseData)
-		sparsePts, sparseErr = sparse.DecodeWith(sparseData, sparseOpts)
-		outlierPts, outlierErr = decodeOutliers(outlierData, mode)
+		pts[SectionDense], errs[SectionDense] = octree.DecodeLimited(c.sec[SectionDense].payload, b)
+		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
+		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b)
 	}
-	if denseErr != nil {
-		return nil, fmt.Errorf("core: dense: %w", denseErr)
-	}
-	if sparseErr != nil {
-		return nil, fmt.Errorf("core: sparse: %w", sparseErr)
-	}
-	if outlierErr != nil {
-		return nil, fmt.Errorf("core: outliers: %w", outlierErr)
-	}
-
-	out := make(geom.PointCloud, 0, len(densePts)+len(sparsePts)+len(outlierPts))
-	out = append(out, densePts...)
-	out = append(out, sparsePts...)
-	out = append(out, outlierPts...)
-	return out, nil
+	return pts, errs
 }
 
-func decodeOutliers(data []byte, mode OutlierMode) (geom.PointCloud, error) {
+func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	switch mode {
 	case OutlierQuadtree:
-		return outlier.Decode(data)
+		return outlier.DecodeLimited(data, b)
 	case OutlierOctree:
-		return octree.Decode(data)
+		return octree.DecodeLimited(data, b)
 	case OutlierNone:
 		n, used, err := varint.Uint(data)
 		if err != nil {
@@ -118,6 +287,9 @@ func decodeOutliers(data []byte, mode OutlierMode) (geom.PointCloud, error) {
 		// near 2^64, which would let a huge n pass the length check.
 		if n != uint64(len(data))/12 || uint64(len(data)) != 12*n {
 			return nil, fmt.Errorf("%w: raw outlier section has %d bytes, want 12*%d", ErrCorrupt, len(data), n)
+		}
+		if err := b.Points(int64(n)); err != nil {
+			return nil, err
 		}
 		out := make(geom.PointCloud, n)
 		for i := range out {
@@ -136,16 +308,4 @@ func decodeOutliers(data []byte, mode OutlierMode) (geom.PointCloud, error) {
 func readFloat32(b []byte) float32 {
 	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 	return math.Float32frombits(v)
-}
-
-func readSection(data []byte, name string) (payload, rest []byte, err error) {
-	l, used, err := varint.Uint(data)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s length: %w", name, err)
-	}
-	data = data[used:]
-	if l > uint64(len(data)) {
-		return nil, nil, fmt.Errorf("%w: %s section truncated", ErrCorrupt, name)
-	}
-	return data[:l], data[l:], nil
 }

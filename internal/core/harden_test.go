@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+	"dbgc/internal/varint"
+)
+
+// TestTruncationSweep feeds every prefix of a valid compressed frame to the
+// decoder under small decode limits: each must fail with a clean error —
+// no panic, no allocation past the budget — because the container's section
+// framing (and the v2 CRCs) cannot survive truncation.
+func TestTruncationSweep(t *testing.T) {
+	pc := frame(t, lidar.City)[:4000]
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := DecodeLimits{MaxPoints: 1 << 20, MaxNodes: 1 << 24, MemBudget: 256 << 20}
+	for i := 0; i < len(data); i++ {
+		if _, err := DecompressWith(data[:i], DecompressOptions{Limits: lim}); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(data))
+		}
+	}
+}
+
+// TestDecodeLimitsEnforced: a well-formed frame still fails once the caller
+// allows fewer resources than it needs, and the error wraps ErrLimit so the
+// caller can tell "too expensive" from "corrupt".
+func TestDecodeLimitsEnforced(t *testing.T) {
+	pc := frame(t, lidar.City)[:4000]
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressWith(data, DecompressOptions{Limits: DecodeLimits{MaxPoints: 16}}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("MaxPoints=16: want ErrLimit, got %v", err)
+	}
+	if _, err := DecompressWith(data, DecompressOptions{Limits: DecodeLimits{MaxSectionBytes: 8}}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("MaxSectionBytes=8: want ErrLimit, got %v", err)
+	}
+	if _, err := DecompressWith(data, DecompressOptions{Limits: DecodeLimits{MemBudget: 64}}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("MemBudget=64: want ErrLimit, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecompressWith(data, DecompressOptions{Limits: DecodeLimits{Ctx: ctx}}); err == nil {
+		t.Fatal("cancelled context: want error, got nil")
+	}
+	// Generous limits decode the same points as no limits at all.
+	want, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressWith(data, DecompressOptions{Limits: DefaultDecodeLimits()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cloudsEqual(want, got) {
+		t.Fatal("decode under DefaultDecodeLimits differs from unlimited decode")
+	}
+}
+
+// TestDecompressPartialRecoversIntactSections corrupts one section of a v2
+// frame and checks that DecompressPartial returns the other two sections
+// byte-identically to a full decode of the pristine frame while reporting
+// the damaged one.
+func TestDecompressPartialRecoversIntactSections(t *testing.T) {
+	pc := frame(t, lidar.City)
+	data, stats, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumDense == 0 || stats.NumSparse == 0 || stats.NumOutliers == 0 {
+		t.Fatalf("test frame must populate all sections, got %d/%d/%d",
+			stats.NumDense, stats.NumSparse, stats.NumOutliers)
+	}
+	full, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the sparse payload (it aliases data).
+	c, err := parseContainer(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := c.sec[SectionSparse].payload
+	sp[len(sp)/2] ^= 0xff
+
+	if _, err := Decompress(data); err == nil {
+		t.Fatal("full decode of the corrupted frame should fail")
+	}
+	part, reports, err := DecompressPartial(data, DecompressOptions{})
+	if err != nil {
+		t.Fatalf("partial decode rejected the whole frame: %v", err)
+	}
+	if reports[SectionSparse].Err == nil {
+		t.Fatal("sparse section damage not reported")
+	}
+	if len(reports[SectionSparse].Raw) != len(sp) {
+		t.Fatalf("damaged report carries %d raw bytes, want %d", len(reports[SectionSparse].Raw), len(sp))
+	}
+	if reports[SectionDense].Err != nil || reports[SectionOutlier].Err != nil {
+		t.Fatalf("intact sections reported damaged: dense=%v outlier=%v",
+			reports[SectionDense].Err, reports[SectionOutlier].Err)
+	}
+	// Full decode order is dense, sparse, outlier; the partial cloud keeps
+	// container order, so it must equal full minus the sparse run.
+	nd, no := reports[SectionDense].Points, reports[SectionOutlier].Points
+	if nd == 0 || no == 0 {
+		t.Fatalf("intact sections recovered no points: dense=%d outlier=%d", nd, no)
+	}
+	want := append(append(geom.PointCloud{}, full[:nd]...), full[len(full)-no:]...)
+	if !cloudsEqual(want, part) {
+		t.Fatalf("partial cloud differs from the intact sections of the full decode (%d vs %d points)",
+			len(part), len(want))
+	}
+}
+
+// TestDecompressPartialCRCCatchesDamage: on a v2 frame the per-section CRC
+// flags damage even when the mutated bytes would still decode, so a report
+// appears no matter where the flip lands.
+func TestDecompressPartialCRCCatchesDamage(t *testing.T) {
+	pc := frame(t, lidar.Residential)[:2000]
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := parseContainer(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := SectionID(0); id < numSections; id++ {
+		if !c.sec[id].hasCRC {
+			t.Fatalf("%s section of a freshly written frame has no CRC", id)
+		}
+	}
+	dn := c.sec[SectionDense].payload
+	dn[0] ^= 0x01
+	_, reports, err := DecompressPartial(data, DecompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[SectionDense].Err == nil {
+		t.Fatal("dense CRC mismatch not reported")
+	}
+	dn[0] ^= 0x01 // restore: the frame must round-trip again
+	back, err := Decompress(data)
+	if err != nil || len(back) != len(pc) {
+		t.Fatalf("restored frame broken: %d points, %v", len(back), err)
+	}
+}
+
+// TestV1FramesStillDecode: version-1 frames (no section CRCs) remain
+// readable, including by DecompressPartial.
+func TestV1FramesStillDecode(t *testing.T) {
+	pc := frame(t, lidar.Residential)[:2000]
+	data, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := rewriteAsV1(t, data)
+	want, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(v1)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if !cloudsEqual(want, got) {
+		t.Fatal("v1 decode differs from v2 decode")
+	}
+	_, reports, err := DecompressPartial(v1, DecompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("v1 %s section reported damaged: %v", rep.Section, rep.Err)
+		}
+	}
+}
+
+// rewriteAsV1 re-frames a v2 container in the legacy v1 layout (no section
+// CRCs), byte-for-byte preserving the payloads.
+func rewriteAsV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	c, err := parseContainer(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(magic), version1)
+	out = varint.AppendUint(out, uint64(c.mode))
+	for id := SectionID(0); id < numSections; id++ {
+		out = varint.AppendUint(out, uint64(len(c.sec[id].payload)))
+		out = append(out, c.sec[id].payload...)
+	}
+	return out
+}
+
+func cloudsEqual(a, b geom.PointCloud) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"fmt"
-
 	"dbgc/internal/varint"
 )
 
@@ -16,6 +13,9 @@ type Layout struct {
 	BytesDense   int
 	BytesSparse  int
 	BytesOutlier int
+	// SectionCRCs reports whether the container carries per-section CRC32s
+	// (version 2 and later).
+	SectionCRCs bool
 	// Groups is the number of radial point groups in the sparse section.
 	Groups int
 	// PointsDense, PointsSparse, PointsOutlier are header point counts
@@ -29,33 +29,20 @@ type Layout struct {
 func Inspect(data []byte) (Layout, error) {
 	var l Layout
 	l.BytesTotal = len(data)
-	if len(data) < len(magic)+1 {
-		return l, fmt.Errorf("%w: short stream", ErrCorrupt)
-	}
-	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
-		return l, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	l.Version = data[len(magic)]
-	data = data[len(magic)+1:]
-	mode, used, err := varint.Uint(data)
-	if err != nil {
-		return l, fmt.Errorf("core: outlier mode: %w", err)
-	}
-	data = data[used:]
-	l.OutlierMode = OutlierMode(mode)
-
-	dense, data, err := readSection(data, "dense")
+	c, err := parseContainer(data, nil)
+	l.Version = c.version
 	if err != nil {
 		return l, err
 	}
+	l.OutlierMode = c.mode
+	l.SectionCRCs = c.sec[SectionDense].hasCRC
+
+	dense := c.sec[SectionDense].payload
 	l.BytesDense = len(dense)
 	if n, _, err := varint.Uint(dense); err == nil {
 		l.PointsDense = int(n)
 	}
-	sparse, data, err := readSection(data, "sparse")
-	if err != nil {
-		return l, err
-	}
+	sparse := c.sec[SectionSparse].payload
 	l.BytesSparse = len(sparse)
 	// Sparse section: flags varint, q float64, group count varint.
 	if _, used, err := varint.Uint(sparse); err == nil {
@@ -66,10 +53,7 @@ func Inspect(data []byte) (Layout, error) {
 			}
 		}
 	}
-	outlierData, _, err := readSection(data, "outlier")
-	if err != nil {
-		return l, err
-	}
+	outlierData := c.sec[SectionOutlier].payload
 	l.BytesOutlier = len(outlierData)
 	if l.OutlierMode == OutlierNone || l.OutlierMode == OutlierOctree {
 		if n, _, err := varint.Uint(outlierData); err == nil {

@@ -1,14 +1,12 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"math"
 
 	"dbgc/internal/geom"
 	"dbgc/internal/octree"
 	"dbgc/internal/sparse"
-	"dbgc/internal/varint"
 )
 
 // DecompressRegion reconstructs only the points inside the query box from
@@ -18,37 +16,17 @@ import (
 // radial interval cannot reach the box are skipped entirely; everything
 // else decodes normally and filters.
 func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
-	if len(data) < len(magic)+1 {
-		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
-	}
-	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if data[len(magic)] != version {
-		return nil, fmt.Errorf("core: unsupported version %d", data[len(magic)])
-	}
-	data = data[len(magic)+1:]
-	mode64, used, err := varint.Uint(data)
-	if err != nil {
-		return nil, fmt.Errorf("core: outlier mode: %w", err)
-	}
-	data = data[used:]
-	mode := OutlierMode(mode64)
-
-	denseData, data, err := readSection(data, "dense")
+	c, err := parseContainer(data, nil)
 	if err != nil {
 		return nil, err
 	}
-	sparseData, data, err := readSection(data, "sparse")
-	if err != nil {
-		return nil, err
-	}
-	outlierData, _, err := readSection(data, "outlier")
-	if err != nil {
-		return nil, err
+	for id := range c.sec {
+		if err := c.sec[id].verify(SectionID(id)); err != nil {
+			return nil, err
+		}
 	}
 
-	out, err := octree.DecodeRegion(denseData, region)
+	out, err := octree.DecodeRegion(c.sec[SectionDense].payload, region)
 	if err != nil {
 		return nil, fmt.Errorf("core: dense: %w", err)
 	}
@@ -56,7 +34,7 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 	// Sparse groups: [rLo, rHi] of the box from the sensor decides which
 	// groups can contribute.
 	rLo, rHi := regionRadialRange(region)
-	sparsePts, err := sparse.DecodeRadialRange(sparseData, rLo, rHi)
+	sparsePts, err := sparse.DecodeRadialRange(c.sec[SectionSparse].payload, rLo, rHi)
 	if err != nil {
 		return nil, fmt.Errorf("core: sparse: %w", err)
 	}
@@ -66,7 +44,7 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	outlierPts, err := decodeOutliers(outlierData, mode)
+	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: outliers: %w", err)
 	}

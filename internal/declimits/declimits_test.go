@@ -1,0 +1,134 @@
+package declimits
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Points(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Nodes(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Mem(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Section(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	b := New(Limits{})
+	if err := b.Points(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Nodes(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargesExhaust(t *testing.T) {
+	b := New(Limits{MaxPoints: 10})
+	if err := b.Points(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Points(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Points(1); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit, got %v", err)
+	}
+}
+
+func TestPointsChargeMemory(t *testing.T) {
+	// 10 points fit the point cap but not the memory cap.
+	b := New(Limits{MaxPoints: 10, MemBudget: 5 * pointBytes})
+	if err := b.Points(10); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit from memory budget, got %v", err)
+	}
+}
+
+func TestSectionCap(t *testing.T) {
+	b := New(Limits{MaxSectionBytes: 100})
+	if err := b.Section(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Section(101); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit, got %v", err)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(Limits{Ctx: ctx})
+	if err := b.Check(); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit from cancelled context, got %v", err)
+	}
+	// Periodic polling inside the charge path notices too.
+	var err error
+	for i := 0; i < 2*ctxPollInterval && err == nil; i++ {
+		err = b.Nodes(1)
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit from polled context, got %v", err)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+	b := New(Limits{MaxNodes: workers*perWorker + 1, MemBudget: 1 << 40})
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := b.Nodes(1); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := b.Nodes(2); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit after concurrent exhaustion, got %v", err)
+	}
+}
+
+func TestCapPrealloc(t *testing.T) {
+	if got := CapPrealloc(100); got != 100 {
+		t.Fatalf("CapPrealloc(100) = %d", got)
+	}
+	if got := CapPrealloc(1 << 60); got != 1<<22 {
+		t.Fatalf("CapPrealloc(1<<60) = %d", got)
+	}
+}
+
+func TestRecover(t *testing.T) {
+	sentinel := errors.New("pkg: corrupt")
+	f := func() (err error) {
+		defer Recover(&err, sentinel)
+		panic("index out of range")
+	}
+	if err := f(); !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -266,6 +267,14 @@ func sameLocation(cells [][3]uint32, idx []int32) ([3]uint32, bool) {
 
 // Decode reconstructs the cloud from an Encode stream.
 func Decode(data []byte) (geom.PointCloud, error) {
+	return DecodeLimited(data, nil)
+}
+
+// DecodeLimited is Decode charging decoded points, occupancy symbols, and
+// tree nodes against b. A nil budget is unlimited. Panics on hostile bytes
+// are recovered into ErrCorrupt-wrapped errors.
+func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	n64, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("gpcc: point count: %w", err)
@@ -322,7 +331,10 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if streamLen > uint64(len(data)) || countLen64 > n64 {
 		return nil, fmt.Errorf("%w: count section truncated", ErrCorrupt)
 	}
-	counts, err := arith.DecompressUints(data[:streamLen], int(countLen64))
+	if err := b.Points(int64(n64)); err != nil {
+		return nil, err
+	}
+	counts, err := arith.DecompressUintsLimited(data[:streamLen], int(countLen64), b)
 	if err != nil {
 		return nil, fmt.Errorf("gpcc: counts: %w", err)
 	}
@@ -344,6 +356,12 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	}
 	level := []dnode{{}}
 	for lv := 0; lv < depth; lv++ {
+		// Each node of this level decodes at least one entropy symbol and
+		// its children were materialized below; charge the level before
+		// building the neighbour set (also sized by it).
+		if err := b.Nodes(int64(len(level))); err != nil {
+			return nil, err
+		}
 		set := make(map[[3]uint32]struct{}, len(level))
 		for _, nd := range level {
 			set[cellKey(nd.x, nd.y, nd.z)] = struct{}{}
@@ -357,6 +375,9 @@ func Decode(data []byte) (geom.PointCloud, error) {
 					return nil, fmt.Errorf("gpcc: dpc flag: %w", err)
 				}
 				if f == 1 {
+					if err := b.Nodes(int64(depth - lv)); err != nil {
+						return nil, err
+					}
 					x, y, z := nd.x, nd.y, nd.z
 					for l := lv; l < depth; l++ {
 						oct, err := d.Decode(c.path)
@@ -399,7 +420,11 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if len(leaves) != len(counts) {
 		return nil, fmt.Errorf("%w: %d leaves but %d counts", ErrCorrupt, len(leaves), len(counts))
 	}
-	out := make(geom.PointCloud, 0, n64)
+	// Clamp the header-declared count before it becomes an allocation
+	// capacity: a ~50-byte depth-0 stream declaring 2^30 points would
+	// otherwise attempt a 24 GB up-front allocation. Appends grow past the
+	// clamp when the counts really sum that high (bounded by b.Points above).
+	out := make(geom.PointCloud, 0, declimits.CapPrealloc(n64))
 	half := side / 2
 	for i, lf := range leaves {
 		cnt := counts[i]

@@ -1,0 +1,41 @@
+package gpcc
+
+import (
+	"math"
+	"testing"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// TestHostileHeaderCount is the regression test for the duplicate-point
+// bomb: a depth-0 tree whose header claims MaxInt32 points is a legal
+// stream shape that previously preallocated tens of gigabytes. Under a
+// budget (or even without one, via the prealloc clamp) it must fail fast.
+func TestHostileHeaderCount(t *testing.T) {
+	pc := geom.PointCloud{{X: 1, Y: 2, Z: 0.5}, {X: -3, Y: 0.5, Z: 1}, {X: 4, Y: -1, Z: 0.2}}
+	enc, err := Encode(pc, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, used, err := varint.Uint(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := varint.AppendUint(nil, uint64(math.MaxInt32))
+	hostile = append(hostile, enc.Data[used:]...)
+
+	b := declimits.New(declimits.Limits{MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20})
+	if _, err := DecodeLimited(hostile, b); err == nil {
+		t.Fatal("MaxInt32 point count decoded without error under budget")
+	}
+
+	// Near-2^64 counts must be rejected as corrupt even without a budget
+	// (the uint64-wrap class).
+	wrap := varint.AppendUint(nil, math.MaxUint64)
+	wrap = append(wrap, enc.Data[used:]...)
+	if _, err := Decode(wrap); err == nil {
+		t.Fatal("wrapping point count decoded without error")
+	}
+}

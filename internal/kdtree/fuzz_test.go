@@ -1,0 +1,30 @@
+package kdtree
+
+import (
+	"testing"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/geom"
+)
+
+// FuzzDecode hammers the kd-tree decoder with mutated streams under a
+// small decode budget; it must never panic or allocate past the budget.
+func FuzzDecode(f *testing.F) {
+	pc := geom.PointCloud{
+		{X: 1, Y: 2, Z: 0.5}, {X: 1.5, Y: 2.2, Z: 0.4},
+		{X: -3, Y: 0.5, Z: 1}, {X: 4, Y: -1, Z: 0.2},
+	}
+	enc, err := Encode(pc, 12)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Data)
+	f.Add(enc.Data[:len(enc.Data)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := declimits.New(declimits.Limits{
+			MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20,
+		})
+		_, _ = DecodeLimited(data, b)
+	})
+}

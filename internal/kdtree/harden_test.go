@@ -1,0 +1,42 @@
+package kdtree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// TestHostileHeaderCount is the regression test for the unchecked
+// header-count allocation: a stream whose leading varint claims MaxInt32
+// points must fail fast under a budget instead of preallocating gigabytes
+// or walking billions of split symbols.
+func TestHostileHeaderCount(t *testing.T) {
+	pc := geom.PointCloud{{X: 1, Y: 2, Z: 0.5}, {X: -3, Y: 0.5, Z: 1}, {X: 4, Y: -1, Z: 0.2}}
+	enc, err := Encode(pc, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, used, err := varint.Uint(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := varint.AppendUint(nil, uint64(math.MaxInt32))
+	hostile = append(hostile, enc.Data[used:]...)
+
+	b := declimits.New(declimits.Limits{MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20})
+	if _, err := DecodeLimited(hostile, b); !errors.Is(err, declimits.ErrLimit) {
+		t.Fatalf("MaxInt32 point count: want ErrLimit, got %v", err)
+	}
+
+	// A count just past MaxInt32 must be rejected as corrupt even without
+	// a budget (the uint64-wrap class).
+	wrap := varint.AppendUint(nil, uint64(math.MaxInt32)+1)
+	wrap = append(wrap, enc.Data[used:]...)
+	if _, err := Decode(wrap); err == nil {
+		t.Fatal("count past MaxInt32 decoded without error")
+	}
+}

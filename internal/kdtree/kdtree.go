@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -155,6 +156,14 @@ func widestAxis(lo, hi [3]uint32) (axis int, width uint32) {
 // Decode reconstructs the cloud from an Encode stream. Points are emitted
 // at quantized cell centers.
 func Decode(data []byte) (geom.PointCloud, error) {
+	return DecodeLimited(data, nil)
+}
+
+// DecodeLimited is Decode charging decoded points and split symbols against
+// b. A nil budget is unlimited. Panics on hostile bytes are recovered into
+// ErrCorrupt-wrapped errors.
+func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	n64, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("kdtree: point count: %w", err)
@@ -198,11 +207,18 @@ func Decode(data []byte) (geom.PointCloud, error) {
 
 	qb := int(qb64)
 	n := int(n64)
+	if err := b.Points(int64(n)); err != nil {
+		return nil, err
+	}
 	d := arith.NewDecoder(data[:plen])
 	maxCell := uint32(1)<<uint(qb) - 1
 	step := side / float64(uint64(1)<<uint(qb))
 
-	out := make(geom.PointCloud, 0, n)
+	// Clamp the header-declared count before it becomes an allocation
+	// capacity: without the clamp a ~10-byte stream declaring MaxInt32
+	// points attempts a multi-GB up-front allocation. Appends grow past
+	// the clamp when the stream really carries that many points.
+	out := make(geom.PointCloud, 0, declimits.CapPrealloc(n64))
 	var walk func(count int, lo, hi [3]uint32) error
 	walk = func(count int, lo, hi [3]uint32) error {
 		axis, width := widestAxis(lo, hi)
@@ -216,6 +232,9 @@ func Decode(data []byte) (geom.PointCloud, error) {
 				out = append(out, p)
 			}
 			return nil
+		}
+		if err := b.Nodes(1); err != nil {
+			return err
 		}
 		nl, err := d.DecodeUniform(uint32(count) + 1)
 		if err != nil {

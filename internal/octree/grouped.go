@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -139,6 +140,14 @@ func buildWithParents(points geom.PointCloud, min geom.Point, side float64, dept
 
 // DecodeGrouped reconstructs a cloud from an EncodeGrouped stream.
 func DecodeGrouped(data []byte) (geom.PointCloud, error) {
+	return DecodeGroupedLimited(data, nil)
+}
+
+// DecodeGroupedLimited is DecodeGrouped charging decoded points, occupancy
+// symbols, and tree nodes against b. A nil budget is unlimited. Panics on
+// hostile bytes are recovered into ErrCorrupt-wrapped errors.
+func DecodeGroupedLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("octree: point count: %w", err)
@@ -146,6 +155,12 @@ func DecodeGrouped(data []byte) (geom.PointCloud, error) {
 	data = data[used:]
 	if n == 0 {
 		return geom.PointCloud{}, nil
+	}
+	if n > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: point count overflow", ErrCorrupt)
+	}
+	if err := b.Points(int64(n)); err != nil {
+		return nil, err
 	}
 	var min geom.Point
 	var side float64
@@ -206,7 +221,10 @@ func DecodeGrouped(data []byte) (geom.PointCloud, error) {
 			return nil, err
 		}
 		data = rest
-		codes, err := decompressOccupancy(payload, cnt)
+		if uint64(cnt) > total {
+			return nil, fmt.Errorf("%w: group of %d codes exceeds code total %d", ErrCorrupt, cnt, total)
+		}
+		codes, err := decompressOccupancy(payload, cnt, b)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +235,12 @@ func DecodeGrouped(data []byte) (geom.PointCloud, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts, err := arith.DecompressUints(countStream, countLen)
+	// Every leaf holds at least one point, so a counts section longer than
+	// the point total is corrupt; reject before decoding countLen symbols.
+	if uint64(countLen) > n {
+		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
+	}
+	counts, err := arith.DecompressUintsLimited(countStream, countLen, b)
 	if err != nil {
 		return nil, fmt.Errorf("octree: counts: %w", err)
 	}
@@ -250,6 +273,9 @@ func DecodeGrouped(data []byte) (geom.PointCloud, error) {
 					next = append(next, cell{center: childCenter(cl.center, qh, c), half: qh, parentCode: code})
 				}
 			}
+		}
+		if err := b.Nodes(int64(len(next))); err != nil {
+			return nil, err
 		}
 		level = next
 	}

@@ -1,0 +1,36 @@
+package octree
+
+import (
+	"math"
+	"testing"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/geom"
+	"dbgc/internal/varint"
+)
+
+// TestHostileHeaderCount: an octree stream claiming MaxInt32 points must
+// fail fast, with or without a budget — the counts-section length check
+// (every leaf holds at least one point) rejects it before any
+// header-derived allocation.
+func TestHostileHeaderCount(t *testing.T) {
+	pc := geom.PointCloud{{X: 1, Y: 2, Z: 0.5}, {X: 1.01, Y: 2.01, Z: 0.5}, {X: 4, Y: -1, Z: 0.2}}
+	enc, err := Encode(pc, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, used, err := varint.Uint(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := varint.AppendUint(nil, uint64(math.MaxInt32))
+	hostile = append(hostile, enc.Data[used:]...)
+
+	b := declimits.New(declimits.Limits{MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20})
+	if _, err := DecodeLimited(hostile, b); err == nil {
+		t.Fatal("MaxInt32 point count decoded without error under budget")
+	}
+	if _, err := Decode(hostile); err == nil {
+		t.Fatal("MaxInt32 point count decoded without error")
+	}
+}

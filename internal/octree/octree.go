@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -256,6 +257,14 @@ func compressOccupancy(occ []byte) []byte {
 
 // Decode reconstructs the point cloud from a stream produced by Encode.
 func Decode(data []byte) (geom.PointCloud, error) {
+	return DecodeLimited(data, nil)
+}
+
+// DecodeLimited is Decode charging decoded points, occupancy symbols, and
+// tree nodes against b. A nil budget is unlimited. Panics on hostile bytes
+// are recovered into ErrCorrupt-wrapped errors.
+func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("octree: point count: %w", err)
@@ -263,6 +272,12 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	data = data[used:]
 	if n == 0 {
 		return geom.PointCloud{}, nil
+	}
+	if n > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: point count overflow", ErrCorrupt)
+	}
+	if err := b.Points(int64(n)); err != nil {
+		return nil, err
 	}
 	var min geom.Point
 	var side float64
@@ -299,17 +314,22 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every leaf holds at least one point, so a counts section longer than
+	// the point total is corrupt; reject before decoding countLen symbols.
+	if uint64(countLen) > n {
+		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
+	}
 
-	occ, err := decompressOccupancy(occStream, occLen)
+	occ, err := decompressOccupancy(occStream, occLen, b)
 	if err != nil {
 		return nil, err
 	}
-	counts, err := arith.DecompressUints(countStream, countLen)
+	counts, err := arith.DecompressUintsLimited(countStream, countLen, b)
 	if err != nil {
 		return nil, fmt.Errorf("octree: counts: %w", err)
 	}
 
-	leaves, err := rebuildLeaves(occ, min, side, depth)
+	leaves, err := rebuildLeaves(occ, min, side, depth, b)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +366,7 @@ var rebuildPool = sync.Pool{New: func() any { return new(rebuildScratch) }}
 // centers in emission order. All cells of one level share the same half
 // side length, so the replay tracks centers only. The returned slice is
 // freshly allocated; the working levels come from a pool.
-func rebuildLeaves(occ []byte, min geom.Point, side float64, depth int) ([]geom.Point, error) {
+func rebuildLeaves(occ []byte, min geom.Point, side float64, depth int, b *declimits.Budget) ([]geom.Point, error) {
 	s := rebuildPool.Get().(*rebuildScratch)
 	defer rebuildPool.Put(s)
 	half := side / 2
@@ -373,6 +393,10 @@ func rebuildLeaves(occ []byte, min geom.Point, side float64, depth int) ([]geom.
 				}
 			}
 		}
+		if err := b.Nodes(int64(len(next))); err != nil {
+			s.cur, s.next = level, next
+			return nil, err
+		}
 		level, next = next, level
 		half = qh
 	}
@@ -397,7 +421,10 @@ func clampCap(n uint64) int {
 	return int(n)
 }
 
-func decompressOccupancy(stream []byte, n int) ([]byte, error) {
+func decompressOccupancy(stream []byte, n int, b *declimits.Budget) ([]byte, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
 	d := arith.GetDecoder(stream)
 	m := arith.GetModel(256)
 	out := make([]byte, 0, clampCap(uint64(n)))

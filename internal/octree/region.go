@@ -59,7 +59,7 @@ func DecodeRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 	if err != nil {
 		return nil, err
 	}
-	occ, err := decompressOccupancy(occStream, occLen)
+	occ, err := decompressOccupancy(occStream, occLen, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/quadtree"
 	"dbgc/internal/varint"
@@ -70,6 +71,14 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 
 // Decode reconstructs the outlier points.
 func Decode(data []byte) (geom.PointCloud, error) {
+	return DecodeLimited(data, nil)
+}
+
+// DecodeLimited is Decode charging decoded points and entropy symbols
+// against b. A nil budget is unlimited. Panics on hostile bytes are
+// recovered into ErrCorrupt-wrapped errors.
+func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	if len(data) < 8 {
 		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
@@ -86,7 +95,7 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if qtLen > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: quadtree stream truncated", ErrCorrupt)
 	}
-	xy, err := quadtree.Decode(data[:qtLen])
+	xy, err := quadtree.DecodeLimited(data[:qtLen], b)
 	if err != nil {
 		return nil, fmt.Errorf("outlier: quadtree: %w", err)
 	}
@@ -99,7 +108,7 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	if zLen > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: z stream truncated", ErrCorrupt)
 	}
-	dz, err := arith.DecompressInts(data[:zLen], len(xy))
+	dz, err := arith.DecompressIntsLimited(data[:zLen], len(xy), b)
 	if err != nil {
 		return nil, fmt.Errorf("outlier: z deltas: %w", err)
 	}

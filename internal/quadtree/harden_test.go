@@ -1,0 +1,38 @@
+package quadtree
+
+import (
+	"math"
+	"testing"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/varint"
+)
+
+// TestHostileHeaderCount is the regression test for the unchecked
+// header-count allocation (the same class as the decodeOutliers fix): a
+// stream claiming MaxInt32 points must not demand MaxInt32 adaptive-model
+// symbols from a tiny stream or preallocate to match.
+func TestHostileHeaderCount(t *testing.T) {
+	pts := []Point2{{X: 1, Y: 2}, {X: -3, Y: 0.5}, {X: 4, Y: -1}}
+	enc, err := Encode(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, used, err := varint.Uint(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := varint.AppendUint(nil, uint64(math.MaxInt32))
+	hostile = append(hostile, enc.Data[used:]...)
+
+	b := declimits.New(declimits.Limits{MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20})
+	if _, err := DecodeLimited(hostile, b); err == nil {
+		t.Fatal("MaxInt32 point count decoded without error under budget")
+	}
+	// The count-section length check must also hold without a budget: a
+	// counts stream longer than the claimed point count is corrupt because
+	// every quadtree leaf holds at least one point.
+	if _, err := Decode(hostile); err == nil {
+		t.Fatal("MaxInt32 point count decoded without error")
+	}
+}

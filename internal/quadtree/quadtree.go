@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/varint"
 )
 
@@ -173,6 +174,14 @@ func compressCodes(codes, parents []byte) []byte {
 // Decode reconstructs the 2D points (leaf centers, repeated by count) from
 // a stream produced by Encode.
 func Decode(data []byte) ([]Point2, error) {
+	return DecodeLimited(data, nil)
+}
+
+// DecodeLimited is Decode charging decoded points, occupancy symbols, and
+// tree nodes against b. A nil budget is unlimited. Panics on hostile bytes
+// are recovered into ErrCorrupt-wrapped errors.
+func DecodeLimited(data []byte, b *declimits.Budget) (pts []Point2, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("quadtree: point count: %w", err)
@@ -180,6 +189,12 @@ func Decode(data []byte) ([]Point2, error) {
 	data = data[used:]
 	if n == 0 {
 		return []Point2{}, nil
+	}
+	if n > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: point count overflow", ErrCorrupt)
+	}
+	if err := b.Points(int64(n)); err != nil {
+		return nil, err
 	}
 	if len(data) < 24 {
 		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
@@ -209,9 +224,19 @@ func Decode(data []byte) ([]Point2, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts, err := arith.DecompressUints(countStream, countLen)
+	// Every leaf holds at least one point, so a counts section longer than
+	// the point total is corrupt; reject before decoding countLen symbols.
+	// Without this check countLen can demand up to MaxInt32 adaptive-model
+	// symbols from a tiny stream (same class as the PR 2 decodeOutliers fix).
+	if uint64(countLen) > n {
+		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
+	}
+	counts, err := arith.DecompressUintsLimited(countStream, countLen, b)
 	if err != nil {
 		return nil, fmt.Errorf("quadtree: counts: %w", err)
+	}
+	if err := b.Nodes(int64(occLen)); err != nil {
+		return nil, err
 	}
 	occDec := arith.NewDecoder(occStream)
 	occModel := arith.NewModel(16)
@@ -253,6 +278,9 @@ func Decode(data []byte) ([]Point2, error) {
 					})
 				}
 			}
+		}
+		if err := b.Nodes(int64(len(next))); err != nil {
+			return nil, err
 		}
 		level = next
 	}

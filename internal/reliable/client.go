@@ -29,6 +29,12 @@ var ErrClosed = errors.New("reliable: client closed")
 
 var errAckTimeout = errors.New("reliable: timed out waiting for ack")
 
+// ErrFrameRejected marks a frame the server nacked more than FrameRetries
+// times — the frame itself is undeliverable, but the connection and every
+// other frame are fine. Callers streaming many frames can skip the bad one
+// with errors.Is(err, ErrFrameRejected) and carry on.
+var ErrFrameRejected = errors.New("reliable: frame rejected")
+
 // Options configures a Client. The zero value of every field except Dial
 // gets a sensible default.
 type Options struct {
@@ -307,8 +313,12 @@ func (c *Client) handleEvent(ev event) error {
 		c.stats.Nacked++
 		f.retries++
 		if f.retries > c.cfg.FrameRetries {
-			return fmt.Errorf("reliable: frame %d rejected %d times (%s), giving up",
-				ev.msg.Seq, f.retries, ev.msg.Payload)
+			// Remove the frame so the client stays usable for the rest of
+			// the stream if the caller opts to continue past the error.
+			c.ack(ev.msg.Seq)
+			c.stats.Acked-- // it was dropped, not delivered
+			return fmt.Errorf("%w: frame %d rejected %d times (%s), giving up",
+				ErrFrameRejected, ev.msg.Seq, f.retries, ev.msg.Payload)
 		}
 		c.cfg.Logf("reliable: frame %d nacked (%s), resending (try %d)", ev.msg.Seq, ev.msg.Payload, f.retries)
 		c.stats.Resent++

@@ -1,0 +1,129 @@
+package reliable
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dbgc/internal/netproto"
+)
+
+func startPartialServer(t *testing.T, cfg ServerConfig) (addr string) {
+	t.Helper()
+	srv := NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestPartialFrameAckedAndQuarantined: a handler reporting PartialFrameError
+// gets the frame ACKED (retransmitting source corruption is useless) while
+// only the damaged bytes land in quarantine.
+func TestPartialFrameAckedAndQuarantined(t *testing.T) {
+	var mu sync.Mutex
+	var reasons []string
+	var payloads [][]byte
+	damaged := []byte("damaged-section-bytes")
+	addr := startPartialServer(t, ServerConfig{
+		Handle: func(m netproto.Message) error {
+			if bytes.HasPrefix(m.Payload, []byte("PART")) {
+				return &PartialFrameError{Reason: "sparse: crc mismatch", Damaged: damaged}
+			}
+			return nil
+		},
+		Quarantine: func(m netproto.Message, reason string) {
+			mu.Lock()
+			reasons = append(reasons, reason)
+			payloads = append(payloads, m.Payload)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+
+	cli, err := NewClient(Options{
+		Dial:        func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		AckTimeout:  2 * time.Second,
+		MaxInFlight: 4,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, payload := range [][]byte{[]byte("good-0"), []byte("PART-1"), []byte("good-2")} {
+		if err := cli.Send(netproto.Message{Kind: netproto.KindCompressed, Seq: uint64(seq), Payload: payload}); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatalf("partial frame must be acked, not retried: %v", err)
+	}
+	st := cli.Stats()
+	if st.Acked != 3 || st.Nacked != 0 || st.Resent != 0 {
+		t.Fatalf("want 3 acks and no nacks/resends, got %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reasons) != 1 || reasons[0] != "partial: sparse: crc mismatch" {
+		t.Fatalf("quarantine reasons %q, want one partial reason", reasons)
+	}
+	if !bytes.Equal(payloads[0], damaged) {
+		t.Fatalf("quarantined %q, want only the damaged section bytes", payloads[0])
+	}
+}
+
+// TestFrameRejectedSentinel: a frame nacked past its retry budget surfaces
+// ErrFrameRejected, and the client stays usable for the rest of the stream.
+func TestFrameRejectedSentinel(t *testing.T) {
+	addr := startPartialServer(t, ServerConfig{
+		Handle: func(m netproto.Message) error {
+			if bytes.HasPrefix(m.Payload, []byte("BAD")) {
+				return errors.New("undecodable")
+			}
+			return nil
+		},
+		Logf: t.Logf,
+	})
+
+	cli, err := NewClient(Options{
+		Dial:         func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		AckTimeout:   2 * time.Second,
+		MaxInFlight:  4,
+		FrameRetries: 1,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected error
+	for seq, payload := range [][]byte{[]byte("good-0"), []byte("BAD-1")} {
+		if err := cli.Send(netproto.Message{Kind: netproto.KindCompressed, Seq: uint64(seq), Payload: payload}); err != nil {
+			rejected = err
+			break
+		}
+	}
+	if rejected == nil {
+		rejected = cli.Flush()
+	}
+	if !errors.Is(rejected, ErrFrameRejected) {
+		t.Fatalf("want ErrFrameRejected, got %v", rejected)
+	}
+	// The bad frame was dropped from the window; later traffic still flows.
+	if err := cli.Send(netproto.Message{Kind: netproto.KindCompressed, Seq: 2, Payload: []byte("good-2")}); err != nil {
+		t.Fatalf("send after rejection: %v", err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatalf("close after rejection: %v", err)
+	}
+}

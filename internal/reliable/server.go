@@ -23,6 +23,24 @@ var ErrServerClosed = errors.New("reliable: server closed")
 // quarantine because retrying may genuinely succeed.
 var ErrBadFrame = errors.New("reliable: bad frame")
 
+// PartialFrameError is returned (possibly wrapped) by a handler that
+// salvaged part of a frame: some sections decoded and were stored, the
+// rest are damaged at the source. The session quarantines the damaged
+// bytes and then ACKS the frame — the wire checksum already passed, so
+// the corruption predates transmission and a retransmit would deliver the
+// same bytes again.
+type PartialFrameError struct {
+	// Reason describes the damage (e.g. "dense: crc mismatch").
+	Reason string
+	// Damaged holds the unrecoverable section bytes for quarantine; may
+	// be nil when only the report matters.
+	Damaged []byte
+}
+
+func (e *PartialFrameError) Error() string {
+	return "reliable: partial frame: " + e.Reason
+}
+
 // ServerConfig configures Sessions. Handle is required; everything else
 // defaults.
 type ServerConfig struct {
@@ -203,6 +221,19 @@ func (s *Session) Run() (err error) {
 			return nil
 		case netproto.KindCompressed, netproto.KindRaw:
 			if herr := s.dispatch(m); herr != nil {
+				var pfe *PartialFrameError
+				if errors.As(herr, &pfe) {
+					// Partial salvage: quarantine only the damaged
+					// section bytes and ack — the corruption is at
+					// the source, so retransmitting cannot fix it.
+					s.cfg.Logf("reliable: frame %d partially recovered: %s", m.Seq, pfe.Reason)
+					s.quarantine(netproto.Message{Kind: m.Kind, Seq: m.Seq, Payload: pfe.Damaged},
+						"partial: "+pfe.Reason)
+					if err := s.respond(netproto.Ack(m.Seq)); err != nil {
+						return err
+					}
+					continue
+				}
 				reason := herr.Error()
 				s.cfg.Logf("reliable: frame %d rejected: %v", m.Seq, herr)
 				if err := s.respond(netproto.Nack(m.Seq, clip(reason))); err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/polyline"
 	"dbgc/internal/varint"
@@ -22,6 +23,9 @@ type DecodeOptions struct {
 	// group is an independently entropy-coded section, so the output is
 	// point-identical to serial decoding.
 	Parallel bool
+	// Budget, when non-nil, bounds decoded points, entropy symbols, and
+	// memory. It is safe to share with concurrently decoding sections.
+	Budget *declimits.Budget
 }
 
 // Decode reconstructs the polyline points from a stream produced by
@@ -30,8 +34,10 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	return DecodeWith(data, DecodeOptions{})
 }
 
-// DecodeWith is Decode with explicit options.
-func DecodeWith(data []byte, opts DecodeOptions) (geom.PointCloud, error) {
+// DecodeWith is Decode with explicit options. Panics on hostile bytes are
+// recovered into ErrCorrupt-wrapped errors.
+func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
 	flags, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: flags: %w", err)
@@ -82,13 +88,14 @@ func DecodeWith(data []byte, opts DecodeOptions) (geom.PointCloud, error) {
 			wg.Add(1)
 			go func(gi int) {
 				defer wg.Done()
-				pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta)
+				defer declimits.Recover(&errs[gi], ErrCorrupt)
+				pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta, opts.Budget)
 			}(gi)
 		}
 		wg.Wait()
 	} else {
 		for gi := range groups {
-			pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta)
+			pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta, opts.Budget)
 		}
 	}
 
@@ -106,7 +113,7 @@ func DecodeWith(data []byte, opts DecodeOptions) (geom.PointCloud, error) {
 	return out, nil
 }
 
-func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.PointCloud, error) {
+func decodeGroup(data []byte, q float64, cartesian, plainDelta bool, b *declimits.Budget) (geom.PointCloud, error) {
 	var qz Quantizer
 	var cq cartesianQuantizer
 	if cartesian {
@@ -158,7 +165,7 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.Point
 		return nil, fmt.Errorf("%w: %d trailing bytes in group", ErrCorrupt, len(data))
 	}
 
-	lens, err := arith.DecompressUints(streams[0], nLines)
+	lens, err := arith.DecompressUintsLimited(streams[0], nLines, b)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: lengths: %w", err)
 	}
@@ -172,8 +179,14 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.Point
 	if total-nLines != nTails {
 		return nil, fmt.Errorf("%w: tail count %d does not match lengths (%d)", ErrCorrupt, nTails, total-nLines)
 	}
+	if err := b.Points(int64(total)); err != nil {
+		return nil, err
+	}
 
-	thetaHeadBytes, err := inflateBytes(streams[1])
+	// A zigzag varint is at most 10 bytes, so a valid head/tail stream
+	// inflates to at most 10 bytes per element; the bound stops DEFLATE
+	// bombs before io.ReadAll materializes them.
+	thetaHeadBytes, err := inflateBytesBounded(streams[1], 10*int64(nLines), b)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +194,7 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.Point
 	if err != nil {
 		return nil, fmt.Errorf("sparse: theta heads: %w", err)
 	}
-	thetaTailBytes, err := inflateBytes(streams[2])
+	thetaTailBytes, err := inflateBytesBounded(streams[2], 10*int64(nTails), b)
 	if err != nil {
 		return nil, err
 	}
@@ -189,17 +202,20 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool) (geom.Point
 	if err != nil {
 		return nil, fmt.Errorf("sparse: theta tails: %w", err)
 	}
-	dPhiHeads, err := arith.DecompressInts(streams[3], nLines)
+	dPhiHeads, err := arith.DecompressIntsLimited(streams[3], nLines, b)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: phi heads: %w", err)
 	}
-	phiTails, err := arith.DecompressInts(streams[4], nTails)
+	phiTails, err := arith.DecompressIntsLimited(streams[4], nTails, b)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: phi tails: %w", err)
 	}
-	radials, err := arith.DecompressInts(streams[5], total)
+	radials, err := arith.DecompressIntsLimited(streams[5], total, b)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: radials: %w", err)
+	}
+	if err := b.Nodes(int64(nRefs)); err != nil {
+		return nil, err
 	}
 	refs, err := decompressRefs(streams[6], nRefs)
 	if err != nil {

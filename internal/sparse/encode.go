@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/polyline"
 	"dbgc/internal/varint"
@@ -462,6 +463,26 @@ func inflateBytes(data []byte) ([]byte, error) {
 	out, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// inflateBytesBounded is inflateBytes refusing to inflate past maxLen bytes
+// (a DEFLATE stream can expand ~1000x, so the inflated size must be bounded
+// by what the caller can legitimately consume) and charging the inflated
+// bytes against b.
+func inflateBytesBounded(data []byte, maxLen int64, b *declimits.Budget) ([]byte, error) {
+	if err := b.Mem(maxLen); err != nil {
+		return nil, err
+	}
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, maxLen+1))
+	if err != nil {
+		return nil, fmt.Errorf("sparse: inflate: %w", err)
+	}
+	if int64(len(out)) > maxLen {
+		return nil, fmt.Errorf("%w: inflated stream exceeds %d bytes", ErrCorrupt, maxLen)
 	}
 	return out, nil
 }

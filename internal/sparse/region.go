@@ -64,7 +64,7 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 				continue // shell disjoint from the query interval
 			}
 		}
-		pts, err := decodeGroup(group, q, cartesian, plainDelta)
+		pts, err := decodeGroup(group, q, cartesian, plainDelta, nil)
 		if err != nil {
 			return nil, fmt.Errorf("sparse: group %d: %w", gi, err)
 		}

@@ -29,6 +29,7 @@ import (
 
 	"dbgc"
 	"dbgc/internal/attr"
+	"dbgc/internal/declimits"
 	"dbgc/internal/framepipe"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
@@ -36,6 +37,11 @@ import (
 
 // ErrCorrupt reports a malformed stream.
 var ErrCorrupt = errors.New("stream: corrupt container")
+
+// errChecksum marks a frame whose body was fully read but whose trailing
+// CRC failed. The stream stays positioned at the next frame, so partial
+// mode can keep reading; all other read errors abort iteration.
+var errChecksum = errors.New("checksum mismatch")
 
 var magic = []byte("DBGS")
 
@@ -223,7 +229,7 @@ func (w *Writer) WriteFrame(pc geom.PointCloud, intensity []float32) (FrameStats
 		if err != nil {
 			return FrameStats{}, err
 		}
-		w.prev, err = decodeP(data, ref)
+		w.prev, err = decodeP(data, ref, dbgc.DecodeLimits{})
 		if err != nil {
 			return FrameStats{}, fmt.Errorf("stream: verifying P-frame: %w", err)
 		}
@@ -364,6 +370,11 @@ type Reader struct {
 	end  bool
 	prev geom.PointCloud
 
+	// limits bounds each frame decode (SetLimits); zero = unlimited.
+	limits dbgc.DecodeLimits
+	// partial recovers intact sections of damaged frames (EnablePartial).
+	partial bool
+
 	// Pipelined mode (EnablePipeline).
 	pipe    *framepipe.Pool[readJob, Frame]
 	stashP  *readJob // raw P-frame body waiting for in-flight frames
@@ -372,8 +383,40 @@ type Reader struct {
 
 // readJob is one raw frame body handed to the decode pool.
 type readJob struct {
-	seq uint64
-	raw body
+	seq    uint64
+	raw    body
+	limits dbgc.DecodeLimits
+}
+
+// SetLimits bounds the resources every subsequent frame decode may spend;
+// the zero value removes the limits. The caps apply per frame, not across
+// the stream.
+func (r *Reader) SetLimits(l dbgc.DecodeLimits) { r.limits = l }
+
+// EnablePartial switches the reader to partial-recovery mode: a damaged
+// frame no longer aborts iteration. ReadFrame returns the points of the
+// frame's intact sections and describes the damage in Frame.Damage; a
+// damaged frame also breaks the P-frame prediction chain until the next
+// clean I-frame. Incompatible with EnablePipeline.
+func (r *Reader) EnablePartial() error {
+	if r.pipe != nil {
+		return errors.New("stream: partial mode is incompatible with pipeline")
+	}
+	r.partial = true
+	return nil
+}
+
+// budget materializes the reader's limits for one frame decode; nil when
+// unlimited.
+func (r *Reader) budget() *declimits.Budget {
+	return newStreamBudget(r.limits)
+}
+
+func newStreamBudget(l dbgc.DecodeLimits) *declimits.Budget {
+	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.Ctx == nil {
+		return nil
+	}
+	return declimits.New(l)
 }
 
 // EnablePipeline decodes consecutive I-frames on workers concurrent
@@ -386,6 +429,9 @@ func (r *Reader) EnablePipeline(workers int) error {
 	if r.pipe != nil {
 		return errors.New("stream: pipeline already enabled")
 	}
+	if r.partial {
+		return errors.New("stream: pipeline is incompatible with partial mode")
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -396,7 +442,7 @@ func (r *Reader) EnablePipeline(workers int) error {
 // decodeIFrame decodes one self-contained frame body. It is safe to call
 // concurrently.
 func decodeIFrame(j readJob) (Frame, error) {
-	cloud, err := dbgc.Decompress(j.raw.geom)
+	cloud, err := dbgc.DecompressWith(j.raw.geom, dbgc.DecompressOptions{Limits: j.limits})
 	if err != nil {
 		return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", j.seq, err)
 	}
@@ -453,6 +499,28 @@ type Frame struct {
 	Seq       uint64
 	Cloud     geom.PointCloud
 	Intensity []float32 // nil when the frame has no attribute channel
+	// Damage is non-nil in partial mode when the frame was not fully
+	// recovered; Cloud then holds only the points of its intact sections.
+	Damage *FrameDamage
+}
+
+// FrameDamage reports what was lost when a damaged frame was partially
+// recovered (Reader.EnablePartial).
+type FrameDamage struct {
+	// CRCMismatch reports that the container-level frame checksum failed;
+	// the per-section reports below attribute the damage.
+	CRCMismatch bool
+	// Sections holds the per-section reports of DecompressPartial when the
+	// frame's DBGC envelope was readable and at least one section was
+	// damaged (I-frames only).
+	Sections []dbgc.SectionReport
+	// Err is set when nothing was recoverable: an unparseable DBGC
+	// envelope, a failed P-frame decode, or a P-frame whose prediction
+	// reference was lost to earlier damage.
+	Err error
+	// AttrErr is a non-nil intensity-decode failure; the frame's Intensity
+	// is dropped.
+	AttrErr error
 }
 
 // ReadFrame returns the next frame, or io.EOF after the end marker.
@@ -477,17 +545,23 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	}
 	seq, kind, raw, err := r.readBody()
 	if err != nil {
-		return Frame{}, err
+		if !r.partial || !errors.Is(err, errChecksum) {
+			return Frame{}, err
+		}
+		return r.readFramePartial(seq, kind, raw, true)
+	}
+	if r.partial {
+		return r.readFramePartial(seq, kind, raw, false)
 	}
 	var cloud geom.PointCloud
 	switch kind {
 	case frameI:
-		cloud, err = dbgc.Decompress(raw.geom)
+		cloud, err = dbgc.DecompressWith(raw.geom, dbgc.DecompressOptions{Limits: r.limits})
 	case frameP:
 		if r.prev == nil {
 			return Frame{}, fmt.Errorf("%w: P-frame %d without a preceding frame", ErrCorrupt, seq)
 		}
-		cloud, err = decodeP(raw.geom, newTemporalRef(r.prev, r.q))
+		cloud, err = decodeP(raw.geom, newTemporalRef(r.prev, r.q), r.limits)
 	default:
 		return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
@@ -496,6 +570,59 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	}
 	r.prev = cloud
 	return frameFromParts(seq, cloud, raw.attr)
+}
+
+// readFramePartial decodes what it can of one frame body in partial mode.
+// It returns an error only for conditions unrelated to this frame's
+// damage; frame-level damage is described in Frame.Damage instead.
+func (r *Reader) readFramePartial(seq uint64, kind byte, raw body, crcBad bool) (Frame, error) {
+	dmg := &FrameDamage{CRCMismatch: crcBad}
+	var cloud geom.PointCloud
+	switch kind {
+	case frameI:
+		pc, reports, err := dbgc.DecompressPartial(raw.geom, dbgc.DecompressOptions{Limits: r.limits})
+		if err != nil {
+			dmg.Err = fmt.Errorf("stream: frame %d geometry: %w", seq, err)
+			break
+		}
+		cloud = pc
+		for _, rep := range reports {
+			if rep.Err != nil {
+				dmg.Sections = reports
+				break
+			}
+		}
+	case frameP:
+		if r.prev == nil {
+			dmg.Err = fmt.Errorf("%w: P-frame %d without an intact reference", ErrCorrupt, seq)
+			break
+		}
+		pc, err := decodeP(raw.geom, newTemporalRef(r.prev, r.q), r.limits)
+		if err != nil {
+			dmg.Err = fmt.Errorf("stream: frame %d geometry: %w", seq, err)
+			break
+		}
+		cloud = pc
+	default:
+		dmg.Err = fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
+	}
+	f := Frame{Seq: seq, Cloud: cloud}
+	if dmg.Err == nil {
+		if ff, err := frameFromParts(seq, cloud, raw.attr); err != nil {
+			dmg.AttrErr = err
+		} else {
+			f.Intensity = ff.Intensity
+		}
+	}
+	if crcBad || dmg.Err != nil || dmg.Sections != nil || dmg.AttrErr != nil {
+		f.Damage = dmg
+		// A partially recovered frame cannot serve as a P-frame prediction
+		// reference; the chain restarts at the next clean I-frame.
+		r.prev = nil
+	} else {
+		r.prev = cloud
+	}
+	return f, nil
 }
 
 // readFramePipelined tops the decode window up with consecutive I-frames,
@@ -524,7 +651,7 @@ func (r *Reader) readFramePipelined() (Frame, error) {
 		}
 		switch kind {
 		case frameI:
-			r.pipe.Submit(readJob{seq: seq, raw: raw})
+			r.pipe.Submit(readJob{seq: seq, raw: raw, limits: r.limits})
 		case frameP:
 			r.stashP = &readJob{seq: seq, raw: raw}
 		default:
@@ -545,7 +672,7 @@ func (r *Reader) readFramePipelined() (Frame, error) {
 		if r.prev == nil {
 			return Frame{}, fmt.Errorf("%w: P-frame %d without a preceding frame", ErrCorrupt, s.seq)
 		}
-		cloud, err := decodeP(s.raw.geom, newTemporalRef(r.prev, r.q))
+		cloud, err := decodeP(s.raw.geom, newTemporalRef(r.prev, r.q), r.limits)
 		if err != nil {
 			return Frame{}, fmt.Errorf("stream: frame %d geometry: %w", s.seq, err)
 		}
@@ -622,7 +749,10 @@ func (r *Reader) readBody() (uint64, byte, body, error) {
 		return 0, 0, body{}, fmt.Errorf("stream: crc: %w", err)
 	}
 	if crc32.Checksum(mirrored, castagnoli) != binary.LittleEndian.Uint32(crcBuf[:]) {
-		return 0, 0, body{}, fmt.Errorf("%w: frame %d checksum mismatch", ErrCorrupt, seq)
+		// Return the parsed body alongside the error: the stream is
+		// positioned at the next frame, so partial mode can salvage the
+		// intact sections and keep iterating.
+		return seq, kind, b, fmt.Errorf("%w: frame %d %w", ErrCorrupt, seq, errChecksum)
 	}
 	return seq, kind, b, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"dbgc"
 	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -213,8 +214,12 @@ func encodeP(pc geom.PointCloud, ref *temporalRef, opts dbgc.Options) (payload [
 	return payload, mapping, inGrid, nil
 }
 
-// decodeP reconstructs a P-frame given the reference.
-func decodeP(payload []byte, ref *temporalRef) (geom.PointCloud, error) {
+// decodeP reconstructs a P-frame given the reference, bounding its work by
+// limits (zero = unlimited). Panics on hostile bytes are recovered into
+// ErrCorrupt-wrapped errors.
+func decodeP(payload []byte, ref *temporalRef, limits dbgc.DecodeLimits) (pc geom.PointCloud, err error) {
+	defer declimits.Recover(&err, ErrCorrupt)
+	b := newStreamBudget(limits)
 	nPts, used, err := varint.Uint(payload)
 	if err != nil {
 		return nil, fmt.Errorf("stream: P point count: %w", err)
@@ -240,7 +245,10 @@ func decodeP(payload []byte, ref *temporalRef) (geom.PointCloud, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts, err := arith.DecompressUints(countStream, int(nLeaves))
+	if err := b.Points(int64(nPts)); err != nil {
+		return nil, err
+	}
+	counts, err := arith.DecompressUintsLimited(countStream, int(nLeaves), b)
 	if err != nil {
 		return nil, fmt.Errorf("stream: P counts: %w", err)
 	}
@@ -253,6 +261,9 @@ func decodeP(payload []byte, ref *temporalRef) (geom.PointCloud, error) {
 		level = []nodeT{{}}
 	}
 	for lv := 0; lv < ref.depth && len(level) > 0; lv++ {
+		if err := b.Nodes(int64(len(level))); err != nil {
+			return nil, err
+		}
 		next := make([]nodeT, 0, len(level)*2)
 		for _, nd := range level {
 			prev := ref.prevMask(lv, packTemporal(nd.x, nd.y, nd.z))
@@ -282,7 +293,7 @@ func decodeP(payload []byte, ref *temporalRef) (geom.PointCloud, error) {
 	if uint64(len(level)) != nLeaves {
 		return nil, fmt.Errorf("%w: decoded %d leaves, header says %d", ErrCorrupt, len(level), nLeaves)
 	}
-	out := make(geom.PointCloud, 0, nPts)
+	out := make(geom.PointCloud, 0, declimits.CapPrealloc(nPts))
 	for i, leaf := range level {
 		cnt := counts[i]
 		if cnt == 0 || uint64(len(out))+cnt > nPts {
@@ -296,7 +307,7 @@ func decodeP(payload []byte, ref *temporalRef) (geom.PointCloud, error) {
 	if uint64(len(out)) != nPts {
 		return nil, fmt.Errorf("%w: decoded %d points, header says %d", ErrCorrupt, len(out), nPts)
 	}
-	fresh, err := dbgc.Decompress(freshData)
+	fresh, err := dbgc.DecompressWith(freshData, dbgc.DecompressOptions{Limits: limits})
 	if err != nil {
 		return nil, fmt.Errorf("stream: P residual: %w", err)
 	}
