@@ -18,10 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Machine-readable performance numbers: parallel decode speedup, per-decode
-# allocation counts, and frame-pipeline FPS for this machine.
+# Machine-readable performance numbers: serial/parallel compress and decode
+# timings, steady-state Encoder allocation counts, and frame-pipeline FPS
+# for this machine.
 bench-json:
-	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_2.json
+	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_5.json
 
 # Short fuzz sweeps over the wire decoder and every geometry decoder, each
 # running under DecodeLimits so a decompression bomb fails the target.

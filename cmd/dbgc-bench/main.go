@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"dbgc/internal/benchkit"
@@ -28,8 +29,22 @@ func main() {
 	quick := flag.Bool("quick", false, "restrict sweeps to fewer error bounds and scenes")
 	csvDir := flag.String("csv", "", "also write raw rows as CSV files into this directory")
 	jsonPath := flag.String("json", "", "write the perf experiment result as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
 	jsonOut = *jsonPath
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
@@ -69,6 +84,7 @@ func main() {
 	for _, name := range selected {
 		if err := runners[name](*frames, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			pprof.StopCPUProfile() // os.Exit skips defers; flush the profile
 			os.Exit(1)
 		}
 	}
@@ -305,6 +321,10 @@ func runPerf(frames int, quick bool) error {
 		res.SerialDecodeAllocs, res.ParallelDecodeAllocs)
 	fmt.Printf("compress: serial %7.1f ms, parallel %7.1f ms (%.2fx)\n",
 		res.SerialCompressMs, res.ParallelCompressMs, res.CompressSpeedup)
+	fmt.Printf("          allocs/op: serial %.0f; parallel byte-identical: %v\n",
+		res.SerialCompressAllocs, res.CompressIdentical)
+	fmt.Printf("          reusable Encoder: %7.1f ms, %.0f allocs/op\n",
+		res.EncoderCompressMs, res.EncoderCompressAllocs)
 	fmt.Printf("pipeline (%d frames, %d workers): pack %.1f -> %.1f fps, read %.1f -> %.1f fps, byte-identical: %v\n",
 		res.PipelineFrames, res.PipelineWorkers,
 		res.SerialPackFPS, res.PipelinedPackFPS,

@@ -90,6 +90,23 @@ func Compress(pc PointCloud, opts Options) ([]byte, *Stats, error) {
 	return core.Compress(pc, opts)
 }
 
+// Encoder compresses frames while recycling per-frame working memory
+// across calls — the dense/sparse split, gathered sub-clouds, and the
+// mapping buffer. Streaming callers compressing many frames should prefer
+// it over Compress. The Stats returned by its Compress (including
+// Stats.Mapping) are valid only until the next call on the same Encoder;
+// an Encoder is not safe for concurrent use.
+type Encoder = core.Encoder
+
+// NewEncoder returns an Encoder that compresses with opts.
+func NewEncoder(opts Options) *Encoder { return core.NewEncoder(opts) }
+
+// CompressWith encodes the cloud with a reusable Encoder, equivalent to
+// enc.Compress(pc). See Encoder for the Stats lifetime contract.
+func CompressWith(enc *Encoder, pc PointCloud) ([]byte, *Stats, error) {
+	return enc.Compress(pc)
+}
+
 // Decompress reconstructs a point cloud from a compressed bit sequence.
 // The result holds exactly as many points as the original cloud, in decode
 // order (dense, polyline, then outlier points).

@@ -1,0 +1,138 @@
+package dbgc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dbgc"
+	"dbgc/internal/benchkit"
+	"dbgc/internal/lidar"
+)
+
+// TestEncoderMatchesCompress: for every outlier mode, serial and parallel,
+// the reusable Encoder must be byte-identical and Mapping-identical to the
+// one-shot Compress, deterministic across repeated calls on the same
+// Encoder, and the decoded cloud must verify against the error bound.
+func TestEncoderMatchesCompress(t *testing.T) {
+	pc, err := benchkit.Frame(lidar.City, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		mode dbgc.OutlierMode
+	}{
+		{"quadtree", dbgc.OutlierQuadtree},
+		{"octree", dbgc.OutlierOctree},
+		{"none", dbgc.OutlierNone},
+	}
+	for _, m := range modes {
+		for _, parallel := range []bool{false, true} {
+			name := m.name + "/serial"
+			if parallel {
+				name = m.name + "/parallel"
+			}
+			t.Run(name, func(t *testing.T) {
+				opts := dbgc.DefaultOptions(0.02)
+				opts.OutlierMode = m.mode
+				opts.Parallel = parallel
+
+				want, wantStats, err := dbgc.Compress(pc, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc := dbgc.NewEncoder(opts)
+				// Two rounds on the same Encoder: the second runs on warm
+				// scratch and must still be deterministic.
+				for round := 0; round < 2; round++ {
+					got, stats, err := dbgc.CompressWith(enc, pc)
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if !bytes.Equal(want, got) {
+						t.Fatalf("round %d: encoder output differs: %d vs %d bytes",
+							round, len(got), len(want))
+					}
+					if len(stats.Mapping) != len(wantStats.Mapping) {
+						t.Fatalf("round %d: mapping sizes differ", round)
+					}
+					for i := range stats.Mapping {
+						if stats.Mapping[i] != wantStats.Mapping[i] {
+							t.Fatalf("round %d: mapping differs at %d", round, i)
+						}
+					}
+					back, err := dbgc.Decompress(got)
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if _, err := dbgc.VerifyErrorBound(pc, back, stats.Mapping, opts.Q); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSerialParallelDecodeEquivalence: whichever options produced the
+// stream, serial and parallel encodes must decode to the same points.
+func TestSerialParallelDecodeEquivalence(t *testing.T) {
+	pc, err := benchkit.Frame(lidar.Campus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dbgc.DefaultOptions(0.02)
+	serialData, _, err := dbgc.Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = true
+	parallelData, _, err := dbgc.Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialData, parallelData) {
+		t.Fatalf("parallel encode differs: %d vs %d bytes", len(parallelData), len(serialData))
+	}
+	a, err := dbgc.Decompress(serialData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dbgc.Decompress(parallelData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decoded sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decoded point %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEncoderSteadyStateAllocs bounds the per-frame allocation count of a
+// warm Encoder. The bound is loose — the irreducible allocations are the
+// returned buffers and per-line slices — but catches any regression back to
+// per-frame scratch reallocation, which sat an order of magnitude higher.
+func TestEncoderSteadyStateAllocs(t *testing.T) {
+	pc, err := benchkit.Frame(lidar.City, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := dbgc.NewEncoder(dbgc.DefaultOptions(0.02))
+	if _, _, err := dbgc.CompressWith(enc, pc); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, _, err := dbgc.CompressWith(enc, pc); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Logf("steady-state Encoder.Compress: %.0f allocs/op for %d points", allocs, len(pc))
+	const bound = 25000
+	if allocs > bound {
+		t.Errorf("steady-state Encoder.Compress allocates %.0f times per frame, want <= %d", allocs, bound)
+	}
+}

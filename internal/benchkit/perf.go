@@ -32,6 +32,13 @@ type PerfResult struct {
 	ParallelCompressMs float64 `json:"parallel_compress_ms"`
 	CompressSpeedup    float64 `json:"compress_speedup"`
 
+	// Encode experiment: steady-state reusable-Encoder timings and per-op
+	// allocation counts, plus byte-identity of the parallel encoding.
+	SerialCompressAllocs  float64 `json:"serial_compress_allocs"`
+	EncoderCompressMs     float64 `json:"encoder_compress_ms"`
+	EncoderCompressAllocs float64 `json:"encoder_compress_allocs"`
+	CompressIdentical     bool    `json:"compress_identical"`
+
 	PipelineFrames    int     `json:"pipeline_frames"`
 	PipelineWorkers   int     `json:"pipeline_workers"`
 	SerialPackFPS     float64 `json:"serial_pack_fps"`
@@ -103,7 +110,7 @@ func Perf(q float64, iters int) (PerfResult, error) {
 	}
 
 	// Compress: serial vs parallel options.
-	d, _, err = timeOp(iters, func() error {
+	d, allocs, err = timeOp(iters, func() error {
 		_, _, err := dbgc.Compress(pc, opts)
 		return err
 	})
@@ -111,6 +118,7 @@ func Perf(q float64, iters int) (PerfResult, error) {
 		return res, err
 	}
 	res.SerialCompressMs = d.Seconds() * 1e3
+	res.SerialCompressAllocs = allocs
 	popts := opts
 	popts.Parallel = true
 	d, _, err = timeOp(iters, func() error {
@@ -124,6 +132,27 @@ func Perf(q float64, iters int) (PerfResult, error) {
 	if res.ParallelCompressMs > 0 {
 		res.CompressSpeedup = res.SerialCompressMs / res.ParallelCompressMs
 	}
+	pdata, _, err := dbgc.Compress(pc, popts)
+	if err != nil {
+		return res, err
+	}
+	res.CompressIdentical = bytes.Equal(data, pdata)
+
+	// Steady-state reusable Encoder: same serial options, scratch kept
+	// across frames.
+	enc := dbgc.NewEncoder(opts)
+	if _, _, err := enc.Compress(pc); err != nil { // warm the scratch
+		return res, err
+	}
+	d, allocs, err = timeOp(iters, func() error {
+		_, _, err := enc.Compress(pc)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EncoderCompressMs = d.Seconds() * 1e3
+	res.EncoderCompressAllocs = allocs
 
 	// Frame pipeline: pack and read a short all-I stream serially and
 	// pipelined, reporting frames per second end to end.

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"math"
+	"sync"
 
 	"dbgc/internal/geom"
+	"dbgc/internal/radix"
 )
 
 // Approximate runs the O(n) approximate clustering of §4.3. As in the
@@ -14,12 +16,14 @@ import (
 // cells with a dense surrounding cell are then dilated into the dense set,
 // and every point in a dense cell becomes a dense point.
 //
-// The (2m+1)³ box sums are evaluated as a one-dimensional scatter along x
-// followed by a (2m+1)² gather over (y, z) with early exit, so each
-// occupied cell costs O(m²) hash probes — linear in the number of occupied
-// cells and, unlike the exact method, independent of local point density.
-// The probes run against the open-addressing cellMap; the generic Go map
-// spends over half the classification time hashing.
+// The pipeline is sort-based: point keys are radix-sorted once, giving the
+// occupied cells, their populations, and the point runs for the final
+// labeling in a single pass; window populations and the dilation test are
+// then monotone range sweeps over sorted key arrays (see window.go). The
+// previous hash-probe formulation spent over half of total compression
+// time in map lookups; the sweeps replace every probe with sequential
+// array traversal. With Params.Parallel the key construction, sweeps, and
+// labeling shard across CPUs with identical results.
 //
 // Cells are addressed by packed 21-bit-per-axis integer keys; LiDAR scenes
 // span thousands of cells per axis, far below the 2^21 limit.
@@ -43,124 +47,92 @@ func Approximate(pc geom.PointCloud, p Params) Result {
 	ballArea := math.Pi * p.Eps() * p.Eps()
 	minPts := int32(math.Ceil(float64(p.minPts()) * windowArea / ballArea))
 
-	// Offsetting by the cloud minimum keeps axis values non-negative, so
-	// borrow across fields when probing past the boundary only produces
-	// phantom keys no real cell can alias.
-	key := func(pt geom.Point) cellID {
-		return packCell(
-			int64((pt.X-min.X)/side),
-			int64((pt.Y-min.Y)/side),
-			int64((pt.Z-min.Z)/side),
-		)
-	}
-	// Count per occupied cell.
-	counts := newCellMap(len(pc) / 2)
-	for _, pt := range pc {
-		counts.add(key(pt), 1)
-	}
-
-	// Scatter pass along x.
-	xSum := newCellMap(counts.n * int(2*m+1))
-	counts.each(func(k cellID, v int32) {
-		for dx := -m; dx <= m; dx++ {
-			xSum.add(k+dx*cellStepX, v)
+	s := approxPool.Get().(*approxScratch)
+	defer approxPool.Put(s)
+	n := len(pc)
+	keys := growU64(s.keys, n)
+	idx := growI32(s.idx, n)
+	computeKeys := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pt := pc[i]
+			keys[i] = packPadded(
+				int64((pt.X-min.X)/side),
+				int64((pt.Y-min.Y)/side),
+				int64((pt.Z-min.Z)/side),
+				m)
+			idx[i] = int32(i)
 		}
-	})
-	// Gather pass over (y, z) with early exit at the threshold. The pass
-	// only reads xSum, so it shards cleanly across CPUs; each shard
-	// collects its dense keys and the merge is order-independent.
-	occupied := counts.occupiedKeys()
-	isDense := func(k cellID) bool {
-		var s int32
-		for dy := -m; dy <= m; dy++ {
-			for dz := -m; dz <= m; dz++ {
-				s += xSum.get(k + dy*cellStepY + dz)
-				if s >= minPts {
-					return true
-				}
-			}
-		}
-		return false
 	}
-	dense := newCellMap(counts.n / 2)
 	if p.Parallel {
-		shards := make([][]cellID, numChunks(len(occupied)))
-		parallelChunks(len(occupied), func(w, lo, hi int) {
-			var local []cellID
-			for _, k := range occupied[lo:hi] {
-				if isDense(k) {
-					local = append(local, k)
-				}
-			}
-			shards[w] = local
-		})
-		for _, shard := range shards {
-			for _, k := range shard {
-				dense.add(k, 1)
-			}
-		}
+		parallelChunks(n, computeKeys)
 	} else {
-		for _, k := range occupied {
-			if isDense(k) {
-				dense.add(k, 1)
-			}
+		computeKeys(0, 0, n)
+	}
+	radix.Sort(keys, idx, &s.sort)
+
+	// Run-length the sorted keys into occupied cells, populations, and
+	// point-run offsets.
+	occ := s.occ[:0]
+	cnt := s.cnt[:0]
+	runStart := s.runStart[:0]
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && keys[j] == keys[i] {
+			j++
+		}
+		occ = append(occ, keys[i])
+		cnt = append(cnt, int32(j-i))
+		runStart = append(runStart, int32(i))
+		i = j
+	}
+	runStart = append(runStart, int32(n))
+	u := len(occ)
+
+	// A cell is dense when its window population reaches the threshold.
+	s.sums = windowSums(occ, cnt, m, p.Parallel, s.sums)
+	denseKeys := s.denseKeys[:0]
+	for j := 0; j < u; j++ {
+		if s.sums[j] >= minPts {
+			denseKeys = append(denseKeys, occ[j])
 		}
 	}
 
-	// Dilation: an occupied sparse cell whose surrounding box holds a
-	// dense cell joins the dense set. Same scatter/gather trick on the
-	// dense indicator.
-	xInd := newCellMap(dense.n * int(2*m+1))
-	dense.each(func(k cellID, _ int32) {
-		for dx := -m; dx <= m; dx++ {
-			xInd.add(k+dx*cellStepX, 1)
-		}
-	})
-	nearDense := func(k cellID) bool {
-		if dense.get(k) != 0 {
-			return false
-		}
-		for dy := -m; dy <= m; dy++ {
-			for dz := -m; dz <= m; dz++ {
-				if xInd.get(k+dy*cellStepY+dz) != 0 {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	var dilated []cellID
-	if p.Parallel {
-		shards := make([][]cellID, numChunks(len(occupied)))
-		parallelChunks(len(occupied), func(w, lo, hi int) {
-			var local []cellID
-			for _, k := range occupied[lo:hi] {
-				if nearDense(k) {
-					local = append(local, k)
-				}
-			}
-			shards[w] = local
-		})
-		for _, shard := range shards {
-			dilated = append(dilated, shard...)
-		}
-	} else {
-		for _, k := range occupied {
-			if nearDense(k) {
-				dilated = append(dilated, k)
-			}
-		}
-	}
-	for _, k := range dilated {
-		dense.add(k, 1)
-	}
+	// Dilation: an occupied sparse cell whose window holds a dense cell
+	// joins the dense set.
+	s.reach = windowReach(occ, denseKeys, m, p.Parallel, s.reach)
 
-	res.NumDenseCells = dense.n
-	for i, pt := range pc {
-		if dense.get(key(pt)) != 0 {
-			res.Dense[i] = true
-			res.NumDense++
+	// Final labeling straight off the sorted point runs.
+	var numDense int64
+	di := 0
+	for j := 0; j < u; j++ {
+		isDense := di < len(denseKeys) && denseKeys[di] == occ[j]
+		if isDense {
+			di++
+		}
+		if isDense || s.reach[j] {
+			res.NumDenseCells++
+			numDense += int64(cnt[j])
+			for _, pi := range idx[runStart[j]:runStart[j+1]] {
+				res.Dense[pi] = true
+			}
 		}
 	}
+	res.NumDense = int(numDense)
+	s.keys, s.idx, s.occ, s.cnt, s.runStart, s.denseKeys = keys, idx, occ, cnt, runStart, denseKeys
 	return res
 }
+
+// approxScratch recycles the per-frame buffers of Approximate.
+type approxScratch struct {
+	keys      []uint64
+	idx       []int32
+	occ       []uint64
+	cnt       []int32
+	runStart  []int32
+	sums      []int32
+	reach     []bool
+	denseKeys []uint64
+	sort      radix.Scratch
+}
+
+var approxPool = sync.Pool{New: func() any { return new(approxScratch) }}

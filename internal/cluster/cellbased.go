@@ -23,104 +23,92 @@ import (
 // cheap per-cell population bound skips the neighbor count entirely for
 // points whose whole ε-window cannot reach minPts, and the border sweep
 // only examines occupied cells whose window actually contains a dense
-// cell.
+// cell. Window populations and the dense-cell prefilter come from the
+// sorted-key sweeps in window.go instead of hash probes, and with
+// Params.Parallel the per-cell scans of passes 1 and 3 shard across CPUs
+// (each cell's writes touch only its own points, so the shards are
+// independent and the result identical).
 func CellBased(pc geom.PointCloud, p Params) Result {
 	res := Result{Dense: make([]bool, len(pc))}
 	if len(pc) == 0 || p.Q <= 0 || p.K <= 0 {
 		return res
 	}
-	g := buildGrid(pc, p.Q)
 	eps := p.Eps()
 	minPts := p.minPts()
-	m := int64(math.Ceil(eps / g.side))
+	m := int64(math.Ceil(eps / (2 * p.Q)))
+	g := buildGrid(pc, p.Q, m)
+	u := len(g.keys)
+	cnt := make([]int32, u)
+	for j := 0; j < u; j++ {
+		cnt[j] = g.start[j+1] - g.start[j]
+	}
 
-	// Upper-bound pruning: windowTotal[c] = population of the (2m+1)³
-	// window around c, an upper bound on any member's ε-ball count.
-	// Computed with a scatter along x then a gather over (y, z).
-	xSum := make(map[cellID]int32, len(g.cells)*3)
-	for id, pts := range g.cells {
-		v := int32(len(pts))
-		for dx := -m; dx <= m; dx++ {
-			xSum[id+dx*cellStepX] += v
-		}
-	}
-	windowTotal := func(id cellID) int32 {
-		var s int32
-		for dy := -m; dy <= m; dy++ {
-			for dz := -m; dz <= m; dz++ {
-				s += xSum[id+dy*cellStepY+dz]
-			}
-		}
-		return s
-	}
+	// Upper-bound pruning: the population of the (2m+1)³ window around a
+	// cell bounds any member's ε-ball count from above.
+	windowTotal := windowSums(g.keys, cnt, m, p.Parallel, nil)
 
 	// Pass 1: find dense cells. Within a cell, stop at the first core
 	// point.
-	denseCells := make(map[cellID]bool)
-	for id, pts := range g.cells {
-		if windowTotal(id) < int32(minPts) {
-			continue
-		}
-		for _, i := range pts {
-			if g.countNeighbors(pc, pc[i], eps, minPts) >= minPts {
-				denseCells[id] = true
-				break
+	denseRun := make([]bool, u)
+	scanCores := func(w, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if windowTotal[j] < int32(minPts) {
+				continue
+			}
+			for _, i := range g.cellPoints(j) {
+				if g.countNeighbors(pc, pc[i], eps, minPts) >= minPts {
+					denseRun[j] = true
+					break
+				}
 			}
 		}
 	}
+	if p.Parallel {
+		parallelChunks(u, scanCores)
+	} else {
+		scanCores(0, 0, u)
+	}
 
 	// Pass 2: points in dense cells are dense.
-	for id := range denseCells {
-		for _, i := range g.cells[id] {
+	denseKeys := make([]uint64, 0, u/4)
+	for j := 0; j < u; j++ {
+		if !denseRun[j] {
+			continue
+		}
+		denseKeys = append(denseKeys, g.keys[j])
+		res.NumDenseCells++
+		for _, i := range g.cellPoints(j) {
 			res.Dense[i] = true
 		}
 	}
 
 	// Pass 3: border sweep — points within ε of any dense-cell point.
-	// A scatter/gather prefilter on the dense indicator finds the
-	// occupied sparse cells whose window holds a dense cell; only their
-	// points are distance-checked, with early accept.
-	xInd := make(map[cellID]bool, len(denseCells)*3)
-	for id := range denseCells {
-		for dx := -m; dx <= m; dx++ {
-			xInd[id+dx*cellStepX] = true
-		}
-	}
+	// The window-reach prefilter finds the occupied sparse cells whose
+	// window holds a dense cell; only their points are distance-checked,
+	// with early accept.
+	near := windowReach(g.keys, denseKeys, m, p.Parallel, nil)
 	eps2 := eps * eps
-	for id, pts := range g.cells {
-		if denseCells[id] {
-			continue
-		}
-		near := false
-	prefilter:
-		for dy := -m; dy <= m; dy++ {
-			for dz := -m; dz <= m; dz++ {
-				if xInd[id+dy*cellStepY+dz] {
-					near = true
-					break prefilter
-				}
-			}
-		}
-		if !near {
-			continue
-		}
-		for _, q := range pts {
-			if res.Dense[q] {
+	scanBorders := func(w, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if denseRun[j] || !near[j] {
 				continue
 			}
-		candidate:
-			for dx := -m; dx <= m; dx++ {
-				for dy := -m; dy <= m; dy++ {
-					base := id + dx*cellStepX + dy*cellStepY
-					for dz := -m; dz <= m; dz++ {
-						nid := base + dz
-						if !denseCells[nid] {
-							continue
-						}
-						for _, e := range g.cells[nid] {
-							if pc[q].Dist2(pc[e]) <= eps2 {
-								res.Dense[q] = true
-								break candidate
+			id := g.keys[j]
+			for _, q := range g.cellPoints(j) {
+			candidate:
+				for dx := -m; dx <= m; dx++ {
+					for dy := -m; dy <= m; dy++ {
+						base := id + uint64(dx*cellStepX+dy*cellStepY)
+						i0, i1 := g.runRange(base-uint64(m), base+uint64(m))
+						for nj := i0; nj < i1; nj++ {
+							if !denseRun[nj] {
+								continue
+							}
+							for _, e := range g.cellPoints(nj) {
+								if pc[q].Dist2(pc[e]) <= eps2 {
+									res.Dense[q] = true
+									break candidate
+								}
 							}
 						}
 					}
@@ -128,12 +116,16 @@ func CellBased(pc geom.PointCloud, p Params) Result {
 			}
 		}
 	}
+	if p.Parallel {
+		parallelChunks(u, scanBorders)
+	} else {
+		scanBorders(0, 0, u)
+	}
 
 	for _, d := range res.Dense {
 		if d {
 			res.NumDense++
 		}
 	}
-	res.NumDenseCells = len(denseCells)
 	return res
 }

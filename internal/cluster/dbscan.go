@@ -19,7 +19,7 @@ func DBSCAN(pc geom.PointCloud, eps float64, minPts int) []int {
 		}
 		return labels
 	}
-	g := buildGrid(pc, eps/2)
+	g := buildGrid(pc, eps/2, 1) // side = ε, so window radius m = 1
 	next := 0
 	var nbuf []int32
 	for i := range pc {

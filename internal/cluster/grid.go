@@ -8,8 +8,10 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"dbgc/internal/geom"
+	"dbgc/internal/radix"
 )
 
 // Params holds the clustering parameters.
@@ -21,8 +23,9 @@ type Params struct {
 	// MinPts is the core-point neighbor threshold. Zero means the
 	// surface-bound default (see DefaultMinPts).
 	MinPts int
-	// Parallel runs the approximate classifier's window scans on all
-	// CPUs. The result is identical to the serial run.
+	// Parallel shards the classifiers' key construction, window sweeps,
+	// and per-cell scans across all CPUs. The result is identical to the
+	// serial run.
 	Parallel bool
 }
 
@@ -89,10 +92,10 @@ func (r Result) Split() (dense, sparse []int) {
 	return dense, sparse
 }
 
-// Cell keys pack three 21-bit axis indices into an int64. Axis values are
-// offsets from the cloud minimum, hence non-negative; probe keys past the
-// grid boundary borrow across fields and land on phantom cells no real
-// cell can alias (real axis values stay far below 2^21).
+// Cell keys pack three 21-bit axis indices into an int64 (or, padded, into
+// a canonical uint64 — see packPadded in window.go). Axis values are
+// offsets from the cloud minimum, hence non-negative, and real LiDAR
+// scenes stay far below the 2^21 per-axis limit.
 type cellID = int64
 
 const axisBits = 21
@@ -109,36 +112,91 @@ func packCell(x, y, z int64) cellID {
 }
 
 // grid buckets points into cells of side 2Q anchored at the cloud minimum,
-// mirroring the octree leaf layout.
+// mirroring the octree leaf layout. The layout is a sorted CSR: cell keys
+// ascending in keys, each cell's point indices in ptIdx[start[j]:start[j+1]].
+// Window scans walk contiguous key ranges found by binary search; single-
+// cell membership goes through the open-addressing lookup (fastmap.go),
+// which maps a key to its run index. pad is the canonical-key axis offset
+// and bounds the window radius m the grid may be probed with.
 type grid struct {
-	cells map[cellID][]int32
-	min   geom.Point
-	side  float64
+	keys   []uint64
+	start  []int32
+	ptIdx  []int32
+	lookup *cellMap
+	min    geom.Point
+	side   float64
+	pad    int64
 }
 
-func buildGrid(pc geom.PointCloud, q float64) *grid {
+// buildGrid sorts the cloud into the CSR layout. pad must be at least the
+// largest window radius (in cells) later probes will use.
+func buildGrid(pc geom.PointCloud, q float64, pad int64) *grid {
 	g := &grid{
-		cells: make(map[cellID][]int32, len(pc)/2+1),
-		min:   geom.Bounds(pc).Min,
-		side:  2 * q,
+		min:  geom.Bounds(pc).Min,
+		side: 2 * q,
+		pad:  pad,
 	}
+	n := len(pc)
+	keys := make([]uint64, n)
+	g.ptIdx = make([]int32, n)
 	for i, p := range pc {
-		id := g.cellOf(p)
-		g.cells[id] = append(g.cells[id], int32(i))
+		keys[i] = g.cellOf(p)
+		g.ptIdx[i] = int32(i)
+	}
+	radix.Sort(keys, g.ptIdx, nil)
+	g.keys = keys[:0]
+	g.start = make([]int32, 0, n/2+2)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && keys[j] == keys[i] {
+			j++
+		}
+		g.keys = append(g.keys, keys[i])
+		g.start = append(g.start, int32(i))
+		i = j
+	}
+	g.start = append(g.start, int32(n))
+	g.lookup = newCellMap(len(g.keys))
+	for run, k := range g.keys {
+		g.lookup.add(cellID(k), int32(run)+1)
 	}
 	return g
 }
 
-func (g *grid) cellOf(p geom.Point) cellID {
-	return packCell(
+// cellOf returns the canonical padded key of the cell containing p.
+func (g *grid) cellOf(p geom.Point) uint64 {
+	return packPadded(
 		int64((p.X-g.min.X)/g.side),
 		int64((p.Y-g.min.Y)/g.side),
 		int64((p.Z-g.min.Z)/g.side),
-	)
+		g.pad)
+}
+
+// run returns the CSR run index of the cell with the given key, or -1.
+func (g *grid) run(key uint64) int {
+	return int(g.lookup.get(cellID(key))) - 1
+}
+
+// cellPoints returns the point indices of run j.
+func (g *grid) cellPoints(j int) []int32 {
+	return g.ptIdx[g.start[j] : g.start[j+1]]
+}
+
+// runRange returns the half-open run interval [i0, i1) of cells with keys
+// in [lo, hi].
+func (g *grid) runRange(lo, hi uint64) (int, int) {
+	i0 := sort.Search(len(g.keys), func(i int) bool { return g.keys[i] >= lo })
+	i1 := i0
+	for i1 < len(g.keys) && g.keys[i1] <= hi {
+		i1++
+	}
+	return i0, i1
 }
 
 // countNeighbors counts points within eps of p, stopping early once the
-// count reaches limit. The scan covers all cells intersecting the ε-ball.
+// count reaches limit. The scan covers all cells intersecting the ε-ball:
+// for each (dx, dy) window column the z range is one contiguous key range,
+// found by binary search and walked sequentially.
 func (g *grid) countNeighbors(pc geom.PointCloud, p geom.Point, eps float64, limit int) int {
 	m := int64(math.Ceil(eps / g.side))
 	c := g.cellOf(p)
@@ -146,13 +204,10 @@ func (g *grid) countNeighbors(pc geom.PointCloud, p geom.Point, eps float64, lim
 	count := 0
 	for dx := -m; dx <= m; dx++ {
 		for dy := -m; dy <= m; dy++ {
-			base := c + dx*cellStepX + dy*cellStepY
-			for dz := -m; dz <= m; dz++ {
-				ids, ok := g.cells[base+dz]
-				if !ok {
-					continue
-				}
-				for _, i := range ids {
+			base := c + uint64(dx*cellStepX+dy*cellStepY)
+			i0, i1 := g.runRange(base-uint64(m), base+uint64(m))
+			for j := i0; j < i1; j++ {
+				for _, i := range g.cellPoints(j) {
 					if pc[i].Dist2(p) <= eps2 {
 						count++
 						if count >= limit {
@@ -173,13 +228,10 @@ func (g *grid) neighbors(pc geom.PointCloud, p geom.Point, eps float64, dst []in
 	eps2 := eps * eps
 	for dx := -m; dx <= m; dx++ {
 		for dy := -m; dy <= m; dy++ {
-			base := c + dx*cellStepX + dy*cellStepY
-			for dz := -m; dz <= m; dz++ {
-				ids, ok := g.cells[base+dz]
-				if !ok {
-					continue
-				}
-				for _, i := range ids {
+			base := c + uint64(dx*cellStepX+dy*cellStepY)
+			i0, i1 := g.runRange(base-uint64(m), base+uint64(m))
+			for j := i0; j < i1; j++ {
+				for _, i := range g.cellPoints(j) {
 					if pc[i].Dist2(p) <= eps2 {
 						dst = append(dst, i)
 					}

@@ -1,54 +1,10 @@
 package cluster
 
-import (
-	"runtime"
-	"sync"
-)
+import "dbgc/internal/par"
 
 // numChunks returns the worker count used by parallelChunks for n items.
-func numChunks(n int) int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+func numChunks(n int) int { return par.Workers(n) }
 
 // parallelChunks invokes f(w, lo, hi) over [0, n) split into numChunks(n)
 // contiguous chunks, one goroutine each, and waits for completion.
-func parallelChunks(n int, f func(w, lo, hi int)) {
-	workers := numChunks(n)
-	if workers <= 1 {
-		f(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			f(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-}
-
-// occupiedKeys snapshots the map's keys into a slice for index-based
-// parallel iteration.
-func (m *cellMap) occupiedKeys() []cellID {
-	keys := make([]cellID, 0, m.n)
-	for i, u := range m.used {
-		if u {
-			keys = append(keys, m.keys[i])
-		}
-	}
-	return keys
-}
+func parallelChunks(n int, f func(w, lo, hi int)) { par.Chunks(n, f) }

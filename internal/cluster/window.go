@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"dbgc/internal/radix"
+)
+
+// This file holds the sorted-key window machinery shared by both
+// classifiers. Clustering needs, for every occupied cell, the population of
+// the (2m+1)³ cell window around it (core-point pruning) and whether the
+// window holds a marked cell (border dilation). The previous implementation
+// answered both with (2m+1)² hash probes per cell against an
+// open-addressing map — over half of total compression time went into
+// those probes. Keys packed as (x, y, z) bit fields are ordered
+// lexicographically, so a window is a union of (2m+1)² *contiguous* key
+// ranges, and over cells visited in sorted order each range's endpoints
+// advance monotonically. Scattering the counts along x first (as before)
+// folds the dx dimension away; the remaining (dy, z-range) gather is then
+// 2m+1 two-pointer sweeps over a sorted array — sequential memory access,
+// no hashing. (Sweeping all (2m+1)² offsets directly over the unscattered
+// cell array was measured ~2x slower end-to-end: it trades the one radix
+// sort for (2m+1)²-per-cell query overhead.)
+//
+// Keys must be canonical: every axis index padded by at least m cells (see
+// packPadded) so that probe keys never borrow or carry across bit fields
+// and unsigned key order equals (x, y, z) order.
+
+// packPadded packs non-negative axis indices, offset by pad cells per
+// axis, into a canonical key. Pad must be at least the window radius m of
+// any later window query so probes stay canonical.
+func packPadded(x, y, z, pad int64) uint64 {
+	return uint64((x+pad)<<(2*axisBits) | (y+pad)<<axisBits | (z + pad))
+}
+
+// winScratch holds the reusable buffers of the scatter/sweep passes.
+type winScratch struct {
+	xKeys []uint64
+	xVals []int32
+	xPre  []int32
+	sort  radix.Scratch
+}
+
+var winPool = sync.Pool{New: func() any { return new(winScratch) }}
+
+// growU64 returns s with length n, reallocating only when capacity is
+// short; the contents are unspecified.
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// windowSums returns, for every cell of occ (sorted canonical keys with
+// per-cell populations cnt), the total population of the (2m+1)³ window
+// around it, accumulated into sums (resized as needed). With parallel set
+// the sweeps shard across CPUs; the result is identical.
+func windowSums(occ []uint64, cnt []int32, m int64, parallel bool, sums []int32) []int32 {
+	u := len(occ)
+	sums = growI32(sums, u)
+	for j := range sums {
+		sums[j] = 0
+	}
+	if u == 0 {
+		return sums
+	}
+	s := winPool.Get().(*winScratch)
+	k := int(2*m + 1)
+	xn := u * k
+	xKeys := growU64(s.xKeys, xn)
+	xVals := growI32(s.xVals, xn)
+	pos := 0
+	for dx := -m; dx <= m; dx++ {
+		delta := uint64(dx * cellStepX)
+		for j, key := range occ {
+			xKeys[pos] = key + delta
+			xVals[pos] = cnt[j]
+			pos++
+		}
+	}
+	radix.Sort(xKeys, xVals, &s.sort)
+	// Prefix sums turn every contiguous key range into one subtraction.
+	// Populations sum to at most the point total, so int32 cannot
+	// overflow.
+	xPre := growI32(s.xPre, xn+1)
+	xPre[0] = 0
+	for i, v := range xVals {
+		xPre[i+1] = xPre[i] + v
+	}
+	sweep := func(w, lo, hi int) {
+		for dy := -m; dy <= m; dy++ {
+			delta := uint64(dy * cellStepY)
+			l := sort.Search(xn, func(i int) bool { return xKeys[i] >= occ[lo]+delta-uint64(m) })
+			h := l
+			for j := lo; j < hi; j++ {
+				base := occ[j] + delta
+				ql, qh := base-uint64(m), base+uint64(m)
+				for l < xn && xKeys[l] < ql {
+					l++
+				}
+				if h < l {
+					h = l
+				}
+				for h < xn && xKeys[h] <= qh {
+					h++
+				}
+				sums[j] += xPre[h] - xPre[l]
+			}
+		}
+	}
+	if parallel {
+		parallelChunks(u, sweep)
+	} else {
+		sweep(0, 0, u)
+	}
+	s.xKeys, s.xVals, s.xPre = xKeys, xVals, xPre
+	winPool.Put(s)
+	return sums
+}
+
+// windowReach reports, for every cell of occ, whether the (2m+1)³ window
+// around it contains any marked cell. marked must be sorted canonical keys.
+// The result is written into reach (resized as needed).
+func windowReach(occ []uint64, marked []uint64, m int64, parallel bool, reach []bool) []bool {
+	u := len(occ)
+	if cap(reach) < u {
+		reach = make([]bool, u)
+	}
+	reach = reach[:u]
+	for j := range reach {
+		reach[j] = false
+	}
+	if u == 0 || len(marked) == 0 {
+		return reach
+	}
+	s := winPool.Get().(*winScratch)
+	k := int(2*m + 1)
+	xn := len(marked) * k
+	xKeys := growU64(s.xKeys, xn)
+	pos := 0
+	for dx := -m; dx <= m; dx++ {
+		delta := uint64(dx * cellStepX)
+		for _, key := range marked {
+			xKeys[pos] = key + delta
+			pos++
+		}
+	}
+	radix.Sort(xKeys, nil, &s.sort)
+	sweep := func(w, lo, hi int) {
+		for dy := -m; dy <= m; dy++ {
+			delta := uint64(dy * cellStepY)
+			l := sort.Search(xn, func(i int) bool { return xKeys[i] >= occ[lo]+delta-uint64(m) })
+			h := l
+			for j := lo; j < hi; j++ {
+				base := occ[j] + delta
+				ql, qh := base-uint64(m), base+uint64(m)
+				for l < xn && xKeys[l] < ql {
+					l++
+				}
+				if h < l {
+					h = l
+				}
+				for h < xn && xKeys[h] <= qh {
+					h++
+				}
+				if h > l {
+					reach[j] = true
+				}
+			}
+		}
+	}
+	if parallel {
+		parallelChunks(u, sweep)
+	} else {
+		sweep(0, 0, u)
+	}
+	s.xKeys = xKeys
+	winPool.Put(s)
+	return reach
+}

@@ -140,10 +140,33 @@ const (
 // castagnoli is the CRC32-C table shared by section framing and checks.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Compress encodes pc under opts and returns the bit sequence B plus
-// compression statistics. The cloud must be in the sensor frame (origin at
-// the sensor, §3.3).
-func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
+// Encoder compresses frames while recycling the per-frame working memory —
+// the dense/sparse index sets, the gathered dense and outlier sub-clouds,
+// and the mapping buffer — across calls. A zero Encoder with Opts set is
+// ready; NewEncoder is the conventional constructor. An Encoder is not safe
+// for concurrent use, but distinct Encoders are independent.
+type Encoder struct {
+	// Opts configures every Compress call on this encoder.
+	Opts Options
+
+	denseIdx   []int32
+	sparseIdx  []int32
+	densePts   geom.PointCloud
+	outlierPts geom.PointCloud
+	mapping    []int32
+	stats      Stats
+}
+
+// NewEncoder returns an Encoder that compresses with opts.
+func NewEncoder(opts Options) *Encoder { return &Encoder{Opts: opts} }
+
+// Compress encodes pc under the encoder's options. The returned Stats —
+// including Stats.Mapping — live in the encoder's reusable scratch and are
+// only valid until the next Compress call on this encoder; copy what must
+// outlive the frame. The compressed frame itself is freshly allocated and
+// caller-owned.
+func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
+	opts := e.Opts
 	if opts.Q <= 0 {
 		return nil, nil, fmt.Errorf("core: error bound must be positive, got %v", opts.Q)
 	}
@@ -159,17 +182,19 @@ func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 	if bad := firstNonFinite(pc, opts.Parallel); bad >= 0 {
 		return nil, nil, fmt.Errorf("core: point %d has a non-finite coordinate: %v", bad, pc[bad])
 	}
-	stats := &Stats{NumPoints: len(pc)}
+	e.stats = Stats{NumPoints: len(pc)}
+	stats := &e.stats
 
 	// Stage 1: density-based clustering (DEN).
 	t0 := time.Now()
-	denseIdx, sparseIdx := splitPoints(pc, opts)
+	denseIdx, sparseIdx := e.splitPoints(pc, opts)
 	stats.DEN = time.Since(t0)
 	stats.NumDense = len(denseIdx)
 
 	// Stage 2: octree compression of dense points (OCT), optionally
 	// concurrent with the sparse pipeline.
-	densePts := make(geom.PointCloud, len(denseIdx))
+	e.densePts = growPoints(e.densePts, len(denseIdx))
+	densePts := e.densePts
 	for k, i := range denseIdx {
 		densePts[k] = pc[i]
 	}
@@ -178,7 +203,7 @@ func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 	denseDone := make(chan struct{})
 	encodeDense := func() {
 		t := time.Now()
-		denseEnc, denseErr = octree.Encode(densePts, opts.Q)
+		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel})
 		stats.OCT = time.Since(t)
 		close(denseDone)
 	}
@@ -215,7 +240,8 @@ func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 
 	// Stage 6: outlier compression (OUT).
 	t0 = time.Now()
-	outlierPts := make(geom.PointCloud, len(sparseEnc.OutlierIdx))
+	e.outlierPts = growPoints(e.outlierPts, len(sparseEnc.OutlierIdx))
+	outlierPts := e.outlierPts
 	for k, i := range sparseEnc.OutlierIdx {
 		outlierPts[k] = pc[i]
 	}
@@ -241,20 +267,61 @@ func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 
 	// Assemble the one-to-one mapping in decode order: dense, sparse,
 	// outliers.
-	stats.Mapping = make([]int32, 0, len(pc))
+	mapping := e.mapping[:0]
+	if cap(mapping) < len(pc) {
+		mapping = make([]int32, 0, len(pc))
+	}
 	for _, j := range denseEnc.DecodedOrder {
-		stats.Mapping = append(stats.Mapping, denseIdx[j])
+		mapping = append(mapping, denseIdx[j])
 	}
-	stats.Mapping = append(stats.Mapping, sparseEnc.DecodedOrder...)
+	mapping = append(mapping, sparseEnc.DecodedOrder...)
 	for _, j := range outlierOrder {
-		stats.Mapping = append(stats.Mapping, sparseEnc.OutlierIdx[j])
+		mapping = append(mapping, sparseEnc.OutlierIdx[j])
 	}
+	e.mapping = mapping
+	stats.Mapping = mapping
 	return out, stats, nil
 }
 
+// encoderPool backs the package-level Compress so one-shot callers still
+// reuse scratch across frames.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// Compress encodes pc under opts and returns the bit sequence B plus
+// compression statistics. The cloud must be in the sensor frame (origin at
+// the sensor, §3.3). Unlike Encoder.Compress, the returned Stats are
+// caller-owned. Streaming callers compressing many frames should hold an
+// Encoder instead to also recycle the mapping buffer.
+func Compress(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
+	e := encoderPool.Get().(*Encoder)
+	e.Opts = opts
+	out, stats, err := e.Compress(pc)
+	if err != nil {
+		encoderPool.Put(e)
+		return nil, nil, err
+	}
+	// Detach the caller-owned results from the pooled scratch.
+	st := *stats
+	e.mapping = nil
+	e.stats = Stats{}
+	encoderPool.Put(e)
+	return out, &st, nil
+}
+
+// growPoints returns s with length n, reallocating only when capacity is
+// short; the contents are unspecified.
+func growPoints(s geom.PointCloud, n int) geom.PointCloud {
+	if cap(s) < n {
+		return make(geom.PointCloud, n)
+	}
+	return s[:n]
+}
+
 // splitPoints classifies the cloud into dense and sparse index sets, either
-// by clustering or by the manual nearest-fraction split of Figure 10.
-func splitPoints(pc geom.PointCloud, opts Options) (dense, sparseIdx []int32) {
+// by clustering or by the manual nearest-fraction split of Figure 10. The
+// returned slices live in the encoder's scratch.
+func (e *Encoder) splitPoints(pc geom.PointCloud, opts Options) (dense, sparseIdx []int32) {
+	dense, sparseIdx = e.denseIdx[:0], e.sparseIdx[:0]
 	if f := opts.ForceOctreeFraction; f >= 0 {
 		if f > 1 {
 			f = 1
@@ -290,6 +357,7 @@ func splitPoints(pc geom.PointCloud, opts Options) (dense, sparseIdx []int32) {
 			sparseIdx = append(sparseIdx, int32(i))
 		}
 	}
+	e.denseIdx, e.sparseIdx = dense, sparseIdx
 	return dense, sparseIdx
 }
 
@@ -302,7 +370,7 @@ func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
 		}
 		return enc.Data, enc.DecodedOrder, nil
 	case OutlierOctree:
-		enc, err := octree.Encode(pts, opts.Q)
+		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -73,6 +73,21 @@ func ToSpherical(p Point) Spherical {
 	return Spherical{Theta: theta, Phi: phi, R: r}
 }
 
+// ToSphericalR is ToSpherical for a caller that already knows r = p.Norm(),
+// skipping the square root. The encode path sorts sparse points by radius
+// first, so every conversion there has the norm at hand.
+func ToSphericalR(p Point, r float64) Spherical {
+	if r == 0 {
+		return Spherical{}
+	}
+	theta := math.Atan2(p.Y, p.X)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	phi := math.Acos(clamp(p.Z/r, -1, 1))
+	return Spherical{Theta: theta, Phi: phi, R: r}
+}
+
 // ToCartesian converts spherical coordinates back to a Cartesian point.
 func ToCartesian(s Spherical) Point {
 	sinPhi, cosPhi := math.Sincos(s.Phi)

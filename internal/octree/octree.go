@@ -22,6 +22,7 @@ import (
 	"dbgc/internal/arith"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
+	"dbgc/internal/par"
 	"dbgc/internal/varint"
 )
 
@@ -56,12 +57,14 @@ type span struct {
 // node spans of the current and next level, and the occupancy/count output
 // sequences. Pooled so steady-state Encode allocates only its output.
 type buildScratch struct {
-	idx    [2][]int32
-	octant []uint8
-	cur    []span
-	next   []span
-	occ    []byte
-	counts []uint64
+	idx     [2][]int32
+	octant  []uint8
+	cur     []span
+	next    []span
+	occ     []byte
+	counts  []uint64
+	codes   []byte  // per-span occupancy codes of the parallel pass
+	counts8 []int32 // per-span flattened [8]int32 child counts
 }
 
 var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
@@ -74,10 +77,23 @@ func grow[T any](s []T, n int) []T {
 	return s[:n]
 }
 
+// EncodeOptions tunes Encode without changing its output.
+type EncodeOptions struct {
+	// Parallel shards the per-level occupancy construction across CPUs and
+	// runs the two arithmetic coding passes concurrently. The stream is
+	// byte-identical to a serial encode.
+	Parallel bool
+}
+
 // Encode compresses points so that every reconstructed coordinate differs
 // from the original by at most q per dimension. An empty input encodes to a
 // valid empty stream.
 func Encode(points geom.PointCloud, q float64) (Encoded, error) {
+	return EncodeWith(points, q, EncodeOptions{})
+}
+
+// EncodeWith is Encode with explicit options.
+func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded, error) {
 	if q <= 0 {
 		return Encoded{}, fmt.Errorf("octree: error bound must be positive, got %v", q)
 	}
@@ -105,11 +121,25 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 	header = varint.AppendUint(header, uint64(depth))
 
 	scratch := buildPool.Get().(*buildScratch)
-	occ, counts, order := buildAndSerialize(scratch, points, cube.Min, side, depth)
+	occ, counts, order := buildAndSerialize(scratch, points, cube.Min, side, depth, opts.Parallel)
 	enc.DecodedOrder = order
 
-	occStream := compressOccupancy(occ)
-	countStream := arith.AppendCompressUints(nil, counts)
+	// The two output streams are independent; the occupancy and count
+	// coders run concurrently when parallelism is on.
+	var occStream, countStream []byte
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			countStream = arith.AppendCompressUints(nil, counts)
+		}()
+		occStream = compressOccupancy(occ)
+		wg.Wait()
+	} else {
+		occStream = compressOccupancy(occ)
+		countStream = arith.AppendCompressUints(nil, counts)
+	}
 
 	out := header
 	out = varint.AppendUint(out, uint64(len(occ)))
@@ -139,12 +169,22 @@ func depthFor(side, q float64) int {
 	return int(d)
 }
 
+// parallelLevelMin is the span count above which a level's occupancy pass
+// fans out; small top levels stay serial to skip the fork-join overhead.
+const parallelLevelMin = 16
+
 // buildAndSerialize performs the breadth-first construction on pooled
 // scratch, returning the occupancy code sequence, the per-leaf point counts
 // (in leaf emission order), and the decoded-order mapping. occ and counts
 // alias the scratch and are only valid until it is returned to the pool;
 // order is freshly allocated (it leaves Encode as DecodedOrder).
-func buildAndSerialize(s *buildScratch, points geom.PointCloud, min geom.Point, side float64, depth int) (occ []byte, counts []uint64, order []int) {
+//
+// With parallel set, each level splits into a parallel occupancy pass —
+// every node's octant counts, point scatter, and code byte touch only that
+// node's range of the index arrays, so nodes shard freely — and a serial
+// stitch appending the per-node results to the occupancy sequence and next
+// level in node order. The output is identical to the serial construction.
+func buildAndSerialize(s *buildScratch, points geom.PointCloud, min geom.Point, side float64, depth int, parallel bool) (occ []byte, counts []uint64, order []int) {
 	n := len(points)
 	src := grow(s.idx[0], n)
 	dst := grow(s.idx[1], n)
@@ -156,42 +196,81 @@ func buildAndSerialize(s *buildScratch, points geom.PointCloud, min geom.Point, 
 	s.cur = append(s.cur[:0], span{start: 0, end: n, center: min.Add(geom.Point{X: half, Y: half, Z: half})})
 	s.occ = s.occ[:0]
 
+	splitNode := func(nd span, count *[8]int) {
+		// Pass 1: octant of every point, and per-child counts.
+		for _, idx := range src[nd.start:nd.end] {
+			c := childIndex(points[idx], nd.center)
+			s.octant[idx] = uint8(c)
+			count[c]++
+		}
+		// Prefix offsets inside the node's range, then scatter.
+		var pos [8]int
+		pos[0] = nd.start
+		for c := 1; c < 8; c++ {
+			pos[c] = pos[c-1] + count[c-1]
+		}
+		for _, idx := range src[nd.start:nd.end] {
+			c := s.octant[idx]
+			dst[pos[c]] = idx
+			pos[c]++
+		}
+	}
+
 	for d := 0; d < depth; d++ {
 		next := s.next[:0]
 		qh := half / 2
-		for _, nd := range s.cur {
-			// Pass 1: octant of every point, and per-child counts.
-			var count [8]int
-			for _, idx := range src[nd.start:nd.end] {
-				c := childIndex(points[idx], nd.center)
-				s.octant[idx] = uint8(c)
-				count[c]++
-			}
-			// Prefix offsets inside the node's range, then scatter.
-			var off [8]int
-			off[0] = nd.start
-			for c := 1; c < 8; c++ {
-				off[c] = off[c-1] + count[c-1]
-			}
-			pos := off
-			for _, idx := range src[nd.start:nd.end] {
-				c := s.octant[idx]
-				dst[pos[c]] = idx
-				pos[c]++
-			}
-			var code byte
-			for c := 0; c < 8; c++ {
-				if count[c] == 0 {
-					continue
+		if parallel && len(s.cur) >= parallelLevelMin {
+			nodes := s.cur
+			cnts := grow(s.counts8, 8*len(nodes))
+			par.Chunks(len(nodes), func(w, lo, hi int) {
+				for k := lo; k < hi; k++ {
+					var count [8]int
+					splitNode(nodes[k], &count)
+					for c := 0; c < 8; c++ {
+						cnts[8*k+c] = int32(count[c])
+					}
 				}
-				code |= 1 << uint(c)
-				next = append(next, span{
-					start:  off[c],
-					end:    off[c] + count[c],
-					center: childCenter(nd.center, qh, c),
-				})
+			})
+			s.counts8 = cnts
+			// Serial stitch: emit codes and child spans in node order.
+			for k, nd := range nodes {
+				off := nd.start
+				var code byte
+				for c := 0; c < 8; c++ {
+					cv := int(cnts[8*k+c])
+					if cv == 0 {
+						continue
+					}
+					code |= 1 << uint(c)
+					next = append(next, span{
+						start:  off,
+						end:    off + cv,
+						center: childCenter(nd.center, qh, c),
+					})
+					off += cv
+				}
+				s.occ = append(s.occ, code)
 			}
-			s.occ = append(s.occ, code)
+		} else {
+			for _, nd := range s.cur {
+				var count [8]int
+				splitNode(nd, &count)
+				off := nd.start
+				var code byte
+				for c := 0; c < 8; c++ {
+					if count[c] == 0 {
+						continue
+					}
+					code |= 1 << uint(c)
+					next = append(next, span{
+						start:  off,
+						end:    off + count[c],
+						center: childCenter(nd.center, qh, c),
+					})
+					off += count[c]
+				}
+				s.occ = append(s.occ, code)
+			}
 		}
 		s.next = s.cur[:0]
 		s.cur = next

@@ -1,0 +1,46 @@
+// Package par provides the deterministic fork-join helper shared by the
+// encode-path stages (clustering, octree construction). Work is split into
+// contiguous index chunks so results land in caller-owned, disjoint slices;
+// parallel runs are bit-identical to serial ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the worker count Chunks uses for n items.
+func Workers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Chunks invokes f(w, lo, hi) over [0, n) split into Workers(n) contiguous
+// chunks, one goroutine each, and waits for completion.
+func Chunks(n int, f func(w, lo, hi int)) {
+	workers := Workers(n)
+	if workers <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", got)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if got := Workers(1 << 30); got != max {
+		t.Fatalf("Workers(huge) = %d, want GOMAXPROCS %d", got, max)
+	}
+}
+
+// TestChunksCoverage: every index in [0, n) is visited exactly once, and
+// each chunk is a contiguous [lo, hi) range.
+func TestChunksCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1001} {
+		visits := make([]int32, n)
+		Chunks(n, func(w, lo, hi int) {
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("n=%d: bad chunk [%d, %d)", n, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}

@@ -34,35 +34,49 @@ func RefWindow(lines []Line, idx int, thPhi int64) (lo int) {
 // precede lines[idx], all of which the decompressor has already recovered
 // when it needs l*, so both sides reproduce the same consensus line.
 func Consensus(lines []Line, idx int, thPhi int64) Line {
+	var s ConsensusScratch
+	return s.Consensus(lines, idx, thPhi)
+}
+
+// ConsensusScratch recycles the merge buffers of consensus construction.
+// The Line returned by its Consensus method aliases the scratch and is
+// valid until the next call; the per-line coding loops consume each
+// consensus line before building the next, so one scratch serves a whole
+// stream.
+type ConsensusScratch struct {
+	a, b Line
+}
+
+// Consensus is Consensus building into the scratch's reused buffers.
+func (s *ConsensusScratch) Consensus(lines []Line, idx int, thPhi int64) Line {
 	lo := RefWindow(lines, idx, thPhi)
 	if lo == idx {
 		return nil
 	}
-	var cons Line
+	cur, alt := s.a[:0], s.b[:0]
 	for _, l := range lines[lo:idx] {
-		cons = mergeInto(cons, l)
+		cur, alt = mergeInto(alt[:0], cur, l), cur
 	}
-	return cons
+	s.a, s.b = cur, alt
+	return cur
 }
 
-// mergeInto replaces the consensus points within l's azimuthal span by l's
-// points, keeping the result sorted by θ.
-func mergeInto(cons Line, l Line) Line {
+// mergeInto appends to dst the merge of cons and l: l's points replace the
+// consensus points within l's azimuthal span, keeping the result sorted by
+// θ. dst must not alias cons.
+func mergeInto(dst, cons Line, l Line) Line {
 	if len(cons) == 0 {
-		out := make(Line, len(l))
-		copy(out, l)
-		return out
+		return append(dst, l...)
 	}
 	headT := l.Head().Theta
 	tailT := l.Tail().Theta
 	// cut points: cons[:a] has θ < headT; cons[b:] has θ > tailT.
 	a := sort.Search(len(cons), func(i int) bool { return cons[i].Theta >= headT })
 	b := sort.Search(len(cons), func(i int) bool { return cons[i].Theta > tailT })
-	out := make(Line, 0, a+len(l)+len(cons)-b)
-	out = append(out, cons[:a]...)
-	out = append(out, l...)
-	out = append(out, cons[b:]...)
-	return out
+	dst = append(dst, cons[:a]...)
+	dst = append(dst, l...)
+	dst = append(dst, cons[b:]...)
+	return dst
 }
 
 // SearchLeft returns the rightmost point of l with θ < theta, if any.

@@ -11,9 +11,12 @@
 package polyline
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"dbgc/internal/geom"
+	"dbgc/internal/radix"
 )
 
 // Point is a sparse point in quantized spherical coordinates. Orig tracks
@@ -55,64 +58,72 @@ type Config struct {
 // Organize runs Algorithm 1: it partitions pts into polylines and
 // outliers. Points are consumed in (φ, θ) order so the result is
 // deterministic. Single-point lines are returned as outliers.
+//
+// The candidate index inverts the sine/cosine evaluations of Algorithm 1's
+// Euclidean-distance test: every point's Cartesian position is computed
+// once up front instead of on every probe, and the (θ, φ) buckets live in
+// an open-addressing table with intrusive chains rather than a Go map.
+// Taken points are unlinked from their chain as scans pass them, so
+// repeatedly-probed buckets shrink as extraction consumes the cloud.
 func Organize(pts []Point, cfg Config) (lines []Line, outliers []Point) {
 	if len(pts) == 0 {
 		return nil, nil
 	}
-	idx := newThetaPhiIndex(pts, cfg)
-	seeds := make([]int32, len(pts))
-	for i := range seeds {
-		seeds[i] = int32(i)
-	}
-	sort.Slice(seeds, func(a, b int) bool {
-		pa, pb := pts[seeds[a]], pts[seeds[b]]
-		if pa.Phi != pb.Phi {
-			return pa.Phi < pb.Phi
-		}
-		if pa.Theta != pb.Theta {
-			return pa.Theta < pb.Theta
-		}
-		return pa.R < pb.R
-	})
+	s := organizePool.Get().(*organizeScratch)
+	defer organizePool.Put(s)
+	idx := newThetaPhiIndex(pts, cfg, s)
+	seeds := s.sortSeeds(pts)
 
-	for _, s := range seeds {
-		if idx.taken[s] {
+	right := s.right[:0]
+	left := s.left[:0]
+	for _, sd := range seeds {
+		if idx.taken[sd] {
 			continue
 		}
-		idx.take(s)
-		seed := pts[s]
+		idx.take(sd)
+		seed := pts[sd]
 		// The polyline's polar corridor is fixed by its seed (§3.4):
 		// [φ_seed − u_φ, φ_seed + u_φ].
 		phiMin := float64(seed.Phi) - cfg.UPhi
 		phiMax := float64(seed.Phi) + cfg.UPhi
 
-		line := Line{seed}
 		// Extend right: candidates have θ − θ_tail ∈ (0, 2u_θ].
+		right = append(right[:0], sd)
 		for {
-			tail := line[len(line)-1]
-			next, ok := idx.bestCandidate(tail, phiMin, phiMax, false, cfg)
+			next, ok := idx.bestCandidate(right[len(right)-1], phiMin, phiMax, false)
 			if !ok {
 				break
 			}
 			idx.take(next)
-			line = append(line, pts[next])
+			right = append(right, next)
 		}
-		// Extend left, symmetrically.
+		// Extend left, symmetrically; collected head-outward and reversed
+		// into the line afterwards, so extension is O(1) per point.
+		left = left[:0]
+		head := sd
 		for {
-			head := line[0]
-			prev, ok := idx.bestCandidate(head, phiMin, phiMax, true, cfg)
+			prev, ok := idx.bestCandidate(head, phiMin, phiMax, true)
 			if !ok {
 				break
 			}
 			idx.take(prev)
-			line = append(Line{pts[prev]}, line...)
+			left = append(left, prev)
+			head = prev
 		}
-		if len(line) == 1 {
+		if len(left)+len(right) == 1 {
 			outliers = append(outliers, seed)
 			continue
 		}
+		line := make(Line, 0, len(left)+len(right))
+		for i := len(left) - 1; i >= 0; i-- {
+			line = append(line, pts[left[i]])
+		}
+		for _, i := range right {
+			line = append(line, pts[i])
+		}
 		lines = append(lines, line)
 	}
+	s.right, s.left = right, left
 	SortLines(lines)
 	return lines, outliers
 }
@@ -128,98 +139,225 @@ func SortLines(lines []Line) {
 	})
 }
 
-// thetaPhiIndex buckets available points on a (θ, φ) grid with cell sides
-// (u_θ, u_φ) for the candidate queries of Algorithm 1.
-type thetaPhiIndex struct {
-	pts     []Point
-	cfg     Config
-	buckets map[[2]int32][]int32
+// organizeScratch recycles the per-call buffers of Organize across frames.
+type organizeScratch struct {
+	seeds   []int32
+	keys    []uint64
+	pos     []geom.Point
+	next    []int32
 	taken   []bool
+	slotKey []uint64
+	slotVal []int32
+	left    []int32
+	right   []int32
+	sort    radix.Scratch
 }
 
-func newThetaPhiIndex(pts []Point, cfg Config) *thetaPhiIndex {
-	idx := &thetaPhiIndex{
-		pts:     pts,
-		cfg:     cfg,
-		buckets: make(map[[2]int32][]int32, len(pts)/2+1),
-		taken:   make([]bool, len(pts)),
+var organizePool = sync.Pool{New: func() any { return new(organizeScratch) }}
+
+// sortSeeds returns the point indices in (φ, θ, r) order. When the
+// coordinate ranges fit a packed 64-bit key the order comes from one radix
+// sort; otherwise it falls back to a comparison sort. Full-coordinate ties
+// keep ascending index order either way (the radix sort is stable).
+func (s *organizeScratch) sortSeeds(pts []Point) []int32 {
+	n := len(pts)
+	if cap(s.seeds) < n {
+		s.seeds = make([]int32, n)
 	}
-	for i := range pts {
-		b := idx.bucketOf(pts[i])
-		idx.buckets[b] = append(idx.buckets[b], int32(i))
+	seeds := s.seeds[:n]
+	for i := range seeds {
+		seeds[i] = int32(i)
 	}
+	minP, maxP := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		minP.Theta = min(minP.Theta, p.Theta)
+		maxP.Theta = max(maxP.Theta, p.Theta)
+		minP.Phi = min(minP.Phi, p.Phi)
+		maxP.Phi = max(maxP.Phi, p.Phi)
+		minP.R = min(minP.R, p.R)
+		maxP.R = max(maxP.R, p.R)
+	}
+	tb := bits.Len64(uint64(maxP.Theta - minP.Theta))
+	pb := bits.Len64(uint64(maxP.Phi - minP.Phi))
+	rb := bits.Len64(uint64(maxP.R - minP.R))
+	if tb+pb+rb > 64 {
+		sort.Slice(seeds, func(a, b int) bool {
+			pa, pb := pts[seeds[a]], pts[seeds[b]]
+			if pa.Phi != pb.Phi {
+				return pa.Phi < pb.Phi
+			}
+			if pa.Theta != pb.Theta {
+				return pa.Theta < pb.Theta
+			}
+			return pa.R < pb.R
+		})
+		return seeds
+	}
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+	}
+	keys := s.keys[:n]
+	for i, p := range pts {
+		keys[i] = uint64(p.Phi-minP.Phi)<<(tb+rb) |
+			uint64(p.Theta-minP.Theta)<<rb |
+			uint64(p.R-minP.R)
+	}
+	radix.Sort(keys, seeds, &s.sort)
+	return seeds
+}
+
+// thetaPhiIndex buckets available points on a (θ, φ) grid with cell sides
+// (u_θ, u_φ) for the candidate queries of Algorithm 1. Buckets are chains
+// threaded through next, headed by an open-addressing table: slotVal is 0
+// for a free slot, 1 for an emptied bucket, and head+2 otherwise. Emptied
+// buckets stay occupied so later probes for colliding keys still find
+// their slots.
+type thetaPhiIndex struct {
+	pts     []Point
+	pos     []geom.Point // Cartesian position of each point, precomputed
+	next    []int32
+	taken   []bool
+	slotKey []uint64
+	slotVal []int32
+	mask    uint64
+	ut, up  float64
+}
+
+func newThetaPhiIndex(pts []Point, cfg Config, s *organizeScratch) *thetaPhiIndex {
+	n := len(pts)
+	idx := &thetaPhiIndex{pts: pts, ut: cfg.UTheta, up: cfg.UPhi}
+	if idx.ut <= 0 {
+		idx.ut = 1
+	}
+	if idx.up <= 0 {
+		idx.up = 1
+	}
+	if cap(s.pos) < n {
+		s.pos = make([]geom.Point, n)
+	}
+	if cap(s.next) < n {
+		s.next = make([]int32, n)
+	}
+	if cap(s.taken) < n {
+		s.taken = make([]bool, n)
+	}
+	idx.pos, idx.next, idx.taken = s.pos[:n], s.next[:n], s.taken[:n]
+	for i := range idx.taken {
+		idx.taken[i] = false
+	}
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	if cap(s.slotKey) < size {
+		s.slotKey = make([]uint64, size)
+		s.slotVal = make([]int32, size)
+	}
+	idx.slotKey, idx.slotVal = s.slotKey[:size], s.slotVal[:size]
+	for i := range idx.slotVal {
+		idx.slotVal[i] = 0
+	}
+	idx.mask = uint64(size - 1)
+	// Insert in reverse so each chain lists its points in ascending index
+	// order.
+	for i := n - 1; i >= 0; i-- {
+		p := pts[i]
+		idx.pos[i] = cfg.Cartesian(p)
+		key := bucketKey(int32(float64(p.Theta)/idx.ut), int32(float64(p.Phi)/idx.up))
+		slot := idx.findSlot(key)
+		if idx.slotVal[slot] == 0 {
+			idx.slotKey[slot] = key
+			idx.next[i] = -1
+		} else {
+			idx.next[i] = idx.slotVal[slot] - 2
+		}
+		idx.slotVal[slot] = int32(i) + 2
+	}
+	s.pos, s.next, s.taken = idx.pos, idx.next, idx.taken
+	s.slotKey, s.slotVal = idx.slotKey, idx.slotVal
 	return idx
 }
 
-func (idx *thetaPhiIndex) bucketOf(p Point) [2]int32 {
-	ut := idx.cfg.UTheta
-	up := idx.cfg.UPhi
-	if ut <= 0 {
-		ut = 1
+func bucketKey(bt, bp int32) uint64 {
+	return uint64(uint32(bt))<<32 | uint64(uint32(bp))
+}
+
+// findSlot probes for key, returning its slot or the free slot where it
+// belongs. The table is sized at twice the point count and never grows.
+func (idx *thetaPhiIndex) findSlot(key uint64) int {
+	h := (key * 0x9E3779B97F4A7C15) >> 32
+	for slot := h & idx.mask; ; slot = (slot + 1) & idx.mask {
+		if idx.slotVal[slot] == 0 || idx.slotKey[slot] == key {
+			return int(slot)
+		}
 	}
-	if up <= 0 {
-		up = 1
-	}
-	return [2]int32{int32(float64(p.Theta) / ut), int32(float64(p.Phi) / up)}
 }
 
 func (idx *thetaPhiIndex) take(i int32) { idx.taken[i] = true }
 
 // bestCandidate finds the nearest (in Euclidean distance) available point
-// extending from anchor within the polar corridor: θ strictly beyond the
-// anchor by at most 2u_θ, in the direction given by left.
-func (idx *thetaPhiIndex) bestCandidate(anchor Point, phiMin, phiMax float64, left bool, cfg Config) (int32, bool) {
-	ut := cfg.UTheta
-	up := cfg.UPhi
-	if ut <= 0 {
-		ut = 1
-	}
-	if up <= 0 {
-		up = 1
-	}
+// extending from the anchor point within the polar corridor: θ strictly
+// beyond the anchor by at most 2u_θ, in the direction given by left.
+// Distance ties pick the lowest index, so neither bucket-chain order nor
+// probe order affects the result.
+func (idx *thetaPhiIndex) bestCandidate(anchor int32, phiMin, phiMax float64, left bool) (int32, bool) {
+	ut := idx.ut
+	ap := idx.pts[anchor]
 	// The paper's candidate window is 0 < Δθ ≤ 2u_θ. With quantized
 	// coordinates the azimuthal step can round to zero (near-field groups
 	// quantize angles coarsely), so zero is admitted too: equal-θ
 	// neighbors chain with a zero delta instead of stranding as outliers.
 	var thetaLo, thetaHi float64
 	if left {
-		thetaLo = float64(anchor.Theta) - 2*ut
-		thetaHi = float64(anchor.Theta)
+		thetaLo = float64(ap.Theta) - 2*ut
+		thetaHi = float64(ap.Theta)
 	} else {
-		thetaLo = float64(anchor.Theta)
-		thetaHi = float64(anchor.Theta) + 2*ut
+		thetaLo = float64(ap.Theta)
+		thetaHi = float64(ap.Theta) + 2*ut
 	}
 	bLo := int32(thetaLo / ut)
 	bHi := int32(thetaHi / ut)
-	pLo := int32(phiMin / up)
-	pHi := int32(phiMax / up)
+	pLo := int32(phiMin / idx.up)
+	pHi := int32(phiMax / idx.up)
 
-	anchorPos := cfg.Cartesian(anchor)
+	anchorPos := idx.pos[anchor]
 	best := int32(-1)
 	bestD := 0.0
 	for bt := bLo - 1; bt <= bHi+1; bt++ {
 		for bp := pLo - 1; bp <= pHi+1; bp++ {
-			for _, c := range idx.buckets[[2]int32{bt, bp}] {
+			slot := idx.findSlot(bucketKey(bt, bp))
+			c := idx.slotVal[slot] - 2
+			prev := int32(-1)
+			for c >= 0 {
+				nxt := idx.next[c]
 				if idx.taken[c] {
+					// Unlink: taken points never come back, so the chain
+					// only shrinks.
+					if prev < 0 {
+						idx.slotVal[slot] = nxt + 2
+					} else {
+						idx.next[prev] = nxt
+					}
+					c = nxt
 					continue
 				}
 				p := idx.pts[c]
-				if float64(p.Phi) < phiMin || float64(p.Phi) > phiMax {
-					continue
+				if float64(p.Phi) >= phiMin && float64(p.Phi) <= phiMax {
+					var dTheta float64
+					if left {
+						dTheta = float64(ap.Theta) - float64(p.Theta)
+					} else {
+						dTheta = float64(p.Theta) - float64(ap.Theta)
+					}
+					if dTheta >= 0 && dTheta <= 2*ut {
+						d := anchorPos.Dist2(idx.pos[c])
+						if best < 0 || d < bestD || (d == bestD && c < best) {
+							best, bestD = c, d
+						}
+					}
 				}
-				var dTheta float64
-				if left {
-					dTheta = float64(anchor.Theta) - float64(p.Theta)
-				} else {
-					dTheta = float64(p.Theta) - float64(anchor.Theta)
-				}
-				if dTheta < 0 || dTheta > 2*ut {
-					continue
-				}
-				d := anchorPos.Dist2(cfg.Cartesian(p))
-				if best < 0 || d < bestD || (d == bestD && c < best) {
-					best, bestD = c, d
-				}
+				prev = c
+				c = nxt
 			}
 		}
 	}

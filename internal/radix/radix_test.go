@@ -1,0 +1,96 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000)
+		keys := make([]uint64, n)
+		for i := range keys {
+			switch trial % 3 {
+			case 0:
+				keys[i] = rng.Uint64()
+			case 1:
+				keys[i] = uint64(rng.Intn(16)) // heavy duplicates
+			default:
+				keys[i] = uint64(rng.Intn(1 << 20)) // low bits only
+			}
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		Sort(keys, nil, nil)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("trial %d: keys[%d] = %d, want %d", trial, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortStableWithPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var s Scratch
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(1500)
+		keys := make([]uint64, n)
+		payload := make([]int32, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(64)) // many ties to exercise stability
+			payload[i] = int32(i)
+		}
+		orig := append([]uint64(nil), keys...)
+		Sort(keys, payload, &s)
+		if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+			t.Fatalf("trial %d: keys not sorted", trial)
+		}
+		for i := range keys {
+			if orig[payload[i]] != keys[i] {
+				t.Fatalf("trial %d: payload[%d] = %d does not match key %d", trial, i, payload[i], keys[i])
+			}
+		}
+		// Stability: equal keys keep ascending payload order.
+		for i := 1; i < n; i++ {
+			if keys[i] == keys[i-1] && payload[i] < payload[i-1] {
+				t.Fatalf("trial %d: unstable at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortEdgeCases(t *testing.T) {
+	Sort(nil, nil, nil)
+	Sort([]uint64{7}, []int32{0}, nil)
+	keys := []uint64{5, 5, 5}
+	payload := []int32{0, 1, 2}
+	Sort(keys, payload, nil)
+	for i, p := range payload {
+		if p != int32(i) {
+			t.Fatalf("constant keys permuted payload: %v", payload)
+		}
+	}
+}
+
+func BenchmarkSortPacked(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]uint64, 1<<17)
+	for i := range base {
+		base[i] = uint64(rng.Intn(1<<12))<<42 | uint64(rng.Intn(1<<12))<<21 | uint64(rng.Intn(1<<12))
+	}
+	keys := make([]uint64, len(base))
+	payload := make([]int32, len(base))
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		for j := range payload {
+			payload[j] = int32(j)
+		}
+		Sort(keys, payload, &s)
+	}
+}

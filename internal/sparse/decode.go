@@ -245,10 +245,11 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool, b *declimit
 	// Replay the radial reference decisions to recover r (step 8
 	// inverted).
 	rp, refp := 0, 0
+	var cs polyline.ConsensusScratch
 	for i, l := range lines {
 		var ctx refContext
 		if !plainDelta {
-			ctx = refContext{cons: polyline.Consensus(lines, i, thPhi), thR: thR}
+			ctx = refContext{cons: cs.Consensus(lines, i, thPhi), thR: thR}
 		}
 		for k := range l {
 			if k == 0 {

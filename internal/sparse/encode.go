@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -15,6 +14,7 @@ import (
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/polyline"
+	"dbgc/internal/radix"
 	"dbgc/internal/varint"
 )
 
@@ -113,20 +113,26 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 	// excess angular precision q/r_max imposes on the group's nearest
 	// points — is bounded. (Equal-count splitting leaves the far group
 	// spanning a 10x radial range whose near end pays several wasted bits
-	// per angle.)
+	// per angle.) Norms are computed once and radix-sorted on their IEEE
+	// bits — non-negative floats order identically to their bit patterns,
+	// and the stable sort keeps equal radii in ascending index order, as
+	// the comparison sort it replaces did. The sorted norms ride along for
+	// the grouping cuts and the per-group conversions.
 	sorted := append([]int32(nil), idx...)
-	sort.Slice(sorted, func(a, b int) bool {
-		ra, rb := pc[sorted[a]].Norm(), pc[sorted[b]].Norm()
-		if ra != rb {
-			return ra < rb
-		}
-		return sorted[a] < sorted[b]
-	})
+	rbits := make([]uint64, len(sorted))
+	for i, pi := range sorted {
+		rbits[i] = math.Float64bits(pc[pi].Norm())
+	}
+	radix.Sort(rbits, sorted, nil)
+	rs := make([]float64, len(rbits))
+	for i, b := range rbits {
+		rs[i] = math.Float64frombits(b)
+	}
 	g := opts.groups()
 	if len(sorted) < g {
 		g = 1
 	}
-	bounds := groupBoundaries(pc, sorted, g)
+	bounds := groupBoundaries(rs, g)
 	out = varint.AppendUint(out, uint64(g))
 	type groupResult struct {
 		data            []byte
@@ -138,7 +144,8 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 	results := make([]groupResult, g)
 	encodeOne := func(gi int) {
 		r := &results[gi]
-		r.data, r.outliers, r.order, r.nLines, r.times, r.err = encodeGroup(pc, sorted[bounds[gi]:bounds[gi+1]], opts)
+		lo, hi := bounds[gi], bounds[gi+1]
+		r.data, r.outliers, r.order, r.nLines, r.times, r.err = encodeGroup(pc, sorted[lo:hi], rs[lo:hi], opts)
 	}
 	if opts.Parallel && g > 1 {
 		var wg sync.WaitGroup
@@ -173,20 +180,20 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 	return enc, nil
 }
 
-// groupBoundaries returns g+1 cut positions into the r-sorted index list,
+// groupBoundaries returns g+1 cut positions into the ascending norm list,
 // splitting the radial range [r_min, r_max] into g geometric intervals.
 // Degenerate ranges fall back to equal-count chunks.
-func groupBoundaries(pc geom.PointCloud, sorted []int32, g int) []int {
+func groupBoundaries(rs []float64, g int) []int {
 	bounds := make([]int, g+1)
-	bounds[g] = len(sorted)
-	if len(sorted) == 0 || g <= 1 {
+	bounds[g] = len(rs)
+	if len(rs) == 0 || g <= 1 {
 		return bounds
 	}
-	rMin := pc[sorted[0]].Norm()
-	rMax := pc[sorted[len(sorted)-1]].Norm()
+	rMin := rs[0]
+	rMax := rs[len(rs)-1]
 	if rMin <= 0 || rMax/rMin < 1.0001 {
 		for gi := 1; gi < g; gi++ {
-			bounds[gi] = len(sorted) * gi / g
+			bounds[gi] = len(rs) * gi / g
 		}
 		return bounds
 	}
@@ -195,7 +202,7 @@ func groupBoundaries(pc geom.PointCloud, sorted []int32, g int) []int {
 	pos := 0
 	for gi := 1; gi < g; gi++ {
 		cut *= ratio
-		for pos < len(sorted) && pc[sorted[pos]].Norm() <= cut {
+		for pos < len(rs) && rs[pos] <= cut {
 			pos++
 		}
 		bounds[gi] = pos
@@ -203,9 +210,10 @@ func groupBoundaries(pc geom.PointCloud, sorted []int32, g int) []int {
 	return bounds
 }
 
-// encodeGroup runs steps 1-9 for one radial group. times holds the COR,
-// ORG, and SPA stage durations.
-func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, outliers, order []int32, nLines int, times [3]time.Duration, err error) {
+// encodeGroup runs steps 1-9 for one radial group. rs carries the group's
+// precomputed norms in the same (ascending) order as group; times holds the
+// COR, ORG, and SPA stage durations.
+func encodeGroup(pc geom.PointCloud, group []int32, rs []float64, opts Options) (data []byte, outliers, order []int32, nLines int, times [3]time.Duration, err error) {
 	var qpts []polyline.Point
 	var rMax float64
 	var cfg polyline.Config
@@ -216,8 +224,8 @@ func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, 
 		cq := cartesianQuantizer{q: opts.Q}
 		qpts = make([]polyline.Point, len(group))
 		var rMed float64
-		for _, i := range group {
-			rMed += pc[i].Norm()
+		for _, r := range rs {
+			rMed += r
 		}
 		if len(group) > 0 {
 			rMed /= float64(len(group))
@@ -235,15 +243,13 @@ func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, 
 		}
 		thR = int64(math.Round(opts.thR() / (2 * opts.Q)))
 	} else {
-		for _, i := range group {
-			if r := pc[i].Norm(); r > rMax {
-				rMax = r
-			}
+		if len(rs) > 0 {
+			rMax = rs[len(rs)-1] // group norms ascend
 		}
 		qz := NewQuantizer(opts.Q, rMax)
 		qpts = make([]polyline.Point, len(group))
 		for k, i := range group {
-			t, p, r := qz.Quantize(geom.ToSpherical(pc[i]))
+			t, p, r := qz.Quantize(geom.ToSphericalR(pc[i], rs[k]))
 			qpts[k] = polyline.Point{Theta: t, Phi: p, R: r, Orig: i}
 		}
 		cfg = polyline.Config{
@@ -267,9 +273,16 @@ func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, 
 	t2 := time.Now()
 
 	// Stream assembly (steps 2-8).
-	var lens []uint64
-	var thetaHeads, phiHeads []int64
-	var thetaTails, phiTails []int64
+	nPts := 0
+	for _, l := range lines {
+		nPts += len(l)
+	}
+	lens := make([]uint64, 0, len(lines))
+	thetaHeads := make([]int64, 0, len(lines))
+	phiHeads := make([]int64, 0, len(lines))
+	thetaTails := make([]int64, 0, nPts-len(lines))
+	phiTails := make([]int64, 0, nPts-len(lines))
+	order = make([]int32, 0, nPts)
 	for _, l := range lines {
 		lens = append(lens, uint64(len(l)))
 		thetaHeads = append(thetaHeads, l.Head().Theta)
@@ -330,10 +343,11 @@ func encodeGroup(pc geom.PointCloud, group []int32, opts Options) (data []byte, 
 // reference is always the preceding point (heads reference the previous
 // head), reproducing classic delta encoding for the -Radial ablation.
 func encodeRadial(lines []polyline.Line, thPhi, thR int64, plainDelta bool) (radials []int64, refs []int) {
+	var cs polyline.ConsensusScratch
 	for i, l := range lines {
 		var ctx refContext
 		if !plainDelta {
-			ctx = refContext{cons: polyline.Consensus(lines, i, thPhi), thR: thR}
+			ctx = refContext{cons: cs.Consensus(lines, i, thPhi), thR: thR}
 		}
 		for k, p := range l {
 			if k == 0 {

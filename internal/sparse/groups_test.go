@@ -7,13 +7,13 @@ import (
 	"dbgc/internal/geom"
 )
 
-func sortedByR(pc geom.PointCloud) []int32 {
-	idx := make([]int32, len(pc))
-	for i := range idx {
-		idx[i] = int32(i)
+func normsOf(pc geom.PointCloud) []float64 {
+	rs := make([]float64, len(pc))
+	for i, p := range pc {
+		// pc is constructed sorted in these tests.
+		rs[i] = p.Norm()
 	}
-	// pc is constructed sorted in these tests.
-	return idx
+	return rs
 }
 
 func TestGroupBoundariesGeometric(t *testing.T) {
@@ -22,7 +22,7 @@ func TestGroupBoundariesGeometric(t *testing.T) {
 	for r := 1; r <= 100; r++ {
 		pc = append(pc, geom.Point{X: float64(r)})
 	}
-	b := groupBoundaries(pc, sortedByR(pc), 2)
+	b := groupBoundaries(normsOf(pc), 2)
 	if len(b) != 3 || b[0] != 0 || b[2] != 100 {
 		t.Fatalf("bounds = %v", b)
 	}
@@ -40,7 +40,7 @@ func TestGroupBoundariesBoundRatio(t *testing.T) {
 		pc = append(pc, geom.Point{X: 2.5 + float64(r)*0.0235})
 	}
 	g := 6
-	b := groupBoundaries(pc, sortedByR(pc), g)
+	b := groupBoundaries(normsOf(pc), g)
 	total := pc[len(pc)-1].Norm() / pc[0].Norm()
 	wantRatio := math.Pow(total, 1/float64(g))
 	for gi := 0; gi < g; gi++ {
@@ -58,12 +58,12 @@ func TestGroupBoundariesBoundRatio(t *testing.T) {
 func TestGroupBoundariesDegenerate(t *testing.T) {
 	// All points at one radius: equal-count fallback.
 	pc := geom.PointCloud{{X: 5}, {X: 5}, {X: 5}, {X: 5}}
-	b := groupBoundaries(pc, sortedByR(pc), 2)
+	b := groupBoundaries(normsOf(pc), 2)
 	if b[0] != 0 || b[1] != 2 || b[2] != 4 {
 		t.Fatalf("degenerate bounds = %v", b)
 	}
 	// Empty input.
-	b = groupBoundaries(nil, nil, 3)
+	b = groupBoundaries(nil, 3)
 	for _, v := range b {
 		if v != 0 {
 			t.Fatalf("empty bounds = %v", b)
@@ -71,7 +71,7 @@ func TestGroupBoundariesDegenerate(t *testing.T) {
 	}
 	// Single group.
 	pc2 := geom.PointCloud{{X: 1}, {X: 9}}
-	b = groupBoundaries(pc2, sortedByR(pc2), 1)
+	b = groupBoundaries(normsOf(pc2), 1)
 	if len(b) != 2 || b[1] != 2 {
 		t.Fatalf("single group bounds = %v", b)
 	}
@@ -83,7 +83,7 @@ func TestGroupBoundariesCoverAllPoints(t *testing.T) {
 		pc = append(pc, geom.Point{X: 3 + float64(r)*0.15})
 	}
 	for _, g := range []int{1, 2, 3, 6, 10} {
-		b := groupBoundaries(pc, sortedByR(pc), g)
+		b := groupBoundaries(normsOf(pc), g)
 		if b[0] != 0 || b[g] != len(pc) {
 			t.Fatalf("g=%d: bounds do not span input: %v", g, b)
 		}

@@ -261,3 +261,90 @@ func nan() float64 {
 	z := 0.0
 	return z / z
 }
+
+// TestPipelineSingleWorkerBypass: EnablePipeline(1) must not start a worker
+// pool — WriteFrame behaves serially (full FrameStats, OnStats before
+// return), output is byte-identical to a plain serial writer, and the
+// temporal/partial mutual exclusions still hold.
+func TestPipelineSingleWorkerBypass(t *testing.T) {
+	frames := testFrames(t, 2)
+	opts := dbgc.DefaultOptions(0.02)
+
+	var serial bytes.Buffer
+	ws, err := NewWriter(&serial, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range frames {
+		if _, err := ws.WriteFrame(pc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnablePipeline(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.pipe != nil {
+		t.Fatal("single-worker pipeline started a worker pool")
+	}
+	if err := w.EnablePipeline(1); err == nil {
+		t.Fatal("second EnablePipeline succeeded")
+	}
+	if err := w.EnableTemporal(2); err == nil {
+		t.Fatal("EnableTemporal after EnablePipeline(1) succeeded")
+	}
+	var statted int
+	w.OnStats = func(fs FrameStats) { statted++ }
+	for i, pc := range frames {
+		fs, err := w.WriteFrame(pc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.GeometryBytes == 0 || fs.Ratio == 0 {
+			t.Fatalf("frame %d: bypass should return full serial stats, got %+v", i, fs)
+		}
+		if statted != i+1 {
+			t.Fatalf("frame %d: OnStats not called before WriteFrame returned", i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), buf.Bytes()) {
+		t.Fatalf("bypass container differs: %d vs %d bytes", buf.Len(), serial.Len())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnablePipeline(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.pipe != nil {
+		t.Fatal("single-worker reader pipeline started a worker pool")
+	}
+	if err := r.EnablePartial(); err == nil {
+		t.Fatal("EnablePartial after EnablePipeline(1) succeeded")
+	}
+	for i := range frames {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != uint64(i) || len(f.Cloud) != len(frames[i]) {
+			t.Fatalf("frame %d: got seq %d with %d points", i, f.Seq, len(f.Cloud))
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}

@@ -72,9 +72,12 @@ type Writer struct {
 	interval int // 0 = all I-frames
 	prev     geom.PointCloud
 
-	// Pipelined mode (EnablePipeline).
-	pipe *framepipe.Pool[pipeJob, pipeFrame]
-	err  error // first compression or write error, sticky
+	// Pipelined mode (EnablePipeline). pipelined is set even when the
+	// worker pool is bypassed (workers <= 1) so the temporal mutual
+	// exclusion still holds.
+	pipelined bool
+	pipe      *framepipe.Pool[pipeJob, pipeFrame]
+	err       error // first compression or write error, sticky
 
 	// OnStats, when set, receives the definitive FrameStats of each frame
 	// as it completes. In pipelined mode it is called from later WriteFrame
@@ -107,15 +110,21 @@ type pipeFrame struct {
 // surface on a later WriteFrame or on Close. Set OnStats to observe the
 // definitive per-frame statistics. The caller must not mutate the cloud or
 // intensity slice after passing them in.
+//
+// With workers <= 1 no worker pool is started: frames compress serially on
+// the caller's goroutine exactly as without EnablePipeline (WriteFrame
+// returns full FrameStats), while the incompatibility with temporal mode
+// still applies.
 func (w *Writer) EnablePipeline(workers int) error {
 	if w.interval >= 2 {
 		return errors.New("stream: pipeline is incompatible with temporal mode")
 	}
-	if w.pipe != nil {
+	if w.pipelined {
 		return errors.New("stream: pipeline already enabled")
 	}
-	if workers < 1 {
-		workers = 1
+	w.pipelined = true
+	if workers <= 1 {
+		return nil // serial path already does what one worker would
 	}
 	w.pipe = framepipe.New(workers, 2*workers, func(j pipeJob) (pipeFrame, error) {
 		return encodeFrameBody(j)
@@ -164,7 +173,7 @@ func (w *Writer) EnableTemporal(interval int) error {
 	if interval < 2 {
 		return fmt.Errorf("stream: temporal interval must be >= 2, got %d", interval)
 	}
-	if w.pipe != nil {
+	if w.pipelined {
 		return errors.New("stream: temporal mode is incompatible with pipeline")
 	}
 	w.interval = interval
@@ -375,10 +384,13 @@ type Reader struct {
 	// partial recovers intact sections of damaged frames (EnablePartial).
 	partial bool
 
-	// Pipelined mode (EnablePipeline).
-	pipe    *framepipe.Pool[readJob, Frame]
-	stashP  *readJob // raw P-frame body waiting for in-flight frames
-	readErr error    // deferred read error, surfaced after the drain
+	// Pipelined mode (EnablePipeline). pipelined is set even when the
+	// worker pool is bypassed (workers <= 1) so the partial-mode mutual
+	// exclusion still holds.
+	pipelined bool
+	pipe      *framepipe.Pool[readJob, Frame]
+	stashP    *readJob // raw P-frame body waiting for in-flight frames
+	readErr   error    // deferred read error, surfaced after the drain
 }
 
 // readJob is one raw frame body handed to the decode pool.
@@ -399,7 +411,7 @@ func (r *Reader) SetLimits(l dbgc.DecodeLimits) { r.limits = l }
 // damaged frame also breaks the P-frame prediction chain until the next
 // clean I-frame. Incompatible with EnablePipeline.
 func (r *Reader) EnablePartial() error {
-	if r.pipe != nil {
+	if r.pipelined {
 		return errors.New("stream: partial mode is incompatible with pipeline")
 	}
 	r.partial = true
@@ -425,15 +437,19 @@ func newStreamBudget(l dbgc.DecodeLimits) *declimits.Budget {
 // and resumes after it, so all-I streams (the only kind the pipelined
 // Writer produces) parallelize freely while temporal streams degrade to
 // serial decoding without losing correctness.
+// With workers <= 1 no worker pool is started: frames decode serially on
+// the caller's goroutine exactly as without EnablePipeline, while the
+// incompatibility with partial mode still applies.
 func (r *Reader) EnablePipeline(workers int) error {
-	if r.pipe != nil {
+	if r.pipelined {
 		return errors.New("stream: pipeline already enabled")
 	}
 	if r.partial {
 		return errors.New("stream: pipeline is incompatible with partial mode")
 	}
-	if workers < 1 {
-		workers = 1
+	r.pipelined = true
+	if workers <= 1 {
+		return nil // serial path already does what one worker would
 	}
 	r.pipe = framepipe.New(workers, 2*workers, decodeIFrame)
 	return nil
