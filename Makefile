@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-json
+.PHONY: check build vet test race fuzz bench-json soak
 
 # check is the CI gate: vet + full test suite, then the data-race pass
 # (which includes the reliable-transport fault-injection tests).
@@ -23,6 +23,15 @@ race:
 # for this machine.
 bench-json:
 	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_5.json
+
+# Chaos soak: concurrent tenants through fault-injected links and
+# crash-prone disks with induced crash-restarts, under the race detector.
+# Fails if any acked frame is missing or corrupt after the final restart.
+# FAULTNET_SEED=n replays a specific fault schedule.
+SOAK_FLAGS ?= -tenants 4 -clients 2 -frames 400 -crashes 3 \
+	-shed-high 48 -shed-low 12 -out BENCH_load.json
+soak:
+	$(GO) run -race ./cmd/dbgc-loadgen $(SOAK_FLAGS)
 
 # Short fuzz sweeps over the wire decoder and every geometry decoder, each
 # running under DecodeLimits so a decompression bomb fails the target.

@@ -44,6 +44,7 @@ type compressedFrame struct {
 
 func main() {
 	server := flag.String("server", "localhost:7045", "dbgc-server address")
+	tenant := flag.String("tenant", "", "tenant name announced to the server (empty = server default tenant)")
 	sceneKind := flag.String("scene", string(lidar.City), "scene preset")
 	frames := flag.Int("frames", 10, "number of frames to capture and send")
 	q := flag.Float64("q", 0.02, "error bound in meters")
@@ -90,6 +91,7 @@ func main() {
 	} else {
 		cli, err := reliable.NewClient(reliable.Options{
 			Dial:        func() (net.Conn, error) { return net.Dial("tcp", *server) },
+			Tenant:      *tenant,
 			MaxInFlight: *window,
 			AckTimeout:  *ackTimeout,
 			Logf:        log.Printf,

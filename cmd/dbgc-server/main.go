@@ -7,22 +7,37 @@
 // undecodable, and a client disconnect or hostile payload never disturbs
 // other connections. SIGINT/SIGTERM drain active sessions before exit.
 //
+// Multi-tenant mode: with -store-dir, each tenant announced by a client
+// hello gets its own store shard under the directory (lazily opened, the
+// open-file count bounded by -open-stores); admission control (-tenants,
+// -max-sessions, -sessions-per-tenant), per-tenant ingest budgets, and
+// load shedding (-shed-high/-shed-low) keep one noisy tenant from starving
+// the rest. -fsync always batches fsyncs across tenants via group commit:
+// every ack still means durable, but concurrent frames share fsync rounds.
+//
 // Usage:
 //
-//	dbgc-server [-listen :7045] [-store frames.db] [-decompress]
-//	            [-partial] [-max-points n] [-mem-budget bytes]
+//	dbgc-server [-listen :7045] [-store frames.db | -store-dir dir]
+//	            [-decompress] [-parallel] [-partial]
+//	            [-max-points n] [-mem-budget bytes]
 //	            [-fsync off|always|<interval>] [-noack]
+//	            [-tenants n] [-max-sessions n] [-sessions-per-tenant n]
+//	            [-queue-depth n] [-tenant-budget n] [-open-stores n]
+//	            [-shed-high n] [-shed-low n] [-retry-after 200ms]
+//	            [-http :7046]
 //	            [-read-timeout 60s] [-drain-timeout 10s]
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,14 +53,26 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7045", "address to listen on")
-	storePath := flag.String("store", "frames.db", "frame store file")
+	storePath := flag.String("store", "frames.db", "frame store file (single-store mode; ignored with -store-dir)")
+	storeDir := flag.String("store-dir", "", "store directory for multi-tenant mode: one shard per tenant")
+	openStores := flag.Int("open-stores", 64, "with -store-dir: max concurrently open shard files (LRU-evicted)")
 	decompress := flag.Bool("decompress", false, "decompress frames before storing (default stores B directly)")
 	parallel := flag.Bool("parallel", false, "decode the sections of each frame on separate goroutines (with -decompress)")
 	partial := flag.Bool("partial", false, "with -decompress: store the intact sections of damaged frames and quarantine the rest instead of nacking")
 	maxPoints := flag.Int64("max-points", dbgc.DefaultDecodeLimits().MaxPoints, "decode limit: maximum points per frame (0 = unlimited)")
 	memBudget := flag.Int64("mem-budget", dbgc.DefaultDecodeLimits().MemBudget, "decode limit: decoded-memory budget per frame in bytes (0 = unlimited)")
-	fsync := flag.String("fsync", "off", `durability mode: "off" (OS decides), "always" (sync before every ack), or a periodic interval like "500ms"`)
+	fsync := flag.String("fsync", "off", `durability mode: "off" (OS decides), "always" (group-committed sync before every ack), or a periodic interval like "500ms"`)
 	noack := flag.Bool("noack", false, "legacy fire-and-forget mode: do not send acks/nacks")
+	maxTenants := flag.Int("tenants", 0, "max concurrently active tenants (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent connections server-wide (0 = unlimited)")
+	sessionsPerTenant := flag.Int("sessions-per-tenant", 0, "max concurrent sessions per tenant (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 16, "per-session ingest queue depth before busy nacks")
+	tenantBudget := flag.Int("tenant-budget", 64, "per-tenant in-flight frame budget across all its sessions")
+	shedHigh := flag.Int("shed-high", 0, "total in-flight frames above which the newest tenants are shed (0 = off)")
+	shedLow := flag.Int("shed-low", 0, "in-flight level at which shed tenants are readmitted (default shed-high/2)")
+	retryAfter := flag.Duration("retry-after", 200*time.Millisecond, "retry hint attached to busy nacks")
+	stallTimeout := flag.Duration("stall-timeout", 0, "cut sessions that stay backpressured this long without draining (0 = never)")
+	httpAddr := flag.String("http", "", "serve /healthz and /metrics on this address (empty = disabled)")
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "idle timeout per connection")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for sessions to finish on shutdown")
 	flag.Parse()
@@ -55,11 +82,20 @@ func main() {
 		log.Fatalf("bad -fsync: %v", err)
 	}
 
-	st, err := store.Open(*storePath)
+	stg, err := openStorage(*storeDir, *storePath, *openStores)
 	if err != nil {
-		log.Fatalf("opening store: %v", err)
+		log.Fatalf("opening storage: %v", err)
 	}
-	defer st.Close()
+	defer stg.Close()
+
+	// One commit group batches fsyncs across every tenant shard: "always"
+	// blocks each frame on its group round (ack ⇒ durable), an interval
+	// makes rounds periodic, off disables the group entirely.
+	var group *store.Group
+	if syncAlways || syncEvery > 0 {
+		group = store.NewGroup(syncEvery)
+		defer group.Close()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -68,36 +104,39 @@ func main() {
 
 	limits := dbgc.DecodeLimits{MaxPoints: *maxPoints, MemBudget: *memBudget}
 	srv := reliable.NewServer(reliable.ServerConfig{
-		Handle:      handler(st, *decompress, *parallel, *partial, syncAlways, limits),
-		Query:       querier(st),
-		Quarantine:  quarantiner(st),
-		ReadTimeout: *readTimeout,
-		NoAck:       *noack,
-		Logf:        log.Printf,
+		Handle:               handler(stg, group, *decompress, *parallel, *partial, syncAlways, limits),
+		Query:                querier(stg),
+		Quarantine:           quarantiner(stg),
+		ReadTimeout:          *readTimeout,
+		NoAck:                *noack,
+		MaxSessions:          *maxSessions,
+		MaxTenants:           *maxTenants,
+		MaxSessionsPerTenant: *sessionsPerTenant,
+		QueueDepth:           *queueDepth,
+		TenantBudget:         *tenantBudget,
+		RetryAfter:           *retryAfter,
+		StallTimeout:         *stallTimeout,
+		ShedHighWater:        *shedHigh,
+		ShedLowWater:         *shedLow,
+		Logf:                 log.Printf,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if syncEvery > 0 {
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = opsServer(*httpAddr, srv, stg)
 		go func() {
-			tick := time.NewTicker(syncEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					if err := st.Sync(); err != nil {
-						log.Printf("periodic fsync: %v", err)
-					}
-				case <-ctx.Done():
-					return
-				}
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
 			}
 		}()
+		log.Printf("ops endpoint on http://%s (/healthz, /metrics)", *httpAddr)
 	}
 
-	log.Printf("dbgc-server listening on %s, storing to %s (decompress=%v, fsync=%s, noack=%v)",
-		ln.Addr(), *storePath, *decompress, *fsync, *noack)
+	log.Printf("dbgc-server listening on %s, storage %s (decompress=%v, fsync=%s, noack=%v)",
+		ln.Addr(), stg, *decompress, *fsync, *noack)
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, reliable.ErrServerClosed) {
 			log.Printf("serve: %v", err)
@@ -112,10 +151,18 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("shutdown: %v (remaining connections closed)", err)
 	}
-	if err := st.Sync(); err != nil {
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if group != nil {
+		if err := group.Close(); err != nil {
+			log.Printf("final group commit: %v", err)
+		}
+	}
+	if err := stg.Sync(); err != nil {
 		log.Printf("final fsync: %v", err)
 	}
-	log.Printf("drained; %d frames stored", st.Len())
+	log.Printf("drained; %s", stg.Summary())
 }
 
 // parseFsync maps the -fsync flag onto (sync before every ack, periodic
@@ -135,15 +182,124 @@ func parseFsync(mode string) (always bool, every time.Duration, err error) {
 	}
 }
 
-// handler stores one data frame, decompressing first when asked. Decode
-// failures are reported as ErrBadFrame so the session quarantines the
-// payload; store failures are plain errors (nacked, retried, not
-// quarantined). In partial mode a frame with some damaged sections stores
-// what decoded and reports a PartialFrameError so the session quarantines
-// only the damaged bytes and still acks.
-func handler(st *store.Store, decompress, parallel, partial, syncAlways bool, limits dbgc.DecodeLimits) func(m netproto.Message) error {
+// storage routes tenants to stores: either everything into one legacy
+// store file, or one shard per tenant under a directory.
+type storage struct {
+	single *store.Store
+	shards *store.Shards
+	desc   string
+}
+
+func openStorage(dir, path string, openStores int) (*storage, error) {
+	if dir != "" {
+		sh, err := store.OpenShards(dir, openStores)
+		if err != nil {
+			return nil, err
+		}
+		return &storage{shards: sh, desc: "dir " + dir}, nil
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &storage{single: st, desc: "file " + path}, nil
+}
+
+func (s *storage) String() string { return s.desc }
+
+// acquire pins the tenant's store for the duration of one operation; the
+// returned release must be called (it unpins the shard for LRU eviction).
+func (s *storage) acquire(tenant string) (*store.Store, func(), error) {
+	if s.shards != nil {
+		st, err := s.shards.Acquire(tenant)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, func() { s.shards.Release(tenant) }, nil
+	}
+	return s.single, func() {}, nil
+}
+
+func (s *storage) Sync() error {
+	if s.shards != nil {
+		return s.shards.SyncAll()
+	}
+	return s.single.Sync()
+}
+
+func (s *storage) Close() error {
+	if s.shards != nil {
+		return s.shards.Close()
+	}
+	return s.single.Close()
+}
+
+// Summary describes the end state for the shutdown log line.
+func (s *storage) Summary() string {
+	if s.shards != nil {
+		tenants, err := s.shards.Tenants()
+		if err != nil {
+			return fmt.Sprintf("shard summary unavailable: %v", err)
+		}
+		return fmt.Sprintf("%d tenant shards on disk, %d open", len(tenants), s.shards.OpenCount())
+	}
+	return fmt.Sprintf("%d frames stored", s.single.Len())
+}
+
+// opsServer exposes /healthz and /metrics for monitoring and the load
+// harness.
+func opsServer(addr string, srv *reliable.Server, stg *storage) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := srv.Metrics().Snapshot()
+		out := struct {
+			reliable.MetricsSnapshot
+			OpenShards int    `json:"open_shards,omitempty"`
+			Storage    string `json:"storage"`
+		}{MetricsSnapshot: snap, Storage: stg.String()}
+		if stg.shards != nil {
+			out.OpenShards = stg.shards.OpenCount()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// commit makes one frame durable according to the fsync mode: group-commit
+// (blocking) for always, dirty-mark for interval mode, nothing when off.
+func commit(group *store.Group, st *store.Store, always bool) error {
+	switch {
+	case group == nil:
+		return nil
+	case always:
+		return group.Commit(st)
+	default:
+		group.Async(st)
+		return nil
+	}
+}
+
+// handler stores one data frame in its tenant's shard, decompressing first
+// when asked. Decode failures are reported as ErrBadFrame so the session
+// quarantines the payload; store failures are plain errors (nacked,
+// retried, not quarantined). In partial mode a frame with some damaged
+// sections stores what decoded and reports a PartialFrameError so the
+// session quarantines only the damaged bytes and still acks.
+func handler(stg *storage, group *store.Group, decompress, parallel, partial, syncAlways bool, limits dbgc.DecodeLimits) func(tenant string, m netproto.Message) error {
 	opts := dbgc.DecompressOptions{Parallel: parallel, Limits: limits}
-	return func(m netproto.Message) error {
+	return func(tenant string, m netproto.Message) error {
+		st, release, err := stg.acquire(tenant)
+		if err != nil {
+			return fmt.Errorf("tenant %s store: %w", tenant, err)
+		}
+		defer release()
 		switch m.Kind {
 		case netproto.KindCompressed:
 			if decompress && partial {
@@ -163,14 +319,12 @@ func handler(st *store.Store, decompress, parallel, partial, syncAlways bool, li
 					return err
 				}
 				if len(reasons) == 0 {
-					log.Printf("frame %d: %d bytes -> %d points, stored decompressed", m.Seq, len(m.Payload), len(pc))
+					log.Printf("%s frame %d: %d bytes -> %d points, stored decompressed", tenant, m.Seq, len(m.Payload), len(pc))
 					break
 				}
-				log.Printf("frame %d: partial recovery, stored %d points", m.Seq, len(pc))
-				if syncAlways {
-					if err := st.Sync(); err != nil {
-						return err
-					}
+				log.Printf("%s frame %d: partial recovery, stored %d points", tenant, m.Seq, len(pc))
+				if err := commit(group, st, syncAlways); err != nil {
+					return err
 				}
 				return &reliable.PartialFrameError{Reason: strings.Join(reasons, "; "), Damaged: damaged}
 			} else if decompress {
@@ -181,36 +335,38 @@ func handler(st *store.Store, decompress, parallel, partial, syncAlways bool, li
 				if err := st.Put(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
 					return err
 				}
-				log.Printf("frame %d: %d bytes -> %d points, stored decompressed", m.Seq, len(m.Payload), len(pc))
+				log.Printf("%s frame %d: %d bytes -> %d points, stored decompressed", tenant, m.Seq, len(m.Payload), len(pc))
 			} else {
 				if err := st.Put(m.Seq, store.KindCompressed, m.Payload); err != nil {
 					return err
 				}
-				log.Printf("frame %d: stored %d compressed bytes", m.Seq, len(m.Payload))
+				log.Printf("%s frame %d: stored %d compressed bytes", tenant, m.Seq, len(m.Payload))
 			}
 		case netproto.KindRaw:
 			if err := st.Put(m.Seq, store.KindDecompressed, m.Payload); err != nil {
 				return err
 			}
-			log.Printf("frame %d: stored %d raw bytes", m.Seq, len(m.Payload))
+			log.Printf("%s frame %d: stored %d raw bytes", tenant, m.Seq, len(m.Payload))
 		default:
 			return fmt.Errorf("%w: unexpected kind %d", reliable.ErrBadFrame, m.Kind)
 		}
-		if syncAlways {
-			return st.Sync()
-		}
-		return nil
+		return commit(group, st, syncAlways)
 	}
 }
 
-// querier answers spatial queries from the store.
-func querier(st *store.Store) func(q netproto.Query) ([]byte, error) {
-	return func(q netproto.Query) ([]byte, error) {
+// querier answers spatial queries from the tenant's shard.
+func querier(stg *storage) func(tenant string, q netproto.Query) ([]byte, error) {
+	return func(tenant string, q netproto.Query) ([]byte, error) {
+		st, release, err := stg.acquire(tenant)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		pts, err := answerQuery(st, q)
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("query frame %d: %d points in box", q.Seq, len(pts))
+		log.Printf("%s query frame %d: %d points in box", tenant, q.Seq, len(pts))
 		return encodeRaw(pts), nil
 	}
 }
@@ -220,26 +376,32 @@ func querier(st *store.Store) func(q netproto.Query) ([]byte, error) {
 // must not shadow a stored frame). Damaged sections of a partially
 // recovered frame land under the sequence number with the top bit set, so
 // they coexist with the frame's stored good sections.
-func quarantiner(st *store.Store) func(m netproto.Message, reason string) {
-	return func(m netproto.Message, reason string) {
+func quarantiner(stg *storage) func(tenant string, m netproto.Message, reason string) {
+	return func(tenant string, m netproto.Message, reason string) {
+		st, release, err := stg.acquire(tenant)
+		if err != nil {
+			log.Printf("%s frame %d: quarantine store unavailable: %v", tenant, m.Seq, err)
+			return
+		}
+		defer release()
 		if strings.HasPrefix(reason, "partial: ") {
 			key := m.Seq | 1<<63
 			if err := st.Put(key, store.KindQuarantined, m.Payload); err != nil {
-				log.Printf("frame %d: quarantining damaged sections failed: %v", m.Seq, err)
+				log.Printf("%s frame %d: quarantining damaged sections failed: %v", tenant, m.Seq, err)
 				return
 			}
-			log.Printf("frame %d: quarantined %d damaged section bytes under key %#x (%s)",
-				m.Seq, len(m.Payload), key, reason)
+			log.Printf("%s frame %d: quarantined %d damaged section bytes under key %#x (%s)",
+				tenant, m.Seq, len(m.Payload), key, reason)
 			return
 		}
 		if kind, ok := st.Kind(m.Seq); ok && kind != store.KindQuarantined {
 			return
 		}
 		if err := st.Put(m.Seq, store.KindQuarantined, m.Payload); err != nil {
-			log.Printf("frame %d: quarantine failed: %v", m.Seq, err)
+			log.Printf("%s frame %d: quarantine failed: %v", tenant, m.Seq, err)
 			return
 		}
-		log.Printf("frame %d: quarantined %d bytes (%s)", m.Seq, len(m.Payload), reason)
+		log.Printf("%s frame %d: quarantined %d bytes (%s)", tenant, m.Seq, len(m.Payload), reason)
 	}
 }
 

@@ -1,0 +1,250 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrDiskCrashed is returned by every operation on a Disk after Crash.
+var ErrDiskCrashed = errors.New("faultnet: disk crashed")
+
+// ErrInjectedWriteFault is the error returned by a WriteAt the injector
+// chose to fail. The write is wholly discarded, as if the device rejected
+// it before touching media.
+var ErrInjectedWriteFault = errors.New("faultnet: injected write fault")
+
+// DiskConfig sets the disk fault behaviour.
+type DiskConfig struct {
+	// Seed makes the crash/tear/fault schedule reproducible.
+	Seed int64
+	// WriteErrProb is the probability that a WriteAt fails outright with
+	// ErrInjectedWriteFault (the data never reaches the buffer).
+	WriteErrProb float64
+	// TearOnCrash makes Crash persist a random prefix of the first
+	// discarded write — a torn record, as a real power loss produces
+	// mid-sector.
+	TearOnCrash bool
+	// FlipOnTear additionally flips one random bit inside the torn
+	// fragment, modelling a corrupted partial sector.
+	FlipOnTear bool
+}
+
+// backingFile is the part of an *os.File the Disk needs.
+type backingFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(int64) error
+	Close() error
+}
+
+// Disk simulates a crash-prone disk around a backing file. Writes are
+// buffered in memory and reach the backing file only on Sync, so a Crash
+// can honestly model power loss: everything synced survives, a seeded
+// random prefix of the unsynced writes survives, the next write may be
+// torn mid-buffer, and the rest vanish. Reads merge the buffered overlay
+// so the writer observes its own unsynced data, exactly like the OS page
+// cache. Safe for concurrent use.
+type Disk struct {
+	mu      sync.Mutex
+	f       backingFile
+	size    int64 // logical size including unsynced extents
+	ops     []diskOp
+	rng     *rand.Rand
+	cfg     DiskConfig
+	crashed bool
+
+	// Faults counts injected write failures, for assertions.
+	faults int
+}
+
+type diskOp struct {
+	off  int64
+	data []byte
+}
+
+// NewDisk wraps f, whose current size must be baseSize (pass the result of
+// Stat/Seek; the store layer uses Size before any write).
+func NewDisk(f backingFile, baseSize int64, cfg DiskConfig) *Disk {
+	return &Disk{f: f, size: baseSize, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// WriteAt buffers the write; it reaches the backing file on the next Sync.
+func (d *Disk) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrDiskCrashed
+	}
+	if d.cfg.WriteErrProb > 0 && d.rng.Float64() < d.cfg.WriteErrProb {
+		d.faults++
+		return 0, ErrInjectedWriteFault
+	}
+	d.ops = append(d.ops, diskOp{off: off, data: append([]byte(nil), p...)})
+	if end := off + int64(len(p)); end > d.size {
+		d.size = end
+	}
+	return len(p), nil
+}
+
+// ReadAt reads through the overlay: backing file content patched with the
+// unsynced writes, newest last (matching page-cache visibility).
+func (d *Disk) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrDiskCrashed
+	}
+	if off >= d.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > d.size-off {
+		n = int(d.size - off)
+	}
+	// Base content (the backing file may be shorter than the overlay).
+	if bn, err := d.f.ReadAt(p[:n], off); err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return bn, err
+	}
+	for _, op := range d.ops {
+		lo, hi := op.off, op.off+int64(len(op.data))
+		if hi <= off || lo >= off+int64(n) {
+			continue
+		}
+		from, to := lo, hi
+		if from < off {
+			from = off
+		}
+		if to > off+int64(n) {
+			to = off + int64(n)
+		}
+		copy(p[from-off:to-off], op.data[from-lo:to-lo])
+	}
+	if int64(n) < int64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Sync flushes every buffered write to the backing file and syncs it; after
+// Sync returns, those writes survive any later Crash.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	for _, op := range d.ops {
+		if _, err := d.f.WriteAt(op.data, op.off); err != nil {
+			return err
+		}
+	}
+	d.ops = d.ops[:0]
+	return d.f.Sync()
+}
+
+// Size returns the logical size (synced plus unsynced extents).
+func (d *Disk) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrDiskCrashed
+	}
+	return d.size, nil
+}
+
+// Truncate shortens the logical file. Supported only with no unsynced
+// writes (the store truncates once, during rebuild, before writing).
+func (d *Disk) Truncate(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrDiskCrashed
+	}
+	if len(d.ops) > 0 {
+		return errors.New("faultnet: truncate with unsynced writes unsupported")
+	}
+	if err := d.f.Truncate(n); err != nil {
+		return err
+	}
+	d.size = n
+	return nil
+}
+
+// Close flushes and closes the backing file (a clean shutdown). Use Crash
+// to model power loss instead.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil
+	}
+	d.crashed = true // no further use either way
+	for _, op := range d.ops {
+		if _, err := d.f.WriteAt(op.data, op.off); err != nil {
+			d.f.Close()
+			return err
+		}
+	}
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}
+
+// Faults returns the number of injected write failures so far.
+func (d *Disk) Faults() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
+// Crash models power loss: a seeded random prefix of the unsynced writes
+// is persisted whole, the next one may be persisted torn (and bit-flipped,
+// per config), and the rest are discarded. The backing file is synced and
+// closed; every later operation fails with ErrDiskCrashed. The caller
+// reopens the path to model a process restart. Returns how many unsynced
+// writes survived whole and whether a torn fragment was left behind.
+func (d *Disk) Crash() (survived int, torn bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, false, ErrDiskCrashed
+	}
+	d.crashed = true
+	keep := 0
+	if len(d.ops) > 0 {
+		keep = d.rng.Intn(len(d.ops) + 1)
+	}
+	for _, op := range d.ops[:keep] {
+		if _, werr := d.f.WriteAt(op.data, op.off); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil && d.cfg.TearOnCrash && keep < len(d.ops) {
+		op := d.ops[keep]
+		if cut := d.rng.Intn(len(op.data) + 1); cut > 0 {
+			frag := append([]byte(nil), op.data[:cut]...)
+			if d.cfg.FlipOnTear {
+				frag[d.rng.Intn(len(frag))] ^= 1 << d.rng.Intn(8)
+			}
+			if _, werr := d.f.WriteAt(frag, op.off); werr == nil {
+				torn = true
+			} else {
+				err = werr
+			}
+		}
+	}
+	d.ops = nil
+	if serr := d.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return keep, torn, err
+}

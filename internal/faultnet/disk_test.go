@@ -1,0 +1,128 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openBacking(t *testing.T) (*os.File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "disk.bin")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, path
+}
+
+func TestDiskReadSeesUnsyncedWrites(t *testing.T) {
+	f, _ := openBacking(t)
+	d := NewDisk(f, 0, DiskConfig{Seed: SeedForTest(t, 1)})
+	defer d.Close()
+	if _, err := d.WriteAt([]byte("hello "), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("world"), 6); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if _, err := d.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("overlay read = %q", got)
+	}
+	if sz, _ := d.Size(); sz != 11 {
+		t.Fatalf("size = %d", sz)
+	}
+}
+
+func TestDiskCrashDropsUnsynced(t *testing.T) {
+	f, path := openBacking(t)
+	d := NewDisk(f, 0, DiskConfig{Seed: SeedForTest(t, 2)})
+	if _, err := d.WriteAt([]byte("durable!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(bytes.Repeat([]byte{0xff}, 64), 8); err != nil {
+		t.Fatal(err)
+	}
+	survived, _, err := d.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived > 1 {
+		t.Fatalf("crash kept %d unsynced writes, only had 1", survived)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) < 8 || string(after[:8]) != "durable!" {
+		t.Fatalf("synced prefix lost: %q", after)
+	}
+	if _, err := d.WriteAt([]byte("x"), 0); err != ErrDiskCrashed {
+		t.Fatalf("post-crash write: %v", err)
+	}
+}
+
+func TestDiskCrashTearsWrite(t *testing.T) {
+	// With TearOnCrash a discarded write may leave a partial fragment;
+	// over several seeds at least one crash must produce a strict tear.
+	sawTear := false
+	for seed := int64(0); seed < 20 && !sawTear; seed++ {
+		f, path := openBacking(t)
+		d := NewDisk(f, 0, DiskConfig{Seed: seed, TearOnCrash: true, FlipOnTear: true})
+		if _, err := d.WriteAt(bytes.Repeat([]byte{0xab}, 100), 0); err != nil {
+			t.Fatal(err)
+		}
+		_, torn, err := d.Crash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn && len(after) > 0 && len(after) < 100 {
+			sawTear = true
+		}
+		if len(after) > 100 {
+			t.Fatalf("crash grew the file to %d bytes", len(after))
+		}
+	}
+	if !sawTear {
+		t.Fatal("no seed in [0,20) produced a torn write")
+	}
+}
+
+func TestDiskInjectedWriteFault(t *testing.T) {
+	f, _ := openBacking(t)
+	d := NewDisk(f, 0, DiskConfig{Seed: SeedForTest(t, 3), WriteErrProb: 1})
+	defer d.Close()
+	if _, err := d.WriteAt([]byte("nope"), 0); err != ErrInjectedWriteFault {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if d.Faults() != 1 {
+		t.Fatalf("faults = %d", d.Faults())
+	}
+	if sz, _ := d.Size(); sz != 0 {
+		t.Fatalf("failed write extended the file to %d", sz)
+	}
+}
+
+func TestSeedForTestOverride(t *testing.T) {
+	t.Setenv("FAULTNET_SEED", "12345")
+	if got := SeedForTest(t, 7); got != 12345 {
+		t.Fatalf("env override ignored: %d", got)
+	}
+	t.Setenv("FAULTNET_SEED", "not-a-number")
+	if got := SeedForTest(t, 7); got != 7 {
+		t.Fatalf("bad env should fall back to default: %d", got)
+	}
+}

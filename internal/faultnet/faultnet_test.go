@@ -40,7 +40,7 @@ func pipePair(t *testing.T, in *Injector) (net.Conn, net.Conn) {
 }
 
 func TestCleanPassThrough(t *testing.T) {
-	in := New(Config{Seed: 1})
+	in := New(Config{Seed: SeedForTest(t, 1)})
 	c, s := pipePair(t, in)
 	msg := []byte("unfaulted bytes travel verbatim")
 	go func() {
@@ -60,7 +60,7 @@ func TestCleanPassThrough(t *testing.T) {
 }
 
 func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
-	in := New(Config{Seed: 7, FlipProb: 1})
+	in := New(Config{Seed: SeedForTest(t, 7), FlipProb: 1})
 	c, s := pipePair(t, in)
 	msg := bytes.Repeat([]byte{0x00}, 256)
 	go func() {
@@ -89,7 +89,7 @@ func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
 }
 
 func TestDropSeversConnection(t *testing.T) {
-	in := New(Config{Seed: 3, DropProb: 1})
+	in := New(Config{Seed: SeedForTest(t, 3), DropProb: 1})
 	c, _ := pipePair(t, in)
 	if _, err := c.Write(bytes.Repeat([]byte{1}, 64)); err != ErrInjectedDrop {
 		t.Fatalf("want ErrInjectedDrop, got %v", err)
@@ -104,7 +104,7 @@ func TestDropSeversConnection(t *testing.T) {
 }
 
 func TestPartialWriteStillDeliversEverything(t *testing.T) {
-	in := New(Config{Seed: 5, PartialProb: 1})
+	in := New(Config{Seed: SeedForTest(t, 5), PartialProb: 1})
 	c, s := pipePair(t, in)
 	msg := bytes.Repeat([]byte{0xab}, 1000)
 	go func() {

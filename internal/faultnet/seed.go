@@ -1,0 +1,39 @@
+package faultnet
+
+import (
+	"os"
+	"strconv"
+)
+
+// TB is the sliver of *testing.T the seed helper needs; declared here so
+// non-test binaries importing faultnet do not pull in package testing.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Failed() bool
+	Logf(format string, args ...any)
+}
+
+// SeedForTest resolves the fault-injection seed for a test: the
+// FAULTNET_SEED environment variable overrides def, and the effective seed
+// is logged once the test finishes if it failed — so any flaky-link
+// failure can be replayed exactly with
+//
+//	FAULTNET_SEED=<seed> go test -run <Test> ./...
+func SeedForTest(t TB, def int64) int64 {
+	t.Helper()
+	seed := def
+	if env := os.Getenv("FAULTNET_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			seed = v
+		} else {
+			t.Logf("faultnet: ignoring unparsable FAULTNET_SEED=%q: %v", env, err)
+		}
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("faultnet: failing fault schedule is replayable with FAULTNET_SEED=%d", seed)
+		}
+	})
+	return seed
+}

@@ -75,6 +75,27 @@ func (p *Pool[In, Out]) InFlight() int {
 // Submit queues one input. It blocks while the window is full.
 func (p *Pool[In, Out]) Submit(in In) {
 	p.sem <- struct{}{}
+	p.enqueue(in)
+}
+
+// TrySubmit queues one input only if the window has room, reporting whether
+// it did. It never blocks — the backpressure primitive for callers that
+// must refuse work instead of queueing it (e.g. an ingest session nacking
+// an overloaded tenant).
+func (p *Pool[In, Out]) TrySubmit(in In) bool {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return false
+	}
+	p.enqueue(in)
+	return true
+}
+
+// enqueue registers the result slot and hands the job to a worker. The
+// caller holds a sem token, so the jobs channel (cap == window) has room
+// and the send cannot block.
+func (p *Pool[In, Out]) enqueue(in In) {
 	slot := make(chan result[Out], 1)
 	p.mu.Lock()
 	p.pending = append(p.pending, slot)

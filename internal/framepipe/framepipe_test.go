@@ -183,3 +183,35 @@ func TestManyJobsStress(t *testing.T) {
 		t.Fatalf("drained %d results, want 500", next)
 	}
 }
+
+func TestTrySubmitRefusesWhenFull(t *testing.T) {
+	release := make(chan struct{})
+	p := New(1, 2, func(n int) (int, error) {
+		<-release
+		return n, nil
+	})
+	defer p.Close()
+	if !p.TrySubmit(1) || !p.TrySubmit(2) {
+		t.Fatal("TrySubmit refused with window room")
+	}
+	if p.TrySubmit(3) {
+		t.Fatal("TrySubmit accepted past the window")
+	}
+	if !p.Full() {
+		t.Fatal("pool should report full")
+	}
+	close(release)
+	for i := 1; i <= 2; i++ {
+		out, err, ok := p.Next()
+		if !ok || err != nil || out != i {
+			t.Fatalf("Next = (%d, %v, %v), want %d", out, err, ok, i)
+		}
+	}
+	// Draining opened the window back up.
+	if !p.TrySubmit(4) {
+		t.Fatal("TrySubmit refused after drain")
+	}
+	if out, _, ok := p.Next(); !ok || out != 4 {
+		t.Fatalf("Next after reopen = %d, %v", out, ok)
+	}
+}

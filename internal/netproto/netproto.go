@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // Version is the wire protocol version emitted by Write and required by
@@ -45,8 +48,52 @@ const (
 	// KindNack reports that the frame with the same sequence number was
 	// received but rejected (checksum or decode failure); the payload is
 	// a short human-readable reason. The sender should retransmit.
+	// Overloaded receivers encode a machine-readable backpressure hint in
+	// the reason (see NackBusy/BusyHint); senders honoring the hint wait
+	// before retransmitting.
 	KindNack byte = 7
+	// KindHello identifies the sender at the start of a connection; the
+	// payload is a tenant name (see ValidTenant). The receiver answers
+	// with an Ack (admitted) or Nack (rejected — possibly a NackBusy with
+	// a retry-after hint) carrying HelloSeq. A connection that sends data
+	// without a hello is assigned the default tenant.
+	KindHello byte = 8
 )
+
+// HelloSeq is the reserved sequence number carried by KindHello frames and
+// their ack/nack responses, so admission traffic can never collide with a
+// data frame's sequence number.
+const HelloSeq = ^uint64(0)
+
+// MaxTenantLen bounds a tenant name on the wire.
+const MaxTenantLen = 64
+
+// Hello builds a tenant-identification frame.
+func Hello(tenant string) Message {
+	return Message{Kind: KindHello, Seq: HelloSeq, Payload: []byte(tenant)}
+}
+
+// ValidTenant reports whether a tenant name is acceptable: 1..MaxTenantLen
+// bytes of [a-zA-Z0-9._-] not starting with a dot or dash, so the name can
+// double as a file name in a store directory.
+func ValidTenant(name string) bool {
+	if len(name) == 0 || len(name) > MaxTenantLen {
+		return false
+	}
+	if name[0] == '.' || name[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // MaxFrameSize bounds a single message; a raw HDL-64E frame is ~1.6 MB, so
 // 256 MB leaves room for any realistic capture while stopping corrupt
@@ -93,6 +140,38 @@ func Ack(seq uint64) Message { return Message{Kind: KindAck, Seq: seq} }
 // Nack builds a negative acknowledgement carrying a short reason.
 func Nack(seq uint64, reason string) Message {
 	return Message{Kind: KindNack, Seq: seq, Payload: []byte(reason)}
+}
+
+// busyPrefix marks a nack payload carrying a backpressure hint. The full
+// payload layout is "!busy <millis> <reason>".
+const busyPrefix = "!busy "
+
+// NackBusy builds a backpressure nack: the receiver is overloaded (queue
+// full, admission refused, shedding) and the sender should wait at least
+// retryAfter before retransmitting the frame (or redialing, for HelloSeq).
+func NackBusy(seq uint64, retryAfter time.Duration, reason string) Message {
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return Message{Kind: KindNack, Seq: seq,
+		Payload: []byte(busyPrefix + strconv.FormatInt(ms, 10) + " " + reason)}
+}
+
+// BusyHint parses the retry-after hint out of a nack payload. ok is false
+// for ordinary (non-backpressure) nacks.
+func BusyHint(payload []byte) (retryAfter time.Duration, reason string, ok bool) {
+	s := string(payload)
+	if !strings.HasPrefix(s, busyPrefix) {
+		return 0, "", false
+	}
+	s = s[len(busyPrefix):]
+	num, rest, _ := strings.Cut(s, " ")
+	ms, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, "", false
+	}
+	return time.Duration(ms) * time.Millisecond, rest, true
 }
 
 // Write serializes m to w.

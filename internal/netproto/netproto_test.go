@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 )
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -177,5 +178,58 @@ func TestOverTCP(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBusyHintRoundTrip(t *testing.T) {
+	m := NackBusy(42, 250*time.Millisecond, "tenant queue full")
+	if m.Kind != KindNack || m.Seq != 42 {
+		t.Fatalf("busy nack framed as %+v", m)
+	}
+	d, reason, ok := BusyHint(m.Payload)
+	if !ok || d != 250*time.Millisecond || reason != "tenant queue full" {
+		t.Fatalf("BusyHint = (%v, %q, %v)", d, reason, ok)
+	}
+	// Sub-millisecond hints round up so the sender always waits.
+	d, _, ok = BusyHint(NackBusy(1, time.Microsecond, "x").Payload)
+	if !ok || d < time.Millisecond {
+		t.Fatalf("tiny hint = (%v, %v)", d, ok)
+	}
+	// Ordinary nacks carry no hint.
+	if _, _, ok := BusyHint(Nack(1, "checksum").Payload); ok {
+		t.Fatal("plain nack parsed as busy")
+	}
+	if _, _, ok := BusyHint([]byte("!busy notanumber x")); ok {
+		t.Fatal("malformed hint parsed as busy")
+	}
+}
+
+func TestHelloFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Hello("sensor-fleet_7")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindHello || got.Seq != HelloSeq || string(got.Payload) != "sensor-fleet_7" {
+		t.Fatalf("hello round trip: %+v", got)
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	good := []string{"a", "default", "tenant-01", "A.B_c-9"}
+	for _, name := range good {
+		if !ValidTenant(name) {
+			t.Errorf("ValidTenant(%q) = false", name)
+		}
+	}
+	bad := []string{"", ".hidden", "-flag", "has space", "has/slash", "über",
+		string(make([]byte, MaxTenantLen+1))}
+	for _, name := range bad {
+		if ValidTenant(name) {
+			t.Errorf("ValidTenant(%q) = true", name)
+		}
 	}
 }

@@ -35,6 +35,11 @@ var errAckTimeout = errors.New("reliable: timed out waiting for ack")
 // with errors.Is(err, ErrFrameRejected) and carry on.
 var ErrFrameRejected = errors.New("reliable: frame rejected")
 
+// ErrAdmission marks a hard admission refusal: the server rejected this
+// client's hello outright (e.g. an invalid tenant name). Unlike a busy
+// refusal, retrying will not help.
+var ErrAdmission = errors.New("reliable: admission refused")
+
 // Options configures a Client. The zero value of every field except Dial
 // gets a sensible default.
 type Options struct {
@@ -60,6 +65,15 @@ type Options struct {
 	// FrameRetries is how many nacks a single frame survives before the
 	// client reports it undeliverable (default 64).
 	FrameRetries int
+	// Tenant, when non-empty, is announced with a hello frame on every
+	// (re)connection; the server keys storage and admission by it.
+	Tenant string
+	// BusyRetries is how many busy (backpressure) refusals a single frame
+	// tolerates before the client gives up on it (default 256). Busy
+	// refusals mean the server is alive but loaded, so the budget is far
+	// larger than FrameRetries and each refusal backs off before the
+	// retransmit.
+	BusyRetries int
 	// Seed feeds the jitter source; 0 means a time-independent fixed
 	// seed (fine for production, deterministic for tests).
 	Seed int64
@@ -72,7 +86,8 @@ type Stats struct {
 	Sent       int // frames handed to Send
 	Acked      int // frames acknowledged by the server
 	Nacked     int // negative acknowledgements received
-	Resent     int // retransmitted frames (nack or reconnect)
+	BusyNacked int // backpressure refusals (server busy, frame retried)
+	Resent     int // retransmitted frames (nack, busy retry, or reconnect)
 	Reconnects int // successful dials, including the first
 }
 
@@ -89,15 +104,20 @@ type Client struct {
 	pending []*pframe // sent but unacked, in send order
 	bySeq   map[uint64]*pframe
 	stalls  int // consecutive connection failures since the last ack
-	lastErr error
-	stats   Stats
-	closed  bool
+	// busyUntil is the earliest time the server asked us to retry after a
+	// busy refusal; sends and reconnects honor it before transmitting.
+	busyUntil time.Time
+	lastErr   error
+	stats     Stats
+	closed    bool
 }
 
 type pframe struct {
 	msg     netproto.Message
 	retries int
-	writes  int // wire transmissions so far; >1 means retransmitted
+	busy    int  // consecutive busy refusals awaiting a backed-off retry
+	writes  int  // wire transmissions so far; >1 means retransmitted
+	held    bool // refused busy; waiting out the backoff before resend
 }
 
 type event struct {
@@ -131,6 +151,9 @@ func NewClient(cfg Options) (*Client, error) {
 	}
 	if cfg.FrameRetries <= 0 {
 		cfg.FrameRetries = 64
+	}
+	if cfg.BusyRetries <= 0 {
+		cfg.BusyRetries = 256
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -177,7 +200,7 @@ func (c *Client) Send(m netproto.Message) error {
 		return err
 	}
 	for len(c.pending) >= c.cfg.MaxInFlight {
-		if err := c.awaitEvent(); err != nil {
+		if err := c.pump(); err != nil {
 			return err
 		}
 	}
@@ -187,8 +210,65 @@ func (c *Client) Send(m netproto.Message) error {
 // Flush blocks until every sent frame has been acknowledged.
 func (c *Client) Flush() error {
 	for len(c.pending) > 0 {
-		if err := c.awaitEvent(); err != nil {
+		if err := c.pump(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// pump makes one unit of progress toward draining pending frames: process
+// buffered events, retransmit busy-held frames once their backoff expires,
+// or block for the next ack. Held frames take priority over waiting —
+// the server will not ack them until we resend.
+func (c *Client) pump() error {
+	if err := c.drain(); err != nil {
+		return err
+	}
+	if len(c.pending) == 0 {
+		return nil // drain emptied the window; nothing left to wait for
+	}
+	if c.heldCount() > 0 {
+		return c.resendHeld()
+	}
+	return c.awaitEvent()
+}
+
+func (c *Client) heldCount() int {
+	n := 0
+	for _, f := range c.pending {
+		if f.held {
+			n++
+		}
+	}
+	return n
+}
+
+// resendHeld waits out the server's retry-after hint and retransmits every
+// busy-held frame in send order.
+func (c *Client) resendHeld() error {
+	if wait := time.Until(c.busyUntil); wait > 0 {
+		time.Sleep(wait)
+	}
+	// Events may have arrived during the sleep (e.g. acks for frames that
+	// were queued server-side); process them so we don't resend acked
+	// frames.
+	if err := c.drain(); err != nil {
+		return err
+	}
+	if c.conn == nil {
+		return c.reconnect()
+	}
+	for _, f := range c.pending {
+		if !f.held {
+			continue
+		}
+		f.held = false
+		c.stats.Resent++
+		f.writes++
+		if err := c.writeFrame(f.msg); err != nil {
+			c.dropConn(err)
+			return c.reconnect()
 		}
 	}
 	return nil
@@ -306,6 +386,9 @@ func (c *Client) handleEvent(ev event) error {
 	case netproto.KindAck:
 		c.ack(ev.msg.Seq)
 	case netproto.KindNack:
+		if retryAfter, reason, busy := netproto.BusyHint(ev.msg.Payload); busy {
+			return c.handleBusy(ev.msg.Seq, retryAfter, reason)
+		}
 		f, ok := c.bySeq[ev.msg.Seq]
 		if !ok {
 			return nil // late nack for a frame that was since acked
@@ -331,6 +414,53 @@ func (c *Client) handleEvent(ev event) error {
 		// Stray frame (e.g. a late query result): ignore.
 	}
 	return nil
+}
+
+// handleBusy reacts to a backpressure refusal: hold the frame, extend the
+// retry-after window with capped exponential growth and jitter, and — since
+// a busy server is very much alive — reset the stall counter. The frame is
+// retransmitted by resendHeld once the window passes.
+func (c *Client) handleBusy(seq uint64, retryAfter time.Duration, reason string) error {
+	c.stats.BusyNacked++
+	c.stalls = 0
+	f, ok := c.bySeq[seq]
+	if !ok {
+		// A busy refusal of the hello (or a frame acked in the
+		// meantime): remember the hint so reconnect waits it out.
+		c.extendBusy(retryAfter)
+		return nil
+	}
+	f.held = true
+	f.busy++
+	if f.busy > c.cfg.BusyRetries {
+		c.ack(seq)
+		c.stats.Acked-- // dropped, not delivered
+		return fmt.Errorf("%w: frame %d refused busy %d times (%s), giving up",
+			ErrFrameRejected, seq, f.busy, reason)
+	}
+	shift := f.busy - 1
+	if shift > 6 {
+		shift = 6
+	}
+	c.extendBusy(retryAfter << shift)
+	c.cfg.Logf("reliable: frame %d refused busy (%s), retry after %v (refusal %d)",
+		seq, reason, retryAfter, f.busy)
+	return nil
+}
+
+// extendBusy pushes busyUntil out by a jittered d, never pulling it in.
+func (c *Client) extendBusy(d time.Duration) {
+	if d <= 0 {
+		d = c.cfg.BaseBackoff
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+	until := time.Now().Add(d)
+	if until.After(c.busyUntil) {
+		c.busyUntil = until
+	}
 }
 
 func (c *Client) ack(seq uint64) {
@@ -367,14 +497,22 @@ func (c *Client) dropConn(reason error) {
 	c.conn.Close()
 	c.conn = nil
 	// The reader unblocks on the closed conn, sends its error, and
-	// closes the channel; consume the leftovers so it can exit.
-	for range c.events {
+	// closes the channel; consume the leftovers so it can exit. Busy
+	// hints among the discards still inform the reconnect wait.
+	for ev := range c.events {
+		if ev.err == nil && ev.msg.Kind == netproto.KindNack {
+			if retryAfter, _, busy := netproto.BusyHint(ev.msg.Payload); busy {
+				c.extendBusy(retryAfter)
+			}
+		}
 	}
 	c.events = nil
 }
 
 // reconnect dials (with backoff and jitter) until a connection accepts a
-// retransmit of every pending frame, or the stall budget runs out.
+// retransmit of every pending frame, or the stall budget runs out. When a
+// tenant is configured, each connection starts with a hello handshake; a
+// busy refusal of the hello backs off and redials, a hard refusal is fatal.
 func (c *Client) reconnect() error {
 	for {
 		if c.stalls >= c.cfg.MaxStalls {
@@ -382,6 +520,10 @@ func (c *Client) reconnect() error {
 		}
 		if c.stalls > 0 {
 			c.sleepBackoff(c.stalls)
+		}
+		// Honor any outstanding retry-after hint before dialing back in.
+		if wait := time.Until(c.busyUntil); wait > 0 {
+			time.Sleep(wait)
 		}
 		c.stalls++
 		conn, err := c.cfg.Dial()
@@ -394,6 +536,16 @@ func (c *Client) reconnect() error {
 		c.events = make(chan event, 2*c.cfg.MaxInFlight+8)
 		go readLoop(conn, c.events)
 		c.stats.Reconnects++
+		if err := c.helloHandshake(); err != nil {
+			if errors.Is(err, ErrAdmission) {
+				return err
+			}
+			continue // refused busy or connection died: back off, redial
+		}
+		// Reconnect retransmits everything, so no frame stays held.
+		for _, f := range c.pending {
+			f.held = false
+		}
 		resent := true
 		for _, f := range c.pending {
 			// A frame already on the wire once counts as a
@@ -412,6 +564,51 @@ func (c *Client) reconnect() error {
 		}
 		if resent {
 			return nil
+		}
+	}
+}
+
+// helloHandshake announces the configured tenant on a fresh connection and
+// waits for the server's verdict. nil means admitted (or no tenant set);
+// ErrAdmission means a hard refusal; any other error means this connection
+// is unusable (the caller redials after backoff).
+func (c *Client) helloHandshake() error {
+	if c.cfg.Tenant == "" {
+		return nil
+	}
+	if err := c.writeFrame(netproto.Hello(c.cfg.Tenant)); err != nil {
+		c.dropConn(err)
+		return err
+	}
+	timer := time.NewTimer(c.cfg.AckTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case ev, ok := <-c.events:
+			if !ok || ev.err != nil {
+				c.dropConn(ev.err)
+				return errAckTimeout
+			}
+			if ev.msg.Seq != netproto.HelloSeq {
+				continue // stray frame from a previous life; skip
+			}
+			switch ev.msg.Kind {
+			case netproto.KindAck:
+				return nil
+			case netproto.KindNack:
+				if retryAfter, reason, busy := netproto.BusyHint(ev.msg.Payload); busy {
+					c.stats.BusyNacked++
+					c.extendBusy(retryAfter)
+					c.cfg.Logf("reliable: hello refused busy (%s), retry after %v", reason, retryAfter)
+					c.dropConn(nil)
+					return errAckTimeout
+				}
+				c.dropConn(nil)
+				return fmt.Errorf("%w: tenant %q: %s", ErrAdmission, c.cfg.Tenant, ev.msg.Payload)
+			}
+		case <-timer.C:
+			c.dropConn(errAckTimeout)
+			return errAckTimeout
 		}
 	}
 }

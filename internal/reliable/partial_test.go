@@ -37,13 +37,13 @@ func TestPartialFrameAckedAndQuarantined(t *testing.T) {
 	var payloads [][]byte
 	damaged := []byte("damaged-section-bytes")
 	addr := startPartialServer(t, ServerConfig{
-		Handle: func(m netproto.Message) error {
+		Handle: func(_ string, m netproto.Message) error {
 			if bytes.HasPrefix(m.Payload, []byte("PART")) {
 				return &PartialFrameError{Reason: "sparse: crc mismatch", Damaged: damaged}
 			}
 			return nil
 		},
-		Quarantine: func(m netproto.Message, reason string) {
+		Quarantine: func(_ string, m netproto.Message, reason string) {
 			mu.Lock()
 			reasons = append(reasons, reason)
 			payloads = append(payloads, m.Payload)
@@ -87,7 +87,7 @@ func TestPartialFrameAckedAndQuarantined(t *testing.T) {
 // ErrFrameRejected, and the client stays usable for the rest of the stream.
 func TestFrameRejectedSentinel(t *testing.T) {
 	addr := startPartialServer(t, ServerConfig{
-		Handle: func(m netproto.Message) error {
+		Handle: func(_ string, m netproto.Message) error {
 			if bytes.HasPrefix(m.Payload, []byte("BAD")) {
 				return errors.New("undecodable")
 			}

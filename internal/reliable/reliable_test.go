@@ -35,7 +35,7 @@ func startServer(t *testing.T, cfg ServerConfig) (string, *store.Store, *Server)
 		t.Fatal(err)
 	}
 	if cfg.Handle == nil {
-		cfg.Handle = func(m netproto.Message) error {
+		cfg.Handle = func(_ string, m netproto.Message) error {
 			return st.Put(m.Seq, store.KindCompressed, m.Payload)
 		}
 	}
@@ -139,13 +139,13 @@ func TestBadFrameQuarantined(t *testing.T) {
 	}
 	defer st.Close()
 	cfg := ServerConfig{
-		Handle: func(m netproto.Message) error {
+		Handle: func(_ string, m netproto.Message) error {
 			if bytes.HasPrefix(m.Payload, []byte("BAD")) {
 				return fmt.Errorf("%w: not a dbgc stream", ErrBadFrame)
 			}
 			return st.Put(m.Seq, store.KindCompressed, m.Payload)
 		},
-		Quarantine: func(m netproto.Message, reason string) {
+		Quarantine: func(_ string, m netproto.Message, reason string) {
 			mu.Lock()
 			quarantined = append(quarantined, m.Seq)
 			mu.Unlock()
@@ -209,7 +209,7 @@ func TestHandlerPanicIsolated(t *testing.T) {
 	seen := make(map[uint64]int)
 	stored := make(map[uint64][]byte)
 	cfg := ServerConfig{
-		Handle: func(m netproto.Message) error {
+		Handle: func(_ string, m netproto.Message) error {
 			mu.Lock()
 			seen[m.Seq]++
 			first := seen[m.Seq] == 1
@@ -340,7 +340,7 @@ func TestReconnectBackoffToLateServer(t *testing.T) {
 			return
 		}
 		srv := NewServer(ServerConfig{
-			Handle: func(m netproto.Message) error {
+			Handle: func(_ string, m netproto.Message) error {
 				mu.Lock()
 				stored[m.Seq] = append([]byte(nil), m.Payload...)
 				mu.Unlock()
@@ -386,7 +386,7 @@ func TestReconnectBackoffToLateServer(t *testing.T) {
 // traffic interleaved.
 func TestQueryRoundTrip(t *testing.T) {
 	addr, _, _ := startServer(t, ServerConfig{
-		Query: func(q netproto.Query) ([]byte, error) {
+		Query: func(_ string, q netproto.Query) ([]byte, error) {
 			return []byte(fmt.Sprintf("result-for-%d", q.Seq)), nil
 		},
 	})

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbgc/internal/framepipe"
 	"dbgc/internal/netproto"
 )
 
@@ -22,6 +23,15 @@ var ErrServerClosed = errors.New("reliable: server closed")
 // any other handler error (e.g. storage trouble) is nacked without
 // quarantine because retrying may genuinely succeed.
 var ErrBadFrame = errors.New("reliable: bad frame")
+
+// errStalled ends a session whose ingest queue stayed full past the stall
+// deadline without draining a single frame — a slow or wedged consumer
+// should reconnect and back off rather than pin a session slot.
+var errStalled = errors.New("reliable: session stalled under backpressure")
+
+// errCloseSession signals an intentional, clean session end (admission
+// refusal, shed tenant fully drained). Run maps it to a nil return.
+var errCloseSession = errors.New("reliable: close session")
 
 // PartialFrameError is returned (possibly wrapped) by a handler that
 // salvaged part of a frame: some sections decoded and were stored, the
@@ -44,27 +54,60 @@ func (e *PartialFrameError) Error() string {
 // ServerConfig configures Sessions. Handle is required; everything else
 // defaults.
 type ServerConfig struct {
-	// Handle processes one data frame (KindCompressed or KindRaw). A
-	// nil return acks the frame; an error nacks it. Wrap content errors
-	// in ErrBadFrame to also quarantine the payload. Must be safe for
-	// concurrent use across sessions and idempotent per sequence number
-	// (retransmits can redeliver).
-	Handle func(m netproto.Message) error
-	// Query, when set, answers KindQuery frames; the returned payload
-	// travels back as KindQueryResult. A nil Query nacks queries.
-	Query func(q netproto.Query) ([]byte, error)
+	// Handle processes one data frame (KindCompressed or KindRaw) for a
+	// tenant. A nil return acks the frame; an error nacks it. Wrap
+	// content errors in ErrBadFrame to also quarantine the payload. Must
+	// be safe for concurrent use across sessions and idempotent per
+	// (tenant, sequence number) — retransmits can redeliver.
+	Handle func(tenant string, m netproto.Message) error
+	// Query, when set, answers KindQuery frames against a tenant's data;
+	// the returned payload travels back as KindQueryResult. A nil Query
+	// nacks queries.
+	Query func(tenant string, q netproto.Query) ([]byte, error)
 	// Quarantine, when set, receives frames that failed validation (wire
 	// checksum mismatch, ErrBadFrame, or a handler panic) before they
-	// are nacked.
-	Quarantine func(m netproto.Message, reason string)
+	// are nacked. Must be safe for concurrent use.
+	Quarantine func(tenant string, m netproto.Message, reason string)
 	// ReadTimeout is the maximum idle time between frames before the
 	// session is considered abandoned (default 60s).
 	ReadTimeout time.Duration
 	// WriteTimeout is the deadline for writing a response (default 10s).
 	WriteTimeout time.Duration
 	// NoAck suppresses ack/nack responses for wire compatibility with
-	// fire-and-forget clients; fault isolation still applies.
+	// fire-and-forget clients; fault isolation still applies. With no
+	// way to signal backpressure, a full ingest queue blocks the reader
+	// instead (TCP flow control becomes the backpressure).
 	NoAck bool
+
+	// Admission control. Zero values mean unlimited.
+	//
+	// MaxSessions caps concurrent connections server-wide; excess
+	// connections are refused at accept with a busy nack.
+	MaxSessions int
+	// MaxTenants caps concurrently active tenants.
+	MaxTenants int
+	// MaxSessionsPerTenant caps concurrent sessions per tenant.
+	MaxSessionsPerTenant int
+
+	// Backpressure. QueueDepth bounds each session's ingest queue
+	// (default 16); TenantBudget bounds a tenant's in-flight frames
+	// across all its sessions (default 64). A frame arriving past either
+	// bound is refused with a busy nack carrying RetryAfter (default
+	// 200ms) as the retry hint.
+	QueueDepth   int
+	TenantBudget int
+	RetryAfter   time.Duration
+	// StallTimeout, when positive, ends a session whose queue has been
+	// refusing frames for this long without draining any — the client
+	// reconnects and backs off instead of hammering a wedged session.
+	StallTimeout time.Duration
+
+	// Load shedding. When total in-flight frames exceed ShedHighWater,
+	// the newest tenants are shed (drain, then refuse) until load falls
+	// below ShedLowWater (default HighWater/2). Zero disables shedding.
+	ShedHighWater int
+	ShedLowWater  int
+
 	// Logf, when set, receives per-session diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +119,15 @@ func (cfg *ServerConfig) fillDefaults() {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.TenantBudget <= 0 {
+		cfg.TenantBudget = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 200 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -84,6 +136,8 @@ func (cfg *ServerConfig) fillDefaults() {
 // Server accepts connections and runs a Session per connection.
 type Server struct {
 	cfg        ServerConfig
+	tenants    *registry
+	metrics    Metrics
 	mu         sync.Mutex
 	ln         net.Listener
 	conns      map[net.Conn]struct{}
@@ -94,12 +148,17 @@ type Server struct {
 // NewServer builds a server around the given config.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.fillDefaults()
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	return &Server{cfg: cfg, tenants: newRegistry(), conns: make(map[net.Conn]struct{})}
 }
+
+// Metrics exposes the server's live counters (for /metrics endpoints and
+// load harnesses).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 // Serve accepts connections on ln until Shutdown closes it, running each
 // connection's Session on its own goroutine. A session failure never
-// affects other sessions.
+// affects other sessions. Connections over MaxSessions are turned away
+// with a busy nack before a session ever starts.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
@@ -115,12 +174,26 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.track(conn, true)
-		s.wg.Add(1)
+		if s.cfg.MaxSessions > 0 && s.connCount() >= s.cfg.MaxSessions {
+			s.metrics.SessionsRejected.Add(1)
+			if !s.begin(conn, false) {
+				conn.Close()
+				return ErrServerClosed
+			}
+			go func() {
+				defer s.wg.Done()
+				s.refuse(conn)
+			}()
+			continue
+		}
+		if !s.begin(conn, true) {
+			conn.Close()
+			return ErrServerClosed
+		}
 		go func() {
 			defer s.wg.Done()
 			defer s.track(conn, false)
-			sess := NewSession(conn, s.cfg)
+			sess := newSession(conn, s.cfg, s)
 			if err := sess.Run(); err != nil {
 				s.cfg.Logf("reliable: client %s: %v", conn.RemoteAddr(), err)
 			}
@@ -128,12 +201,39 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// begin registers one connection goroutine. The wg.Add is ordered against
+// Shutdown's wg.Wait through s.mu (Add must not race a Wait that observed
+// a zero counter), so it returns false once shutdown has begun.
+func (s *Server) begin(conn net.Conn, track bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inShutdown.Load() {
+		return false
+	}
+	if track {
+		s.conns[conn] = struct{}{}
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// refuse turns away a connection over the session limit: a busy nack on
+// the hello sequence number tells a reliable client when to come back.
+func (s *Server) refuse(conn net.Conn) {
+	defer conn.Close()
+	if s.cfg.NoAck {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = netproto.Write(conn, netproto.NackBusy(netproto.HelloSeq, 2*s.cfg.RetryAfter, "server session limit"))
+}
+
 // Shutdown stops accepting connections and waits for active sessions to
 // drain. If ctx expires first, remaining connections are closed forcibly
 // and ctx.Err is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.inShutdown.Store(true)
 	s.mu.Lock()
+	s.inShutdown.Store(true) // under s.mu: orders against begin's wg.Add
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -167,20 +267,58 @@ func (s *Server) track(conn net.Conn, add bool) {
 	}
 }
 
-// Session serves one connection: reads frames, dispatches them, and
-// responds with acks/nacks. Frame-level failures (checksum, decode,
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Session serves one connection: reads frames, queues them on the bounded
+// per-tenant ingest pipeline, and responds with acks/nacks from a worker
+// that drains the queue in order. Frame-level failures (checksum, decode,
 // handler panic) are isolated — nacked and quarantined — while
 // framing-level failures (corrupt header, torn stream) end the session so
-// the client can reconnect.
+// the client can reconnect. Overload (queue or tenant budget full) is
+// answered with busy nacks carrying a retry-after hint.
 type Session struct {
 	conn net.Conn
 	cfg  ServerConfig
+	srv  *Server // nil for standalone sessions
+
+	tenant *tenant // nil until bound (and always nil when srv is nil)
+	bound  string  // tenant name after binding, "" before
+
+	pipe       *framepipe.Pool[ingestJob, ingestDone]
+	notify     chan struct{}
+	workerDone chan struct{}
+	writeMu    sync.Mutex
+
+	lastDrain atomic.Int64 // unix nanos of the last queue drain (stall detection)
 }
 
-// NewSession wraps an accepted connection.
+// ingestJob carries one data frame plus its arrival time through the
+// session pipeline.
+type ingestJob struct {
+	m  netproto.Message
+	at time.Time
+}
+
+// ingestDone is the pipeline output: the frame and its handler verdict.
+type ingestDone struct {
+	m   netproto.Message
+	at  time.Time
+	err error
+}
+
+// NewSession wraps an accepted connection in a standalone session (no
+// admission control or tenant budgets — those need a Server).
 func NewSession(conn net.Conn, cfg ServerConfig) *Session {
 	cfg.fillDefaults()
-	return &Session{conn: conn, cfg: cfg}
+	return newSession(conn, cfg, nil)
+}
+
+func newSession(conn net.Conn, cfg ServerConfig, srv *Server) *Session {
+	return &Session{conn: conn, cfg: cfg, srv: srv}
 }
 
 // Run serves the connection until the client says goodbye, disconnects, or
@@ -188,12 +326,36 @@ func NewSession(conn net.Conn, cfg ServerConfig) *Session {
 // the dispatch path) is caught and reported as an error rather than
 // crashing the server.
 func (s *Session) Run() (err error) {
-	defer s.conn.Close()
+	if s.srv != nil {
+		s.srv.metrics.SessionsOpened.Add(1)
+		s.srv.metrics.ActiveSessions.Add(1)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("reliable: session panic: %v", r)
 		}
+		// On an error exit (torn framing, stall, panic) close the
+		// connection immediately so the peer stops waiting on a dead
+		// session; the drain below may be pinned by a wedged handler.
+		if err != nil {
+			s.conn.Close()
+		}
+		// Drain the pipeline before the clean-exit close: frames
+		// accepted before a Bye still get their acks, bounded by
+		// WriteTimeout if the peer is already gone.
+		if s.notify != nil {
+			close(s.notify)
+			<-s.workerDone
+			s.pipe.Close()
+		}
+		s.conn.Close()
+		if s.srv != nil {
+			s.srv.unbind(s.tenant)
+			s.srv.metrics.SessionsClosed.Add(1)
+			s.srv.metrics.ActiveSessions.Add(-1)
+		}
 	}()
+	s.lastDrain.Store(time.Now().UnixNano())
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			s.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -219,29 +381,18 @@ func (s *Session) Run() (err error) {
 		switch m.Kind {
 		case netproto.KindBye:
 			return nil
-		case netproto.KindCompressed, netproto.KindRaw:
-			if herr := s.dispatch(m); herr != nil {
-				var pfe *PartialFrameError
-				if errors.As(herr, &pfe) {
-					// Partial salvage: quarantine only the damaged
-					// section bytes and ack — the corruption is at
-					// the source, so retransmitting cannot fix it.
-					s.cfg.Logf("reliable: frame %d partially recovered: %s", m.Seq, pfe.Reason)
-					s.quarantine(netproto.Message{Kind: m.Kind, Seq: m.Seq, Payload: pfe.Damaged},
-						"partial: "+pfe.Reason)
-					if err := s.respond(netproto.Ack(m.Seq)); err != nil {
-						return err
-					}
-					continue
+		case netproto.KindHello:
+			if err := s.hello(m); err != nil {
+				if errors.Is(err, errCloseSession) {
+					return nil
 				}
-				reason := herr.Error()
-				s.cfg.Logf("reliable: frame %d rejected: %v", m.Seq, herr)
-				if err := s.respond(netproto.Nack(m.Seq, clip(reason))); err != nil {
-					return err
-				}
-				continue
+				return err
 			}
-			if err := s.respond(netproto.Ack(m.Seq)); err != nil {
+		case netproto.KindCompressed, netproto.KindRaw:
+			if err := s.ingest(m); err != nil {
+				if errors.Is(err, errCloseSession) {
+					return nil
+				}
 				return err
 			}
 		case netproto.KindQuery:
@@ -258,6 +409,214 @@ func (s *Session) Run() (err error) {
 	}
 }
 
+// hello binds the session to the named tenant. Rebinding after data has
+// flowed is refused (stores are already keyed).
+func (s *Session) hello(m netproto.Message) error {
+	name := string(m.Payload)
+	if s.bound != "" {
+		if name == s.bound {
+			return s.respond(netproto.Ack(netproto.HelloSeq)) // idempotent re-hello
+		}
+		return s.respond(netproto.Nack(netproto.HelloSeq, "already bound to another tenant"))
+	}
+	if err := s.bind(name); err != nil {
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			s.cfg.Logf("reliable: refusing %s (%s): %s", s.conn.RemoteAddr(), name, adm.reason)
+			if rerr := s.respond(netproto.NackBusy(netproto.HelloSeq, adm.retryAfter, adm.reason)); rerr != nil {
+				return rerr
+			}
+			return errCloseSession // polite refusal
+		}
+		if rerr := s.respond(netproto.Nack(netproto.HelloSeq, clip(err.Error()))); rerr != nil {
+			return rerr
+		}
+		return errCloseSession // misconfigured client: no point serving on
+	}
+	return s.respond(netproto.Ack(netproto.HelloSeq))
+}
+
+// bind admits the session under the given tenant name and starts the
+// ingest pipeline. Standalone sessions (no server) bind trivially.
+func (s *Session) bind(name string) error {
+	if s.srv != nil {
+		t, err := s.srv.admit(name)
+		if err != nil {
+			return err
+		}
+		s.tenant = t
+	}
+	s.bound = name
+	s.pipe = framepipe.New(1, s.cfg.QueueDepth, s.process)
+	s.notify = make(chan struct{}, s.cfg.QueueDepth)
+	s.workerDone = make(chan struct{})
+	go s.respondLoop()
+	return nil
+}
+
+// ensureBound lazily binds hello-less connections to the default tenant.
+func (s *Session) ensureBound(seq uint64) error {
+	if s.bound != "" {
+		return nil
+	}
+	if err := s.bind(DefaultTenant); err != nil {
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			if rerr := s.respond(netproto.NackBusy(seq, adm.retryAfter, adm.reason)); rerr != nil {
+				return rerr
+			}
+			return fmt.Errorf("reliable: default-tenant admission: %s", adm.reason)
+		}
+		return err
+	}
+	return nil
+}
+
+// ingest admits one data frame into the bounded pipeline, or refuses it
+// with a busy nack when the session queue or the tenant budget is full.
+func (s *Session) ingest(m netproto.Message) error {
+	if err := s.ensureBound(m.Seq); err != nil {
+		return err
+	}
+	if s.srv != nil {
+		s.srv.metrics.FramesIn.Add(1)
+		s.srv.metrics.BytesIn.Add(uint64(len(m.Payload)))
+	}
+	// A shedding tenant drains: queued frames finish and ack, new ones
+	// are refused, and once the queue is empty the session closes so the
+	// client re-dials into admission control.
+	if s.tenant != nil && s.tenant.isShedding() {
+		if err := s.busyNack(m.Seq, "tenant shedding"); err != nil {
+			return err
+		}
+		if s.pipe.InFlight() == 0 {
+			s.cfg.Logf("reliable: session %s (%s) shed", s.conn.RemoteAddr(), s.bound)
+			return errCloseSession // drained: close now
+		}
+		return nil // still draining queued frames
+	}
+	if s.tenant != nil && !s.tenant.tryAcquire(s.cfg.TenantBudget) {
+		return s.overloaded(m.Seq, "tenant queue full")
+	}
+	if s.srv != nil {
+		s.srv.noteInflight(1)
+	}
+	if s.cfg.NoAck {
+		// No wire backpressure possible: block the reader, letting TCP
+		// flow control push back instead.
+		s.pipe.Submit(ingestJob{m: m, at: time.Now()})
+		s.notify <- struct{}{}
+		return nil
+	}
+	if !s.pipe.TrySubmit(ingestJob{m: m, at: time.Now()}) {
+		if s.tenant != nil {
+			s.tenant.release()
+		}
+		if s.srv != nil {
+			s.srv.noteInflight(-1)
+		}
+		return s.overloaded(m.Seq, "session queue full")
+	}
+	s.notify <- struct{}{}
+	return nil
+}
+
+// overloaded refuses one frame with a busy nack and enforces the stall
+// deadline: a session that keeps arriving at a full queue without the
+// worker draining anything is cut loose.
+func (s *Session) overloaded(seq uint64, reason string) error {
+	if err := s.busyNack(seq, reason); err != nil {
+		return err
+	}
+	if s.cfg.StallTimeout > 0 {
+		last := time.Unix(0, s.lastDrain.Load())
+		if time.Since(last) > s.cfg.StallTimeout {
+			if s.srv != nil {
+				s.srv.metrics.SessionsStalled.Add(1)
+			}
+			return errStalled
+		}
+	}
+	return nil
+}
+
+func (s *Session) busyNack(seq uint64, reason string) error {
+	if s.srv != nil {
+		s.srv.metrics.BusyNacked.Add(1)
+	}
+	return s.respond(netproto.NackBusy(seq, s.cfg.RetryAfter, reason))
+}
+
+// process is the pipeline function: it runs the handler (panic-isolated)
+// off the reader goroutine.
+func (s *Session) process(j ingestJob) (ingestDone, error) {
+	return ingestDone{m: j.m, at: j.at, err: s.dispatch(j.m)}, nil
+}
+
+// respondLoop drains handler results in submission order and writes the
+// ack/nack for each. One notify token is sent per submitted job, so the
+// range loop drains every queued frame before exiting at session close.
+func (s *Session) respondLoop() {
+	defer close(s.workerDone)
+	for range s.notify {
+		r, _, ok := s.pipe.Next()
+		if !ok {
+			continue
+		}
+		s.finish(r)
+	}
+}
+
+// finish answers one handled frame and releases its backpressure tokens.
+func (s *Session) finish(r ingestDone) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.cfg.Logf("reliable: finish panic on frame %d: %v", r.m.Seq, p)
+		}
+		s.lastDrain.Store(time.Now().UnixNano())
+		if s.tenant != nil {
+			s.tenant.release()
+		}
+		if s.srv != nil {
+			s.srv.noteInflight(-1)
+			s.srv.metrics.ObserveLatency(time.Since(r.at))
+		}
+	}()
+	herr := r.err
+	if herr == nil {
+		if s.srv != nil {
+			s.srv.metrics.Acked.Add(1)
+		}
+		if err := s.respond(netproto.Ack(r.m.Seq)); err != nil {
+			s.conn.Close() // reader notices and ends the session
+		}
+		return
+	}
+	var pfe *PartialFrameError
+	if errors.As(herr, &pfe) {
+		// Partial salvage: quarantine only the damaged section bytes
+		// and ack — the corruption is at the source, so retransmitting
+		// cannot fix it.
+		s.cfg.Logf("reliable: frame %d partially recovered: %s", r.m.Seq, pfe.Reason)
+		s.quarantine(netproto.Message{Kind: r.m.Kind, Seq: r.m.Seq, Payload: pfe.Damaged},
+			"partial: "+pfe.Reason)
+		if s.srv != nil {
+			s.srv.metrics.Acked.Add(1)
+		}
+		if err := s.respond(netproto.Ack(r.m.Seq)); err != nil {
+			s.conn.Close()
+		}
+		return
+	}
+	s.cfg.Logf("reliable: frame %d rejected: %v", r.m.Seq, herr)
+	if s.srv != nil {
+		s.srv.metrics.Nacked.Add(1)
+	}
+	if err := s.respond(netproto.Nack(r.m.Seq, clip(herr.Error()))); err != nil {
+		s.conn.Close()
+	}
+}
+
 // dispatch runs the handler with its own panic isolation: a decoder blowing
 // up on a hostile payload costs one nack, not the connection.
 func (s *Session) dispatch(m netproto.Message) (err error) {
@@ -270,14 +629,27 @@ func (s *Session) dispatch(m netproto.Message) (err error) {
 	if s.cfg.Handle == nil {
 		return errors.New("no handler")
 	}
-	err = s.cfg.Handle(m)
+	err = s.cfg.Handle(s.tenantName(), m)
 	if err != nil && errors.Is(err, ErrBadFrame) {
 		s.quarantine(m, err.Error())
 	}
 	return err
 }
 
+// tenantName is the bound tenant, or the default for sessions that have
+// not (yet) bound — checksum quarantines can fire before the first data
+// frame binds the session.
+func (s *Session) tenantName() string {
+	if s.bound == "" {
+		return DefaultTenant
+	}
+	return s.bound
+}
+
 func (s *Session) answer(m netproto.Message) error {
+	if err := s.ensureBound(m.Seq); err != nil {
+		return err
+	}
 	if s.cfg.Query == nil {
 		return s.respond(netproto.Nack(m.Seq, "queries unsupported"))
 	}
@@ -299,12 +671,15 @@ func (s *Session) callQuery(q netproto.Query) (payload []byte, err error) {
 			err = fmt.Errorf("query panic: %v", r)
 		}
 	}()
-	return s.cfg.Query(q)
+	return s.cfg.Query(s.tenantName(), q)
 }
 
 func (s *Session) quarantine(m netproto.Message, reason string) {
+	if s.srv != nil {
+		s.srv.metrics.Quarantined.Add(1)
+	}
 	if s.cfg.Quarantine != nil {
-		s.cfg.Quarantine(m, reason)
+		s.cfg.Quarantine(s.tenantName(), m, reason)
 	}
 }
 
@@ -316,7 +691,12 @@ func (s *Session) respond(m netproto.Message) error {
 	return s.write(m)
 }
 
+// write serializes one frame to the connection; the mutex keeps reader-
+// side responses (busy nacks, query results) from interleaving with the
+// worker's acks mid-frame.
 func (s *Session) write(m netproto.Message) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if s.cfg.WriteTimeout > 0 {
 		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}

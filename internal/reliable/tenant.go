@@ -1,0 +1,199 @@
+package reliable
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dbgc/internal/netproto"
+)
+
+// DefaultTenant is the tenant assigned to connections that never send a
+// hello frame (legacy single-tenant clients).
+const DefaultTenant = "default"
+
+// admissionError carries a busy-nack retry hint alongside the rejection
+// reason; sessions translate it into a NackBusy and close.
+type admissionError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("reliable: admission refused: %s (retry after %v)", e.reason, e.retryAfter)
+}
+
+// tenant is the per-tenant admission state: how many sessions it has, how
+// many frames it has in flight across all of them, and whether it is being
+// shed. The in-flight budget is the bounded per-tenant ingest queue — a
+// tenant's frames across every session compete for the same tokens, so one
+// tenant flooding cannot starve the others.
+type tenant struct {
+	name     string
+	admitSeq uint64 // admission order; higher = newer, shed first
+
+	mu       sync.Mutex
+	sessions int
+	inflight int
+	shedding bool
+}
+
+// tryAcquire takes one in-flight token if the budget allows.
+func (t *tenant) tryAcquire(budget int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shedding || (budget > 0 && t.inflight >= budget) {
+		return false
+	}
+	t.inflight++
+	return true
+}
+
+func (t *tenant) release() {
+	t.mu.Lock()
+	t.inflight--
+	t.mu.Unlock()
+}
+
+func (t *tenant) isShedding() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shedding
+}
+
+// registry tracks active tenants for a Server.
+type registry struct {
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	admitSeq uint64
+	shedMode bool // true while global load is above the high-water mark
+}
+
+func newRegistry() *registry {
+	return &registry{tenants: make(map[string]*tenant)}
+}
+
+// admit binds a session to a tenant, enforcing per-tenant and global
+// limits. On rejection the returned error is an *admissionError carrying
+// the retry hint.
+func (s *Server) admit(name string) (*tenant, error) {
+	if !netproto.ValidTenant(name) {
+		// Not an overload condition — no retry hint, plain rejection.
+		return nil, fmt.Errorf("reliable: invalid tenant name %q", name)
+	}
+	r := s.tenants
+	hint := s.cfg.RetryAfter
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	if !ok {
+		if r.shedMode {
+			s.metrics.SessionsRejected.Add(1)
+			return nil, &admissionError{reason: "shedding load: new tenants refused", retryAfter: 2 * hint}
+		}
+		if s.cfg.MaxTenants > 0 && len(r.tenants) >= s.cfg.MaxTenants {
+			s.metrics.SessionsRejected.Add(1)
+			return nil, &admissionError{reason: "tenant limit reached", retryAfter: 2 * hint}
+		}
+		r.admitSeq++
+		t = &tenant{name: name, admitSeq: r.admitSeq}
+		r.tenants[name] = t
+		s.metrics.ActiveTenants.Store(int64(len(r.tenants)))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shedding {
+		s.metrics.SessionsRejected.Add(1)
+		return nil, &admissionError{reason: "tenant is being shed", retryAfter: 2 * hint}
+	}
+	if s.cfg.MaxSessionsPerTenant > 0 && t.sessions >= s.cfg.MaxSessionsPerTenant {
+		s.metrics.SessionsRejected.Add(1)
+		return nil, &admissionError{reason: "tenant session limit reached", retryAfter: hint}
+	}
+	t.sessions++
+	return t, nil
+}
+
+// unbind releases a session's slot; tenants with no sessions and no
+// in-flight frames leave the registry (and lose any shed mark — they are
+// readmitted as fresh, newest-first shed candidates).
+func (s *Server) unbind(t *tenant) {
+	if t == nil {
+		return
+	}
+	r := s.tenants
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.mu.Lock()
+	t.sessions--
+	gone := t.sessions <= 0 && t.inflight <= 0
+	t.mu.Unlock()
+	if gone {
+		delete(r.tenants, t.name)
+		s.metrics.ActiveTenants.Store(int64(len(r.tenants)))
+	}
+}
+
+// noteInflight adjusts the global in-flight gauge and re-evaluates the
+// shedding state. Shedding follows the ISSUE's contract: when total
+// in-flight frames exceed the high-water mark, the *newest* tenants are
+// marked for shedding — their queued frames drain and ack normally, new
+// frames get busy-nacked, their sessions close once empty, and re-hellos
+// are refused until load falls under the low-water mark. Established
+// (older) tenants keep full service throughout.
+func (s *Server) noteInflight(delta int64) {
+	load := s.metrics.InflightFrames.Add(delta)
+	high := int64(s.cfg.ShedHighWater)
+	if high <= 0 {
+		return
+	}
+	low := int64(s.cfg.ShedLowWater)
+	if low <= 0 || low >= high {
+		low = high / 2
+	}
+	r := s.tenants
+	switch {
+	case load > high:
+		r.mu.Lock()
+		if !r.shedMode {
+			r.shedMode = true
+		}
+		// Shed the newest non-shedding tenant, keeping at least one
+		// tenant in service — with a single tenant, per-tenant budget
+		// backpressure is already the bound and shedding would only
+		// stop the world.
+		var newest *tenant
+		active := 0
+		for _, t := range r.tenants {
+			if t.isShedding() {
+				continue
+			}
+			active++
+			if newest == nil || t.admitSeq > newest.admitSeq {
+				newest = t
+			}
+		}
+		if newest != nil && active > 1 {
+			newest.mu.Lock()
+			newest.shedding = true
+			newest.mu.Unlock()
+			s.metrics.TenantsShed.Add(1)
+			s.cfg.Logf("reliable: load %d over high water %d: shedding tenant %q", load, high, newest.name)
+		}
+		r.mu.Unlock()
+	case load < low:
+		r.mu.Lock()
+		if r.shedMode {
+			r.shedMode = false
+			for _, t := range r.tenants {
+				t.mu.Lock()
+				if t.shedding {
+					t.shedding = false
+					s.cfg.Logf("reliable: load %d under low water %d: tenant %q back in service", load, low, t.name)
+				}
+				t.mu.Unlock()
+			}
+		}
+		r.mu.Unlock()
+	}
+}

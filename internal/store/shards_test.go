@@ -1,0 +1,184 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardsLazyOpenAndRoute(t *testing.T) {
+	sh, err := OpenShards(filepath.Join(t.TempDir(), "stores"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for i, tenant := range []string{"alpha", "beta", "gamma"} {
+		st, err := sh.Acquire(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(uint64(i), KindCompressed, []byte(tenant)); err != nil {
+			t.Fatal(err)
+		}
+		sh.Release(tenant)
+	}
+	if got := sh.OpenCount(); got != 3 {
+		t.Fatalf("open shards = %d, want 3", got)
+	}
+	// Same tenant routes to the same store; different tenants are isolated.
+	st, err := sh.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := st.Get(0); err != nil || string(got) != "alpha" {
+		t.Fatalf("alpha shard Get = %q, %v", got, err)
+	}
+	if _, _, err := st.Get(1); err != ErrNotFound {
+		t.Fatalf("beta's record visible in alpha's shard: %v", err)
+	}
+	sh.Release("alpha")
+	tenants, err := sh.Tenants()
+	if err != nil || len(tenants) != 3 {
+		t.Fatalf("Tenants = %v, %v", tenants, err)
+	}
+}
+
+func TestShardsLRUEviction(t *testing.T) {
+	sh, err := OpenShards(filepath.Join(t.TempDir(), "stores"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for i := 0; i < 5; i++ {
+		tenant := fmt.Sprintf("t%d", i)
+		st, err := sh.Acquire(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(7, KindCompressed, []byte(tenant)); err != nil {
+			t.Fatal(err)
+		}
+		sh.Release(tenant)
+		if got := sh.OpenCount(); got > 2 {
+			t.Fatalf("after %s: %d shards open, bound is 2", tenant, got)
+		}
+	}
+	// Evicted shards reopen transparently with their data intact.
+	st, err := sh.Acquire("t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := st.Get(7); err != nil || string(got) != "t0" {
+		t.Fatalf("reopened evicted shard Get = %q, %v", got, err)
+	}
+	sh.Release("t0")
+}
+
+func TestShardsPinnedNeverEvicted(t *testing.T) {
+	sh, err := OpenShards(filepath.Join(t.TempDir(), "stores"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	a, err := sh.Acquire("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening more shards while "pinned" is held must not close it —
+	// the bound is soft against pins.
+	for i := 0; i < 3; i++ {
+		tenant := fmt.Sprintf("other%d", i)
+		if _, err := sh.Acquire(tenant); err != nil {
+			t.Fatal(err)
+		}
+		sh.Release(tenant)
+	}
+	if err := a.Put(1, KindCompressed, []byte("still open")); err != nil {
+		t.Fatalf("pinned shard was closed under us: %v", err)
+	}
+	sh.Release("pinned")
+}
+
+func TestShardsRejectTraversal(t *testing.T) {
+	sh, err := OpenShards(filepath.Join(t.TempDir(), "stores"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for _, bad := range []string{"", "../escape", "a/b", `a\b`, ".hidden"} {
+		if _, err := sh.Acquire(bad); err == nil {
+			t.Errorf("Acquire(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	sh, err := OpenShards(filepath.Join(t.TempDir(), "stores"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	g := NewGroup(2 * time.Millisecond)
+	defer g.Close()
+
+	const writers, frames = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant%d", w%4)
+			for i := 0; i < frames; i++ {
+				st, err := sh.Acquire(tenant)
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = st.Put(uint64(w*frames+i), KindCompressed, []byte("payload"))
+				if err == nil {
+					err = g.Commit(st) // durable before "ack"
+				}
+				sh.Release(tenant)
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	commits, rounds := g.Stats()
+	if commits != writers*frames {
+		t.Fatalf("commits = %d, want %d", commits, writers*frames)
+	}
+	if rounds == 0 || rounds >= commits {
+		t.Fatalf("group commit did not coalesce: %d rounds for %d commits", rounds, commits)
+	}
+	t.Logf("group commit: %d commits in %d fsync rounds", commits, rounds)
+}
+
+func TestGroupCloseFlushesAndRejects(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "one.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := NewGroup(0)
+	if err := st.Put(1, KindCompressed, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	g.Async(st)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(st); err != ErrGroupClosed {
+		t.Fatalf("Commit after Close = %v", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -49,10 +50,33 @@ var ErrCorrupt = errors.New("store: corrupt record")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// File is the storage device a Store appends to. *os.File satisfies it via
+// Open; tests substitute fault-injecting implementations (see
+// faultnet.Disk) to exercise crash recovery.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Size() (int64, error)
+	Close() error
+}
+
+// osFile adapts *os.File to the File interface.
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
 // Store is an append-only frame store. It is safe for concurrent use.
 type Store struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     File
 	index map[uint64]recordPos
 	end   int64
 }
@@ -67,12 +91,30 @@ type recordPos struct {
 const recordHeader = 8 + 1 + 4 + 4
 
 // Open opens or creates a store file and rebuilds the index from its
-// contents.
+// contents. When the file is newly created, the parent directory is
+// fsynced so a crash immediately after creation cannot lose the directory
+// entry — without it the first record could be durable inside a file the
+// directory does not reference.
 func Open(path string) (*Store, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	if created {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: syncing parent directory: %w", err)
+		}
+	}
+	return OpenWith(osFile{f})
+}
+
+// OpenWith builds a Store over an already-open File and rebuilds the index
+// from its contents. The caller keeps responsibility for directory-entry
+// durability of newly created files (Open handles it for paths).
+func OpenWith(f File) (*Store, error) {
 	s := &Store{f: f, index: make(map[uint64]recordPos)}
 	if err := s.rebuild(); err != nil {
 		f.Close()
@@ -81,17 +123,30 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
+// syncDir fsyncs a directory so recently created entries in it survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // rebuild scans the segment file, verifying each record's checksum, and
 // truncates at the first torn or corrupt record: a corrupt length field
 // would otherwise mis-walk the rest of the segment, and a corrupt payload
 // would be silently indexed only to fail at Get. Everything before the
 // corruption point survives; everything after it is discarded.
 func (s *Store) rebuild() error {
-	fi, err := s.f.Stat()
+	fileSize, err := s.f.Size()
 	if err != nil {
 		return err
 	}
-	fileSize := fi.Size()
 	var hdr [recordHeader]byte
 	off := int64(0)
 	for {
