@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-json soak
+.PHONY: check build vet test race fuzz bench-json bench-sweep soak
 
 # check is the CI gate: vet + full test suite, then the data-race pass
 # (which includes the reliable-transport fault-injection tests).
@@ -24,6 +24,12 @@ race:
 bench-json:
 	$(GO) run ./cmd/dbgc-bench -exp perf -json BENCH_5.json
 
+# Multi-core scaling sweep: the sharded entropy codec packed and unpacked
+# at GOMAXPROCS 1/2/4/8, with per-stage timings, shard ratio drift vs. the
+# legacy container, and the shards=1 byte-identity check.
+bench-sweep:
+	$(GO) run ./cmd/dbgc-bench -exp sweep -shards 8 -gomaxprocs 1,2,4,8 -json BENCH_7.json
+
 # Chaos soak: concurrent tenants through fault-injected links and
 # crash-prone disks with induced crash-restarts, under the race detector.
 # Fails if any acked frame is missing or corrupt after the final restart.
@@ -43,4 +49,5 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/gpcc
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/quadtree
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/arith
+	$(GO) test -fuzz=FuzzShardedStream -fuzztime=$(FUZZTIME) ./internal/arith
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/core

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"dbgc/internal/benchkit"
@@ -24,14 +25,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, perf, all")
+	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, perf, sweep, all")
 	frames := flag.Int("frames", 2, "frames per configuration (the paper uses 1000)")
 	quick := flag.Bool("quick", false, "restrict sweeps to fewer error bounds and scenes")
 	csvDir := flag.String("csv", "", "also write raw rows as CSV files into this directory")
-	jsonPath := flag.String("json", "", "write the perf experiment result as JSON to this file")
+	jsonPath := flag.String("json", "", "write the perf/sweep experiment result as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	shards := flag.Int("shards", 8, "entropy shard count for the sweep experiment")
+	procs := flag.String("gomaxprocs", "1,2,4,8", "comma-separated GOMAXPROCS values for the sweep experiment")
 	flag.Parse()
 	jsonOut = *jsonPath
+	sweepShards = *shards
+	var err error
+	if sweepProcs, err = parseInts(*procs); err != nil {
+		fmt.Fprintf(os.Stderr, "-gomaxprocs: %v\n", err)
+		os.Exit(2)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -66,8 +75,9 @@ func main() {
 		"memory":     runMemory,
 		"temporal":   runTemporal,
 		"perf":       runPerf,
+		"sweep":      runSweep,
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal", "perf"}
+	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal", "perf", "sweep"}
 
 	var selected []string
 	if *exp == "all" {
@@ -313,8 +323,8 @@ func runPerf(frames int, quick bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cores: %d, %d points/frame, %d bytes compressed (ratio %.2f)\n",
-		res.Cores, res.PointsPerFrame, res.FrameBytes, res.Ratio)
+	fmt.Printf("cpus: %d (GOMAXPROCS %d), %d points/frame, %d bytes compressed (ratio %.2f)\n",
+		res.NumCPU, res.GOMAXPROCS, res.PointsPerFrame, res.FrameBytes, res.Ratio)
 	fmt.Printf("decode:   serial %7.1f ms, parallel %7.1f ms (%.2fx)\n",
 		res.SerialDecodeMs, res.ParallelDecodeMs, res.DecodeSpeedup)
 	fmt.Printf("          allocs/op: serial %.0f, parallel %.0f\n",
@@ -329,7 +339,7 @@ func runPerf(frames int, quick bool) error {
 		res.PipelineFrames, res.PipelineWorkers,
 		res.SerialPackFPS, res.PipelinedPackFPS,
 		res.SerialReadFPS, res.PipelinedReadFPS, res.PipelineIdentical)
-	if res.Cores == 1 {
+	if res.NumCPU == 1 {
 		fmt.Println("note: single-core host; parallel paths cannot show wall-clock gains here")
 	}
 	if jsonOut != "" {
@@ -344,6 +354,73 @@ func runPerf(frames int, quick bool) error {
 		fmt.Printf("wrote %s\n", jsonOut)
 	}
 	return nil
+}
+
+// sweepShards and sweepProcs hold the -shards / -gomaxprocs flags for the
+// sweep experiment.
+var (
+	sweepShards int
+	sweepProcs  []int
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runSweep(frames int, quick bool) error {
+	header("Multi-core scaling: GOMAXPROCS sweep of the sharded codec (city, q=2cm)")
+	res, err := benchkit.Sweep(benchkit.DefaultQ, sweepShards, sweepProcs, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cpus: %d, shards: %d, %d points/frame, %d bytes (ratio %.2f; legacy %.2f, drift %+.3f%%)\n",
+		res.NumCPU, res.Shards, res.PointsPerFrame, res.FrameBytes, res.Ratio, res.LegacyRatio, res.RatioDeltaPct)
+	fmt.Printf("shards=1 byte-identical to legacy container: %v\n", res.ShardsOneIdentical)
+	fmt.Printf("%6s %8s %12s %12s %10s %10s %12s %12s\n",
+		"procs", "workers", "compress", "decompress", "pack/s", "unpack/s", "stream-pack", "stream-unpack")
+	var csvRows [][]string
+	for _, p := range res.Sweep {
+		fmt.Printf("%6d %8d %9.1f ms %9.1f ms %10.2f %10.2f %12.2f %12.2f\n",
+			p.GOMAXPROCS, p.Workers, p.CompressMs, p.DecompressMs,
+			p.PackFPS, p.UnpackFPS, p.StreamPackFPS, p.StreamUnpackFPS)
+		fmt.Printf("       speedup vs procs=1: compress %.2fx, decompress %.2fx | stages DEN %.1f OCT %.1f (ENT %.1f) COR %.1f ORG %.1f SPA %.1f OUT %.1f ms\n",
+			p.CompressSpeedup, p.DecompressSpeedup,
+			p.Stages.DEN, p.Stages.OCT, p.Stages.ENT, p.Stages.COR, p.Stages.ORG, p.Stages.SPA, p.Stages.OUT)
+		csvRows = append(csvRows, []string{
+			fmt.Sprint(p.GOMAXPROCS), fmt.Sprint(p.Workers),
+			f64(p.CompressMs), f64(p.DecompressMs),
+			f64(p.CompressSpeedup), f64(p.DecompressSpeedup),
+			f64(p.StreamPackFPS), f64(p.StreamUnpackFPS),
+		})
+	}
+	if res.NumCPU == 1 {
+		fmt.Println("note: single-core host; the sweep documents the plateau, not a multi-core gain")
+	}
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return writeCSV("sweep", []string{"gomaxprocs", "workers", "compress_ms", "decompress_ms",
+		"compress_speedup", "decompress_speedup", "stream_pack_fps", "stream_unpack_fps"}, csvRows)
 }
 
 func runMemory(frames int, quick bool) error {

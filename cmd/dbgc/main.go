@@ -58,11 +58,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dbgc compress   [-q meters] [-groups n] [-exact] input.bin output.dbgc
-  dbgc decompress input.dbgc output.bin
+  dbgc compress   [-q meters] [-groups n] [-exact] [-shards n] [-parallel] input.bin output.dbgc
+  dbgc decompress [-parallel] input.dbgc output.bin
   dbgc info       input.dbgc
   dbgc simulate   [-scene kind] [-seed n] output.bin
-  dbgc pack       [-q meters] [-fps n] [-intensity] frames... output.dbgs
+  dbgc pack       [-q meters] [-fps n] [-intensity] [-shards n] frames... output.dbgs
   dbgc unpack     input.dbgs output-dir
   dbgc view       [-extent m] [-size WxH] frame.bin|frame.ply|frame.dbgc
   dbgc query      -box x0,y0,z0,x1,y1,z1 frame.dbgc output.bin`)
@@ -74,6 +74,8 @@ func runCompress(args []string) error {
 	q := fs.Float64("q", 0.02, "per-dimension error bound in meters")
 	groups := fs.Int("groups", 6, "radial point groups")
 	exact := fs.Bool("exact", false, "use exact cell-based clustering")
+	shards := fs.Int("shards", 1, "entropy shard count (>1 writes the v3 container)")
+	parallel := fs.Bool("parallel", false, "compress stages and shards concurrently")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -85,6 +87,8 @@ func runCompress(args []string) error {
 	opts := dbgc.DefaultOptions(*q)
 	opts.Groups = *groups
 	opts.ExactClustering = *exact
+	opts.Shards = *shards
+	opts.Parallel = *parallel
 	data, stats, err := dbgc.Compress(pc, opts)
 	if err != nil {
 		return err
@@ -100,6 +104,7 @@ func runCompress(args []string) error {
 
 func runDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	parallel := fs.Bool("parallel", false, "decode sections and entropy shards concurrently")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -108,7 +113,7 @@ func runDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	pc, err := dbgc.Decompress(data)
+	pc, err := dbgc.DecompressWith(data, dbgc.DecompressOptions{Parallel: *parallel})
 	if err != nil {
 		return err
 	}
@@ -213,8 +218,12 @@ func runInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d bytes, %d points, ratio %.2f (format v%d)\n",
-		fs.Arg(0), len(data), len(pc), float64(len(pc)*12)/float64(len(data)), layout.Version)
+	dialect := ""
+	if layout.ShardedStreams {
+		dialect = ", sharded entropy streams"
+	}
+	fmt.Printf("%s: %d bytes, %d points, ratio %.2f (format v%d%s)\n",
+		fs.Arg(0), len(data), len(pc), float64(len(pc)*12)/float64(len(data)), layout.Version, dialect)
 	fmt.Printf("  dense section:   %8d bytes (%d points, octree)\n", layout.BytesDense, layout.PointsDense)
 	fmt.Printf("  sparse section:  %8d bytes (%d radial groups, polylines)\n", layout.BytesSparse, layout.Groups)
 	fmt.Printf("  outlier section: %8d bytes (%d points, mode %d)\n", layout.BytesOutlier, layout.PointsOutlier, layout.OutlierMode)

@@ -22,9 +22,10 @@ func runPack(args []string) error {
 	fps := fs.Float64("fps", 10, "sensor frame rate recorded in the container")
 	withIntensity := fs.Bool("intensity", false, "carry the intensity channel")
 	workers := fs.Int("workers", 1, "compress this many frames concurrently")
+	shards := fs.Int("shards", 1, "entropy shard count per frame (>1 writes v3 frames)")
 	fs.Parse(args)
 	if fs.NArg() < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dbgc pack [-q m] [-fps n] [-intensity] [-workers n] frame1.bin [frame2.bin ...] output.dbgs")
+		fmt.Fprintln(os.Stderr, "usage: dbgc pack [-q m] [-fps n] [-intensity] [-workers n] [-shards n] frame1.bin [frame2.bin ...] output.dbgs")
 		os.Exit(2)
 	}
 	inputs := fs.Args()[:fs.NArg()-1]
@@ -61,7 +62,9 @@ func runPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := stream.NewWriter(out, dbgc.DefaultOptions(*q), *fps)
+	packOpts := dbgc.DefaultOptions(*q)
+	packOpts.Shards = *shards
+	w, err := stream.NewWriter(out, packOpts, *fps)
 	if err != nil {
 		out.Close()
 		return err

@@ -1,0 +1,336 @@
+package arith
+
+import (
+	"fmt"
+	"sync"
+
+	"dbgc/internal/declimits"
+	"dbgc/internal/varint"
+)
+
+// Sharded entropy streams (container v3). A sharded stream splits one
+// symbol sequence into S contiguous shards, each coded by its own adaptive
+// arithmetic coder, so encode and decode parallelize across cores while the
+// sequence semantics stay identical. The framing is:
+//
+//	S       uvarint   shard count (>= 1)
+//	len[i]  uvarint   compressed byte length of shard i, S times
+//	payload bytes     the S shard streams, concatenated in order
+//
+// The element split is deterministic and derived from the out-of-band
+// element count n that every DBGC stream already records next to its
+// payload: shard i covers elements [i*n/S, (i+1)*n/S). Same input and same
+// shard count therefore always produce the same bytes; the shard count is
+// the only new degree of freedom, and it is recorded in the stream.
+//
+// Each shard restarts its adaptive model, which costs a few bytes of
+// adaptation per shard; ClampShards keeps shards large enough that the
+// overhead stays well under the ±0.5% ratio budget.
+
+// MaxShards bounds the shard count a stream may declare. It is a
+// corruption backstop, far above any useful parallelism (shards beyond the
+// core count only add model-restart overhead).
+const MaxShards = 4096
+
+// minShardElems is the smallest element count worth a dedicated shard.
+// Each shard restarts its adaptive model, which costs roughly 40-60 bytes
+// of re-adaptation for the 256-symbol alphabets; one shard per 8Ki
+// elements keeps that overhead under ~0.1% of a typical stream while still
+// unlocking a shard per core on full-size LiDAR frames. Below the
+// threshold the restart plus goroutine fork-join cost more than the
+// parallelism returns.
+const minShardElems = 8192
+
+// ClampShards returns the effective shard count for n elements: at least
+// 1, at most MaxShards, and never more than one shard per minShardElems
+// elements. The clamp depends only on (n, shards), preserving determinism.
+func ClampShards(shards, n int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	if max := n / minShardElems; shards > max {
+		shards = max
+	}
+	if shards < 1 {
+		return 1
+	}
+	return shards
+}
+
+// shardRange returns the element range [lo, hi) of shard i of s over n
+// elements. Computed in 64-bit so n near MaxInt cannot overflow.
+func shardRange(n, s, i int) (lo, hi int) {
+	lo = int(int64(n) * int64(i) / int64(s))
+	hi = int(int64(n) * int64(i+1) / int64(s))
+	return lo, hi
+}
+
+// shardBufPool recycles the per-shard staging buffers of the parallel
+// encoders. Each shard encodes into its own pooled buffer (no two shards
+// ever share one, so real parallelism brings no shared-scratch writes) and
+// the buffer returns to the pool after its bytes are copied out.
+var shardBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 8192)
+	return &b
+}}
+
+// appendSharded frames n elements into shards shards, encoding each with
+// encode(lo, hi, dst) (which appends shard [lo, hi) to dst and returns the
+// extended slice). With parallel set the shards encode concurrently.
+func appendSharded(dst []byte, n, shards int, parallel bool, encode func(lo, hi int, dst []byte) []byte) []byte {
+	s := ClampShards(shards, n)
+	dst = varint.AppendUint(dst, uint64(s))
+	if s == 1 {
+		// Single shard: encode straight into the output after its length.
+		// The length must precede the payload, so stage through a pooled
+		// buffer like the parallel path.
+		bp := shardBufPool.Get().(*[]byte)
+		part := encode(0, n, (*bp)[:0])
+		dst = varint.AppendUint(dst, uint64(len(part)))
+		dst = append(dst, part...)
+		*bp = part[:0]
+		shardBufPool.Put(bp)
+		return dst
+	}
+	bufs := make([]*[]byte, s)
+	parts := make([][]byte, s)
+	encodeShard := func(i int) {
+		lo, hi := shardRange(n, s, i)
+		bufs[i] = shardBufPool.Get().(*[]byte)
+		parts[i] = encode(lo, hi, (*bufs[i])[:0])
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < s; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				encodeShard(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < s; i++ {
+			encodeShard(i)
+		}
+	}
+	for i := 0; i < s; i++ {
+		dst = varint.AppendUint(dst, uint64(len(parts[i])))
+	}
+	for i := 0; i < s; i++ {
+		dst = append(dst, parts[i]...)
+		*bufs[i] = parts[i][:0]
+		shardBufPool.Put(bufs[i])
+	}
+	return dst
+}
+
+// parseShards splits a sharded stream into its S payloads, validating the
+// declared lengths against the available bytes and b's shard cap. The
+// returned slices alias data.
+func parseShards(data []byte, b *declimits.Budget) ([][]byte, error) {
+	s64, used, err := varint.Uint(data)
+	if err != nil {
+		return nil, fmt.Errorf("arith: shard count: %w", err)
+	}
+	data = data[used:]
+	if s64 < 1 || s64 > MaxShards {
+		return nil, fmt.Errorf("%w: shard count %d", ErrCorrupt, s64)
+	}
+	if err := b.Shards(int64(s64)); err != nil {
+		return nil, err
+	}
+	s := int(s64)
+	lens := make([]uint64, s)
+	var total uint64
+	for i := range lens {
+		l, used, err := varint.Uint(data)
+		if err != nil {
+			return nil, fmt.Errorf("arith: shard %d length: %w", i, err)
+		}
+		data = data[used:]
+		// Guard the running sum against wrap before comparing to len(data).
+		if l > uint64(len(data)) || total+l > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: shard %d truncated", ErrCorrupt, i)
+		}
+		lens[i] = l
+		total += l
+	}
+	if total != uint64(len(data)) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after shards", ErrCorrupt, uint64(len(data))-total)
+	}
+	shards := make([][]byte, s)
+	for i, l := range lens {
+		shards[i] = data[:l]
+		data = data[l:]
+	}
+	return shards, nil
+}
+
+// decodeSharded parses the shard framing and runs decode(i, shard, lo, hi)
+// for every shard, concurrently when parallel is set. The first error wins.
+func decodeSharded(data []byte, n int, b *declimits.Budget, parallel bool, decode func(i int, shard []byte, lo, hi int) error) error {
+	shards, err := parseShards(data, b)
+	if err != nil {
+		return err
+	}
+	s := len(shards)
+	if parallel && s > 1 {
+		errs := make([]error, s)
+		var wg sync.WaitGroup
+		for i := 0; i < s; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer declimits.Recover(&errs[i], ErrCorrupt)
+				lo, hi := shardRange(n, s, i)
+				errs[i] = decode(i, shards[i], lo, hi)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < s; i++ {
+		lo, hi := shardRange(n, s, i)
+		if err := decode(i, shards[i], lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendCompressCodesSharded appends the sharded order-0 adaptive coding of
+// codes over the alphabet {0,...,alphabet-1}. Every code must be below
+// alphabet. With shards <= 1 (or too few codes to split) the stream holds a
+// single shard whose payload is byte-identical to AppendCompressBytes /
+// compressOccupancy output for the same model size.
+func AppendCompressCodesSharded(dst, codes []byte, alphabet, shards int, parallel bool) []byte {
+	return appendSharded(dst, len(codes), shards, parallel, func(lo, hi int, out []byte) []byte {
+		e := GetEncoder()
+		m := GetModel(alphabet)
+		for _, c := range codes[lo:hi] {
+			e.Encode(m, int(c))
+		}
+		out = e.AppendFinish(out)
+		PutModel(m)
+		PutEncoder(e)
+		return out
+	})
+}
+
+// DecompressCodesShardedLimited inverts AppendCompressCodesSharded,
+// decoding exactly n codes and charging them against b. With parallel set
+// the shards decode on separate goroutines.
+func DecompressCodesShardedLimited(buf []byte, n, alphabet int, b *declimits.Budget, parallel bool) ([]byte, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	err := decodeSharded(buf, n, b, parallel, func(_ int, shard []byte, lo, hi int) error {
+		d := GetDecoder(shard)
+		m := GetModel(alphabet)
+		for k := lo; k < hi; k++ {
+			sym, err := d.Decode(m)
+			if err != nil {
+				PutModel(m)
+				PutDecoder(d)
+				return fmt.Errorf("arith: code %d/%d: %w", k, n, err)
+			}
+			if sym >= alphabet {
+				PutModel(m)
+				PutDecoder(d)
+				return fmt.Errorf("%w: code %d out of alphabet", ErrCorrupt, sym)
+			}
+			out[k] = byte(sym)
+		}
+		PutModel(m)
+		PutDecoder(d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendCompressUintsSharded appends the sharded varint arithmetic coding
+// of vs (the sharded counterpart of AppendCompressUints).
+func AppendCompressUintsSharded(dst []byte, vs []uint64, shards int, parallel bool) []byte {
+	return appendSharded(dst, len(vs), shards, parallel, func(lo, hi int, out []byte) []byte {
+		return AppendCompressUints(out, vs[lo:hi])
+	})
+}
+
+// DecompressUintsShardedLimited inverts AppendCompressUintsSharded,
+// decoding exactly n integers.
+func DecompressUintsShardedLimited(buf []byte, n int, b *declimits.Budget, parallel bool) ([]uint64, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	err := decodeSharded(buf, n, b, parallel, func(_ int, shard []byte, lo, hi int) error {
+		d := GetDecoder(shard)
+		m := GetModel(256)
+		for k := lo; k < hi; k++ {
+			v, err := decodeVarint(d, m)
+			if err != nil {
+				PutModel(m)
+				PutDecoder(d)
+				return fmt.Errorf("arith: uint %d/%d: %w", k, n, err)
+			}
+			out[k] = v
+		}
+		PutModel(m)
+		PutDecoder(d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendCompressIntsSharded appends the sharded zigzag-varint arithmetic
+// coding of vs (the sharded counterpart of AppendCompressInts).
+func AppendCompressIntsSharded(dst []byte, vs []int64, shards int, parallel bool) []byte {
+	return appendSharded(dst, len(vs), shards, parallel, func(lo, hi int, out []byte) []byte {
+		return AppendCompressInts(out, vs[lo:hi])
+	})
+}
+
+// DecompressIntsShardedLimited inverts AppendCompressIntsSharded, decoding
+// exactly n integers.
+func DecompressIntsShardedLimited(buf []byte, n int, b *declimits.Budget, parallel bool) ([]int64, error) {
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	err := decodeSharded(buf, n, b, parallel, func(_ int, shard []byte, lo, hi int) error {
+		d := GetDecoder(shard)
+		m := GetModel(256)
+		for k := lo; k < hi; k++ {
+			v, err := decodeVarint(d, m)
+			if err != nil {
+				PutModel(m)
+				PutDecoder(d)
+				return fmt.Errorf("arith: int %d/%d: %w", k, n, err)
+			}
+			out[k] = varint.Unzigzag(v)
+		}
+		PutModel(m)
+		PutDecoder(d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -12,11 +12,13 @@ import (
 
 // PerfResult reports the performance-architecture experiment: parallel
 // decode speedup, per-decode allocation counts (scratch reuse), and frame
-// pipeline throughput. All numbers are honest about the machine — Cores
-// records what was actually available, and on a single-core host the
-// parallel paths are expected to land near 1.0x.
+// pipeline throughput. All numbers are honest about the machine — NumCPU
+// records the cores actually available and GOMAXPROCS what the runtime was
+// allowed to use, and on a single-core host the parallel paths are
+// expected to land near 1.0x.
 type PerfResult struct {
-	Cores          int     `json:"cores"`
+	NumCPU         int     `json:"num_cpu"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 	PointsPerFrame int     `json:"points_per_frame"`
 	FrameBytes     int     `json:"frame_bytes"`
 	Ratio          float64 `json:"ratio"`
@@ -71,7 +73,7 @@ func Perf(q float64, iters int) (PerfResult, error) {
 	if iters < 1 {
 		iters = 1
 	}
-	res := PerfResult{Cores: runtime.GOMAXPROCS(0)}
+	res := PerfResult{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	pc, err := Frame(lidar.City, 1)
 	if err != nil {
 		return res, err
@@ -158,7 +160,7 @@ func Perf(q float64, iters int) (PerfResult, error) {
 	// pipelined, reporting frames per second end to end.
 	const nFrames = 4
 	res.PipelineFrames = nFrames
-	res.PipelineWorkers = res.Cores
+	res.PipelineWorkers = res.GOMAXPROCS
 	clouds, err := Frames(lidar.City, nFrames)
 	if err != nil {
 		return res, err

@@ -79,6 +79,14 @@ type Options struct {
 	// byte-identical to the serial encoding; only the stage timings in
 	// Stats overlap.
 	Parallel bool
+	// Shards splits every section's high-volume entropy streams (octree
+	// occupancy/count levels, sparse φ tails and radials, outlier
+	// quadtree/Δz payloads) into this many independently coded shards —
+	// the unit of multi-core entropy parallelism — and emits the container
+	// v3 dialect. Values <= 1 keep the legacy single-coder v2 container,
+	// byte-identical to previous releases. The output depends only on the
+	// input and the shard count, never on Parallel or GOMAXPROCS.
+	Shards int
 }
 
 // DefaultOptions returns the paper's configuration for error bound q.
@@ -115,6 +123,10 @@ type Stats struct {
 	// coordinate conversion (COR), point organization (ORG), sparse
 	// stream compression (SPA), outlier compression (OUT).
 	DEN, OCT, COR, ORG, SPA, OUT time.Duration
+	// ENT is the entropy-coding share of OCT (the octree's arithmetic
+	// passes), split out so multi-core sweeps can attribute serialization
+	// to entropy coding rather than tree construction.
+	ENT time.Duration
 }
 
 // CompressionRatio returns RawSize / |B| for the compressed frame.
@@ -133,7 +145,13 @@ const (
 	// LE | payload") so damage is attributable to one section and the
 	// others stay recoverable (DecompressPartial). Both versions decode.
 	version2 = 2
-	// version is what Compress emits.
+	// version3 keeps the v2 envelope (magic, mode, per-section CRCs) but
+	// codes the high-volume entropy streams inside every section with the
+	// sharded framing of internal/arith, and prefixes each sparse radial
+	// group with its own CRC-32C. All three versions decode.
+	version3 = 3
+	// version is what Compress emits for unsharded options (Shards <= 1);
+	// sharded compression emits version3.
 	version = version2
 )
 
@@ -203,8 +221,9 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 	denseDone := make(chan struct{})
 	encodeDense := func() {
 		t := time.Now()
-		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel})
+		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards})
 		stats.OCT = time.Since(t)
+		stats.ENT = denseEnc.EntropyTime
 		close(denseDone)
 	}
 	if opts.Parallel {
@@ -223,6 +242,7 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 		DisableRadialOpt: opts.DisableRadialOpt,
 		CartesianMode:    opts.CartesianPolylines,
 		Parallel:         opts.Parallel,
+		Shards:           opts.Shards,
 	})
 	<-denseDone
 	if denseErr != nil {
@@ -251,10 +271,15 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 	}
 	stats.OUT = time.Since(t0)
 
-	// Final layout (Figure 8).
+	// Final layout (Figure 8). Sharded entropy streams need the v3
+	// container so decoders select the right dialect per section.
+	ver := byte(version)
+	if opts.Shards > 1 {
+		ver = version3
+	}
 	out := make([]byte, 0, len(denseEnc.Data)+len(sparseEnc.Data)+len(outlierData)+64)
 	out = append(out, magic...)
-	out = append(out, version)
+	out = append(out, ver)
 	out = varint.AppendUint(out, uint64(opts.OutlierMode))
 	out = appendSection(out, denseEnc.Data)
 	out = appendSection(out, sparseEnc.Data)
@@ -364,13 +389,13 @@ func (e *Encoder) splitPoints(pc geom.PointCloud, opts Options) (dense, sparseId
 func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
 	switch opts.OutlierMode {
 	case OutlierQuadtree:
-		enc, err := outlier.Encode(pts, opts.Q)
+		enc, err := outlier.EncodeWith(pts, opts.Q, outlier.EncodeOptions{Shards: opts.Shards, Parallel: opts.Parallel})
 		if err != nil {
 			return nil, nil, err
 		}
 		return enc.Data, enc.DecodedOrder, nil
 	case OutlierOctree:
-		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel})
+		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards})
 		if err != nil {
 			return nil, nil, err
 		}

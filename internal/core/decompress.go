@@ -76,10 +76,12 @@ type SectionReport struct {
 	// Bytes is the compressed length of the section.
 	Bytes int
 	// Points is the number of points recovered from the section (0 when
-	// the section is damaged).
+	// the section is damaged beyond salvage).
 	Points int
-	// Err is nil for an intact section; otherwise it explains why the
-	// section was skipped (CRC mismatch or decode failure).
+	// Err is nil for an intact section; otherwise it explains the damage
+	// (CRC mismatch or decode failure). On v3 sparse sections Err and a
+	// nonzero Points can coexist: the per-group CRCs let the decoder skip
+	// only the condemned radial groups and keep the rest.
 	Err error
 	// Raw is the section's compressed payload, aliasing the input frame.
 	// Callers quarantining damaged bytes should copy it before the input
@@ -111,9 +113,10 @@ type container struct {
 }
 
 // parseContainer splits a frame into its envelope and sections, charging
-// declared section lengths against b. It reads both container versions:
+// declared section lengths against b. It reads all container versions:
 // v1 frames section payloads with a bare length, v2 adds a CRC32-C per
-// section (length uvarint, CRC fixed32 LE, payload).
+// section (length uvarint, CRC fixed32 LE, payload), and v3 keeps the v2
+// envelope while the section payloads use the sharded entropy dialect.
 func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 	var c container
 	if len(data) < len(magic)+1 {
@@ -123,7 +126,7 @@ func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 		return c, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	c.version = data[len(magic)]
-	if c.version != version1 && c.version != version2 {
+	if c.version != version1 && c.version != version2 && c.version != version3 {
 		return c, fmt.Errorf("core: unsupported version %d", c.version)
 	}
 	data = data[len(magic)+1:]
@@ -162,7 +165,7 @@ func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 
 // newBudget returns nil (unlimited, zero overhead) for zero limits.
 func newBudget(l DecodeLimits) *declimits.Budget {
-	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.Ctx == nil {
+	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.MaxShards == 0 && l.Ctx == nil {
 		return nil
 	}
 	return declimits.New(l)
@@ -188,7 +191,7 @@ func DecompressWith(data []byte, opts DecompressOptions) (geom.PointCloud, error
 			return nil, err
 		}
 	}
-	pts, errs := decodeSections(c, opts, b)
+	pts, errs := decodeSections(c, opts, b, false)
 	for id, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", SectionID(id), err)
@@ -203,10 +206,12 @@ func DecompressWith(data []byte, opts DecompressOptions) (geom.PointCloud, error
 
 // DecompressPartial decodes every intact section of a frame and skips
 // damaged ones, returning the partial cloud (sections in container order)
-// and a report per section. Damage is detected by section CRC on v2 frames
-// and by decode failure on both versions. The error is non-nil only when
-// the frame envelope itself cannot be parsed — then nothing is
-// recoverable.
+// and a report per section. Damage is detected by section CRC on v2+
+// frames and by decode failure on all versions. On v3 frames the sparse
+// section additionally salvages at radial-group granularity: groups whose
+// own CRC-32C checks out decode even when the section as a whole is
+// damaged. The error is non-nil only when the frame envelope itself cannot
+// be parsed — then nothing is recoverable.
 func DecompressPartial(data []byte, opts DecompressOptions) (geom.PointCloud, []SectionReport, error) {
 	b := newBudget(opts.Limits)
 	c, err := parseContainer(data, b)
@@ -222,21 +227,33 @@ func DecompressPartial(data []byte, opts DecompressOptions) (geom.PointCloud, []
 		}
 		if err := c.sec[id].verify(SectionID(id)); err != nil {
 			reports[id].Err = err
-			// Don't hand known-bad bytes to the decoder: empty the payload
-			// so decodeSections fails it immediately at the header.
+			// v3 sparse sections carry a CRC per radial group, so a damaged
+			// section can still yield its intact groups — keep the payload
+			// and let the salvaging decoder condemn groups individually.
+			// Everything else: don't hand known-bad bytes to the decoder;
+			// empty the payload so decodeSections fails it at the header.
+			if SectionID(id) == SectionSparse && c.version >= version3 {
+				continue
+			}
 			c.sec[id].payload = nil
 		}
 	}
-	pts, errs := decodeSections(c, opts, b)
+	pts, errs := decodeSections(c, opts, b, true)
 	out := geom.PointCloud{}
 	for id := range reports {
-		if reports[id].Err != nil {
-			continue
-		}
 		if errs[id] != nil {
-			reports[id].Err = errs[id]
+			if reports[id].Err == nil {
+				reports[id].Err = errs[id]
+			}
 			continue
 		}
+		if reports[id].Err != nil && pts[id] == nil {
+			continue
+		}
+		// A section decodes here either because it was intact or because
+		// group-level salvage recovered part of it; in the salvage case
+		// Err stays set (recording the damage) while Points counts what
+		// survived.
 		reports[id].Points = len(pts[id])
 		out = append(out, pts[id]...)
 	}
@@ -244,39 +261,45 @@ func DecompressPartial(data []byte, opts DecompressOptions) (geom.PointCloud, []
 }
 
 // decodeSections decodes the three sections of a parsed frame, in parallel
-// when requested, charging b throughout.
-func decodeSections(c container, opts DecompressOptions, b *declimits.Budget) (pts [numSections]geom.PointCloud, errs [numSections]error) {
-	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel, Budget: b}
+// when requested, charging b throughout. salvage lets the sparse decoder
+// skip CRC-condemned radial groups of a v3 stream instead of failing the
+// section (DecompressPartial's group-level recovery).
+func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, salvage bool) (pts [numSections]geom.PointCloud, errs [numSections]error) {
+	// The container version, not the payload, selects the entropy dialect
+	// of the dense and outlier sections; sparse streams are self-flagged.
+	sharded := c.version >= version3
+	octOpts := octree.DecodeOptions{Budget: b, Sharded: sharded, Parallel: opts.Parallel}
+	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel, Budget: b, Salvage: salvage}
 	if opts.Parallel {
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			pts[SectionDense], errs[SectionDense] = octree.DecodeLimited(c.sec[SectionDense].payload, b)
+			pts[SectionDense], errs[SectionDense] = octree.DecodeWith(c.sec[SectionDense].payload, octOpts)
 		}()
 		go func() {
 			defer wg.Done()
-			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b)
+			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, opts.Parallel)
 		}()
 		// The sparse section fans its radial groups out to further
 		// goroutines; decode it on this one.
 		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
 		wg.Wait()
 	} else {
-		pts[SectionDense], errs[SectionDense] = octree.DecodeLimited(c.sec[SectionDense].payload, b)
+		pts[SectionDense], errs[SectionDense] = octree.DecodeWith(c.sec[SectionDense].payload, octOpts)
 		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
-		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b)
+		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, opts.Parallel)
 	}
 	return pts, errs
 }
 
-func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget) (pc geom.PointCloud, err error) {
+func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget, sharded, parallel bool) (pc geom.PointCloud, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
 	switch mode {
 	case OutlierQuadtree:
-		return outlier.DecodeLimited(data, b)
+		return outlier.DecodeWith(data, outlier.DecodeOptions{Budget: b, Sharded: sharded, Parallel: parallel})
 	case OutlierOctree:
-		return octree.DecodeLimited(data, b)
+		return octree.DecodeWith(data, octree.DecodeOptions{Budget: b, Sharded: sharded, Parallel: parallel})
 	case OutlierNone:
 		n, used, err := varint.Uint(data)
 		if err != nil {

@@ -20,19 +20,36 @@ func FuzzDecompress(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	sopts := DefaultOptions(0.02)
+	sopts.Shards = 2
+	v3, _, err := Compress(pc, sopts)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(data)
 	f.Add(data[:len(data)/2])
+	f.Add(v3)
 	f.Add([]byte("DBGC\x01garbage"))
+	f.Add([]byte("DBGC\x03garbage"))
 	f.Add([]byte{})
 	mut := append([]byte(nil), data...)
 	if len(mut) > 10 {
 		mut[10] ^= 0xff
 	}
 	f.Add(mut)
+	mut3 := append([]byte(nil), v3...)
+	if len(mut3) > 20 {
+		mut3[20] ^= 0xff
+	}
+	f.Add(mut3)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		dec, err := Decompress(b)
 		if err == nil && dec == nil {
 			t.Fatal("nil cloud with nil error")
 		}
+		// v3 containers route through the sharded decoders and the
+		// group-salvage partial path; neither may panic.
+		_, _ = DecompressWith(b, DecompressOptions{Parallel: true})
+		_, _, _ = DecompressPartial(b, DecompressOptions{})
 	})
 }

@@ -16,6 +16,9 @@ type Layout struct {
 	// SectionCRCs reports whether the container carries per-section CRC32s
 	// (version 2 and later).
 	SectionCRCs bool
+	// ShardedStreams reports the v3 dialect: high-volume entropy streams
+	// split into independently coded shards, sparse groups CRC-prefixed.
+	ShardedStreams bool
 	// Groups is the number of radial point groups in the sparse section.
 	Groups int
 	// PointsDense, PointsSparse, PointsOutlier are header point counts
@@ -36,6 +39,7 @@ func Inspect(data []byte) (Layout, error) {
 	}
 	l.OutlierMode = c.mode
 	l.SectionCRCs = c.sec[SectionDense].hasCRC
+	l.ShardedStreams = c.version >= version3
 
 	dense := c.sec[SectionDense].payload
 	l.BytesDense = len(dense)

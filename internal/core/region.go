@@ -26,7 +26,8 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	out, err := octree.DecodeRegion(c.sec[SectionDense].payload, region)
+	sharded := c.version >= version3
+	out, err := octree.DecodeRegionWith(c.sec[SectionDense].payload, region, octree.DecodeOptions{Sharded: sharded})
 	if err != nil {
 		return nil, fmt.Errorf("core: dense: %w", err)
 	}
@@ -44,7 +45,7 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil)
+	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil, sharded, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: outliers: %w", err)
 	}

@@ -39,6 +39,11 @@ type Limits struct {
 	// MemBudget caps the total bytes of decoded output the frame may
 	// materialize (points, occupancy buffers, count tables).
 	MemBudget int64
+	// MaxShards caps the shard count any single sharded entropy stream
+	// (container v3) may declare. Each declared shard costs a length
+	// varint, a slice header, and eventually a goroutine, so the cap keeps
+	// a corrupt header from amplifying into thousands of decode tasks.
+	MaxShards int64
 	// Ctx, when non-nil, is polled during decoding; its deadline or
 	// cancellation aborts the decode with the context's error.
 	Ctx context.Context
@@ -53,6 +58,7 @@ func DefaultLimits() Limits {
 		MaxNodes:        64 << 20,  // entropy symbols + tree nodes
 		MaxSectionBytes: 256 << 20, // one compressed section
 		MemBudget:       1 << 30,   // 1 GiB of decoded output
+		MaxShards:       256,       // shards per entropy stream
 	}
 }
 
@@ -136,6 +142,20 @@ func (b *Budget) Mem(n int64) error {
 		return fmt.Errorf("%w: more than %d bytes of decoded output", ErrLimit, b.lim.MemBudget)
 	}
 	return b.poll()
+}
+
+// Shards validates one sharded stream's declared shard count. Unlike the
+// charge methods it is not cumulative: the shards of different streams
+// decode sequentially per stream, so only the per-stream fan-out needs
+// bounding.
+func (b *Budget) Shards(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.lim.MaxShards > 0 && n > b.lim.MaxShards {
+		return fmt.Errorf("%w: stream declares %d shards, cap %d", ErrLimit, n, b.lim.MaxShards)
+	}
+	return b.Check()
 }
 
 // Section validates one compressed section's declared byte length.

@@ -18,11 +18,20 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	sharded, err := EncodeWith(pc, 0.02, EncodeOptions{Shards: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(plain.Data)
 	f.Add(grouped.Data)
+	f.Add(sharded.Data)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		_, _ = Decode(b)
 		_, _ = DecodeGrouped(b)
+		// The v3 dialect flag is out of band, so every input is also fed
+		// through the sharded decoder, serial and parallel.
+		_, _ = DecodeWith(b, DecodeOptions{Sharded: true})
+		_, _ = DecodeWith(b, DecodeOptions{Sharded: true, Parallel: true})
 	})
 }

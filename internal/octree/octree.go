@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dbgc/internal/arith"
 	"dbgc/internal/declimits"
@@ -42,6 +43,10 @@ type Encoded struct {
 	// original point it reconstructs. It is side information for error
 	// accounting and is not part of Data.
 	DecodedOrder []int
+	// EntropyTime is the wall time of the arithmetic coding passes
+	// (occupancy + counts), separated from tree construction so per-stage
+	// benchmarks can pinpoint the entropy bottleneck.
+	EntropyTime time.Duration
 }
 
 // span is one octree node during breadth-first construction: a range of the
@@ -77,13 +82,22 @@ func grow[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// EncodeOptions tunes Encode without changing its output.
+// EncodeOptions tunes Encode.
 type EncodeOptions struct {
 	// Parallel shards the per-level occupancy construction across CPUs and
-	// runs the two arithmetic coding passes concurrently. The stream is
-	// byte-identical to a serial encode.
+	// runs the arithmetic coding passes concurrently. The stream is
+	// byte-identical to a serial encode with the same Shards value.
 	Parallel bool
+	// Shards splits the occupancy and count entropy streams into this many
+	// independently-coded shards (container v3). Values <= 1 keep the
+	// legacy single-coder streams, byte-identical to previous releases.
+	// The produced stream requires a shard-aware decoder (DecodeWith with
+	// Sharded set) when Shards > 1.
+	Shards int
 }
+
+// Sharded reports whether the options produce sharded entropy streams.
+func (o EncodeOptions) sharded() bool { return o.Shards > 1 }
 
 // Encode compresses points so that every reconstructed coordinate differs
 // from the original by at most q per dimension. An empty input encodes to a
@@ -125,21 +139,36 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 	enc.DecodedOrder = order
 
 	// The two output streams are independent; the occupancy and count
-	// coders run concurrently when parallelism is on.
+	// coders run concurrently when parallelism is on, and each stream
+	// additionally splits into opts.Shards independent shards.
+	entStart := time.Now()
 	var occStream, countStream []byte
+	encodeOcc := func() []byte {
+		if opts.sharded() {
+			return arith.AppendCompressCodesSharded(nil, occ, 256, opts.Shards, opts.Parallel)
+		}
+		return compressOccupancy(occ)
+	}
+	encodeCounts := func() []byte {
+		if opts.sharded() {
+			return arith.AppendCompressUintsSharded(nil, counts, opts.Shards, opts.Parallel)
+		}
+		return arith.AppendCompressUints(nil, counts)
+	}
 	if opts.Parallel {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			countStream = arith.AppendCompressUints(nil, counts)
+			countStream = encodeCounts()
 		}()
-		occStream = compressOccupancy(occ)
+		occStream = encodeOcc()
 		wg.Wait()
 	} else {
-		occStream = compressOccupancy(occ)
-		countStream = arith.AppendCompressUints(nil, counts)
+		occStream = encodeOcc()
+		countStream = encodeCounts()
 	}
+	enc.EntropyTime = time.Since(entStart)
 
 	out := header
 	out = varint.AppendUint(out, uint64(len(occ)))
@@ -339,11 +368,30 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	return DecodeLimited(data, nil)
 }
 
+// DecodeOptions selects the stream dialect and resources of one decode.
+type DecodeOptions struct {
+	// Budget charges decoded points, symbols, and nodes; nil is unlimited.
+	Budget *declimits.Budget
+	// Sharded declares that the entropy streams use the container v3
+	// sharded framing. The container records this per section; it is not
+	// inferred from the payload.
+	Sharded bool
+	// Parallel decodes the shards of a sharded stream concurrently. It has
+	// no effect on unsharded streams.
+	Parallel bool
+}
+
 // DecodeLimited is Decode charging decoded points, occupancy symbols, and
 // tree nodes against b. A nil budget is unlimited. Panics on hostile bytes
 // are recovered into ErrCorrupt-wrapped errors.
-func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+func DecodeLimited(data []byte, b *declimits.Budget) (geom.PointCloud, error) {
+	return DecodeWith(data, DecodeOptions{Budget: b})
+}
+
+// DecodeWith is Decode with explicit options.
+func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
+	b := opts.Budget
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("octree: point count: %w", err)
@@ -399,11 +447,21 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err er
 		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
 	}
 
-	occ, err := decompressOccupancy(occStream, occLen, b)
-	if err != nil {
-		return nil, err
+	var occ []byte
+	var counts []uint64
+	if opts.Sharded {
+		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, b, opts.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("octree: occupancy: %w", err)
+		}
+		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
+	} else {
+		occ, err = decompressOccupancy(occStream, occLen, b)
+		if err != nil {
+			return nil, err
+		}
+		counts, err = arith.DecompressUintsLimited(countStream, countLen, b)
 	}
-	counts, err := arith.DecompressUintsLimited(countStream, countLen, b)
 	if err != nil {
 		return nil, fmt.Errorf("octree: counts: %w", err)
 	}

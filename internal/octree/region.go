@@ -16,6 +16,12 @@ import (
 // dropped as soon as their cells separate from the box, so no point
 // outside the region is ever built.
 func DecodeRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
+	return DecodeRegionWith(data, region, DecodeOptions{})
+}
+
+// DecodeRegionWith is DecodeRegion with explicit options (sharded streams,
+// parallel shard decode, resource budget).
+func DecodeRegionWith(data []byte, region geom.AABB, opts DecodeOptions) (geom.PointCloud, error) {
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("octree: point count: %w", err)
@@ -59,11 +65,21 @@ func DecodeRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 	if err != nil {
 		return nil, err
 	}
-	occ, err := decompressOccupancy(occStream, occLen, nil)
-	if err != nil {
-		return nil, err
+	var occ []byte
+	var counts []uint64
+	if opts.Sharded {
+		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, opts.Budget, opts.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("octree: occupancy: %w", err)
+		}
+		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, opts.Budget, opts.Parallel)
+	} else {
+		occ, err = decompressOccupancy(occStream, occLen, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		counts, err = arith.DecompressUints(countStream, countLen)
 	}
-	counts, err := arith.DecompressUints(countStream, countLen)
 	if err != nil {
 		return nil, fmt.Errorf("octree: counts: %w", err)
 	}

@@ -30,8 +30,23 @@ type Encoded struct {
 	DecodedOrder []int
 }
 
+// EncodeOptions tunes Encode.
+type EncodeOptions struct {
+	// Shards splits the quadtree and z-delta entropy streams into this
+	// many independently-coded shards (container v3). Values <= 1 keep the
+	// legacy single-coder streams.
+	Shards int
+	// Parallel encodes the shards of a sharded stream concurrently.
+	Parallel bool
+}
+
 // Encode compresses the outlier points with per-dimension error bound q.
 func Encode(points geom.PointCloud, q float64) (Encoded, error) {
+	return EncodeWith(points, q, EncodeOptions{})
+}
+
+// EncodeWith is Encode with explicit options.
+func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded, error) {
 	if q <= 0 {
 		return Encoded{}, fmt.Errorf("outlier: error bound must be positive, got %v", q)
 	}
@@ -39,7 +54,7 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 	for i, p := range points {
 		xy[i] = quadtree.Point2{X: p.X, Y: p.Y}
 	}
-	qt, err := quadtree.Encode(xy, q)
+	qt, err := quadtree.EncodeWith(xy, q, quadtree.EncodeOptions{Shards: opts.Shards, Parallel: opts.Parallel})
 	if err != nil {
 		return Encoded{}, fmt.Errorf("outlier: quadtree: %w", err)
 	}
@@ -58,7 +73,12 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 		}
 		dz[i] = zq[i] - zq[i-1]
 	}
-	zStream := arith.CompressInts(dz)
+	var zStream []byte
+	if opts.Shards > 1 {
+		zStream = arith.AppendCompressIntsSharded(nil, dz, opts.Shards, opts.Parallel)
+	} else {
+		zStream = arith.CompressInts(dz)
+	}
 
 	out := make([]byte, 0, len(qt.Data)+len(zStream)+24)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(q))
@@ -74,11 +94,28 @@ func Decode(data []byte) (geom.PointCloud, error) {
 	return DecodeLimited(data, nil)
 }
 
+// DecodeOptions selects the stream dialect and resources of one decode.
+type DecodeOptions struct {
+	// Budget charges decoded points and entropy symbols; nil is unlimited.
+	Budget *declimits.Budget
+	// Sharded declares that the entropy streams use the container v3
+	// sharded framing.
+	Sharded bool
+	// Parallel decodes the shards of a sharded stream concurrently.
+	Parallel bool
+}
+
 // DecodeLimited is Decode charging decoded points and entropy symbols
 // against b. A nil budget is unlimited. Panics on hostile bytes are
 // recovered into ErrCorrupt-wrapped errors.
-func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err error) {
+func DecodeLimited(data []byte, b *declimits.Budget) (geom.PointCloud, error) {
+	return DecodeWith(data, DecodeOptions{Budget: b})
+}
+
+// DecodeWith is Decode with explicit options.
+func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
+	b := opts.Budget
 	if len(data) < 8 {
 		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
@@ -95,7 +132,11 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err er
 	if qtLen > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: quadtree stream truncated", ErrCorrupt)
 	}
-	xy, err := quadtree.DecodeLimited(data[:qtLen], b)
+	xy, err := quadtree.DecodeWith(data[:qtLen], quadtree.DecodeOptions{
+		Budget:   b,
+		Sharded:  opts.Sharded,
+		Parallel: opts.Parallel,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("outlier: quadtree: %w", err)
 	}
@@ -108,7 +149,12 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err er
 	if zLen > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: z stream truncated", ErrCorrupt)
 	}
-	dz, err := arith.DecompressIntsLimited(data[:zLen], len(xy), b)
+	var dz []int64
+	if opts.Sharded {
+		dz, err = arith.DecompressIntsShardedLimited(data[:zLen], len(xy), b, opts.Parallel)
+	} else {
+		dz, err = arith.DecompressIntsLimited(data[:zLen], len(xy), b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("outlier: z deltas: %w", err)
 	}

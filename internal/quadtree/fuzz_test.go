@@ -14,13 +14,21 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	sharded, err := EncodeWith(pts, 0.02, EncodeOptions{Shards: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(enc.Data)
 	f.Add(enc.Data[:len(enc.Data)/2])
+	f.Add(sharded.Data)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		b := declimits.New(declimits.Limits{
+		lim := declimits.Limits{
 			MaxPoints: 1 << 16, MaxNodes: 1 << 20, MemBudget: 32 << 20,
-		})
-		_, _ = DecodeLimited(data, b)
+		}
+		_, _ = DecodeLimited(data, declimits.New(lim))
+		// The v3 dialect flag is out of band: feed every input through the
+		// sharded decoder too.
+		_, _ = DecodeWith(data, DecodeOptions{Budget: declimits.New(lim), Sharded: true})
 	})
 }

@@ -35,9 +35,24 @@ type Encoded struct {
 	DecodedOrder []int
 }
 
+// EncodeOptions tunes Encode.
+type EncodeOptions struct {
+	// Shards splits the occupancy and count entropy streams into this many
+	// independently-coded shards (container v3). Values <= 1 keep the
+	// legacy single-coder streams.
+	Shards int
+	// Parallel encodes the shards of a sharded stream concurrently.
+	Parallel bool
+}
+
 // Encode compresses the 2D points so each reconstructed coordinate is
 // within q of the original on both dimensions.
 func Encode(points []Point2, q float64) (Encoded, error) {
+	return EncodeWith(points, q, EncodeOptions{})
+}
+
+// EncodeWith is Encode with explicit options.
+func EncodeWith(points []Point2, q float64, opts EncodeOptions) (Encoded, error) {
 	if q <= 0 {
 		return Encoded{}, fmt.Errorf("quadtree: error bound must be positive, got %v", q)
 	}
@@ -137,8 +152,14 @@ func Encode(points []Point2, q float64) (Encoded, error) {
 	}
 	enc.DecodedOrder = order
 
-	occStream := compressCodes(occ, parents)
-	countStream := arith.CompressUints(counts)
+	var occStream, countStream []byte
+	if opts.Shards > 1 {
+		occStream = arith.AppendCompressCodesSharded(nil, occ, 16, opts.Shards, opts.Parallel)
+		countStream = arith.AppendCompressUintsSharded(nil, counts, opts.Shards, opts.Parallel)
+	} else {
+		occStream = compressCodes(occ, parents)
+		countStream = arith.CompressUints(counts)
+	}
 	out = varint.AppendUint(out, uint64(len(occ)))
 	out = varint.AppendUint(out, uint64(len(occStream)))
 	out = append(out, occStream...)
@@ -177,11 +198,28 @@ func Decode(data []byte) ([]Point2, error) {
 	return DecodeLimited(data, nil)
 }
 
+// DecodeOptions selects the stream dialect and resources of one decode.
+type DecodeOptions struct {
+	// Budget charges decoded points, symbols, and nodes; nil is unlimited.
+	Budget *declimits.Budget
+	// Sharded declares that the entropy streams use the container v3
+	// sharded framing.
+	Sharded bool
+	// Parallel decodes the shards of a sharded stream concurrently.
+	Parallel bool
+}
+
 // DecodeLimited is Decode charging decoded points, occupancy symbols, and
 // tree nodes against b. A nil budget is unlimited. Panics on hostile bytes
 // are recovered into ErrCorrupt-wrapped errors.
-func DecodeLimited(data []byte, b *declimits.Budget) (pts []Point2, err error) {
+func DecodeLimited(data []byte, b *declimits.Budget) ([]Point2, error) {
+	return DecodeWith(data, DecodeOptions{Budget: b})
+}
+
+// DecodeWith is Decode with explicit options.
+func DecodeWith(data []byte, opts DecodeOptions) (pts []Point2, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
+	b := opts.Budget
 	n, used, err := varint.Uint(data)
 	if err != nil {
 		return nil, fmt.Errorf("quadtree: point count: %w", err)
@@ -231,19 +269,42 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pts []Point2, err error) {
 	if uint64(countLen) > n {
 		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
 	}
-	counts, err := arith.DecompressUintsLimited(countStream, countLen, b)
+	var counts []uint64
+	if opts.Sharded {
+		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
+	} else {
+		counts, err = arith.DecompressUintsLimited(countStream, countLen, b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("quadtree: counts: %w", err)
 	}
-	if err := b.Nodes(int64(occLen)); err != nil {
-		return nil, err
-	}
-	occDec := arith.NewDecoder(occStream)
-	occModel := arith.NewModel(16)
-	decodeCode := func(parent byte) (byte, error) {
-		_ = parent
-		sym, err := occDec.Decode(occModel)
-		return byte(sym), err
+	// Unsharded streams decode occupancy lazily, interleaved with the tree
+	// walk; sharded streams materialize the code sequence first (the shards
+	// decode independently, possibly in parallel) and the walk replays it.
+	var decodeCode func(parent byte) (byte, error)
+	if opts.Sharded {
+		occ, err := arith.DecompressCodesShardedLimited(occStream, occLen, 16, b, opts.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("quadtree: occupancy: %w", err)
+		}
+		k := 0
+		decodeCode = func(parent byte) (byte, error) {
+			_ = parent
+			c := occ[k]
+			k++
+			return c, nil
+		}
+	} else {
+		if err := b.Nodes(int64(occLen)); err != nil {
+			return nil, err
+		}
+		occDec := arith.NewDecoder(occStream)
+		occModel := arith.NewModel(16)
+		decodeCode = func(parent byte) (byte, error) {
+			_ = parent
+			sym, err := occDec.Decode(occModel)
+			return byte(sym), err
+		}
 	}
 
 	type cell struct {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
 
@@ -17,15 +18,33 @@ import (
 // ErrCorrupt reports a malformed sparse stream.
 var ErrCorrupt = errors.New("sparse: corrupt stream")
 
+// ErrGroupCRC reports a radial group whose CRC-32C (carried by sharded v3
+// streams) does not match its payload. It wraps ErrCorrupt.
+var ErrGroupCRC = fmt.Errorf("%w: group CRC mismatch", ErrCorrupt)
+
 // DecodeOptions configures decoding. The zero value decodes serially.
 type DecodeOptions struct {
-	// Parallel decodes the radial groups on separate goroutines. Each
-	// group is an independently entropy-coded section, so the output is
+	// Parallel decodes the radial groups on separate goroutines — and the
+	// shards within each group of a sharded (v3) stream. Each group is an
+	// independently entropy-coded section, so the output is
 	// point-identical to serial decoding.
 	Parallel bool
 	// Budget, when non-nil, bounds decoded points, entropy symbols, and
 	// memory. It is safe to share with concurrently decoding sections.
 	Budget *declimits.Budget
+	// Salvage skips radial groups whose CRC-32C mismatches instead of
+	// failing the whole section. Only sharded (v3) streams carry group
+	// CRCs; on legacy streams the option is a no-op. The returned cloud
+	// holds the points of every intact group, in group order.
+	Salvage bool
+}
+
+// groupFlags carries the per-stream dialect bits every group decode needs.
+type groupFlags struct {
+	cartesian  bool
+	plainDelta bool
+	sharded    bool
+	parallel   bool
 }
 
 // Decode reconstructs the polyline points from a stream produced by
@@ -51,8 +70,12 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 	if !(q > 0) || math.IsInf(q, 0) {
 		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
 	}
-	cartesian := flags&flagCartesian != 0
-	plainDelta := flags&flagPlainDelta != 0
+	gf := groupFlags{
+		cartesian:  flags&flagCartesian != 0,
+		plainDelta: flags&flagPlainDelta != 0,
+		sharded:    flags&flagSharded != 0,
+		parallel:   opts.Parallel,
+	}
 
 	nGroups, used, err := varint.Uint(data)
 	if err != nil {
@@ -89,19 +112,25 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 			go func(gi int) {
 				defer wg.Done()
 				defer declimits.Recover(&errs[gi], ErrCorrupt)
-				pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta, opts.Budget)
+				pts[gi], errs[gi] = decodeGroupChecked(groups[gi], q, gf, opts.Budget)
 			}(gi)
 		}
 		wg.Wait()
 	} else {
 		for gi := range groups {
-			pts[gi], errs[gi] = decodeGroup(groups[gi], q, cartesian, plainDelta, opts.Budget)
+			pts[gi], errs[gi] = decodeGroupChecked(groups[gi], q, gf, opts.Budget)
 		}
 	}
 
 	total := 0
 	for gi := range groups {
 		if errs[gi] != nil {
+			// A CRC-attributable failure condemns only its own group when
+			// the caller asked for salvage; everything else stays fatal.
+			if opts.Salvage && errors.Is(errs[gi], ErrGroupCRC) {
+				pts[gi] = nil
+				continue
+			}
 			return nil, fmt.Errorf("sparse: group %d: %w", gi, errs[gi])
 		}
 		total += len(pts[gi])
@@ -113,7 +142,25 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 	return out, nil
 }
 
-func decodeGroup(data []byte, q float64, cartesian, plainDelta bool, b *declimits.Budget) (geom.PointCloud, error) {
+// decodeGroupChecked strips and verifies the CRC-32C prefix that sharded
+// (v3) groups carry, then decodes the group payload. Legacy groups pass
+// through unchanged.
+func decodeGroupChecked(data []byte, q float64, gf groupFlags, b *declimits.Budget) (geom.PointCloud, error) {
+	if gf.sharded {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: group shorter than its CRC", ErrCorrupt)
+		}
+		want := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if crc32.Checksum(data, crcTable) != want {
+			return nil, ErrGroupCRC
+		}
+	}
+	return decodeGroup(data, q, gf, b)
+}
+
+func decodeGroup(data []byte, q float64, gf groupFlags, b *declimits.Budget) (geom.PointCloud, error) {
+	cartesian, plainDelta := gf.cartesian, gf.plainDelta
 	var qz Quantizer
 	var cq cartesianQuantizer
 	if cartesian {
@@ -206,11 +253,22 @@ func decodeGroup(data []byte, q float64, cartesian, plainDelta bool, b *declimit
 	if err != nil {
 		return nil, fmt.Errorf("sparse: phi heads: %w", err)
 	}
-	phiTails, err := arith.DecompressIntsLimited(streams[4], nTails, b)
+	// φ tails and radials are the two high-volume streams; sharded (v3)
+	// groups code them with the sharded framing, decodable in parallel.
+	var phiTails, radials []int64
+	if gf.sharded {
+		phiTails, err = arith.DecompressIntsShardedLimited(streams[4], nTails, b, gf.parallel)
+	} else {
+		phiTails, err = arith.DecompressIntsLimited(streams[4], nTails, b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sparse: phi tails: %w", err)
 	}
-	radials, err := arith.DecompressIntsLimited(streams[5], total, b)
+	if gf.sharded {
+		radials, err = arith.DecompressIntsShardedLimited(streams[5], total, b, gf.parallel)
+	} else {
+		radials, err = arith.DecompressIntsLimited(streams[5], total, b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sparse: radials: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync"
@@ -42,6 +43,13 @@ type Options struct {
 	// Parallel encodes the radial groups concurrently. The output is
 	// byte-identical to the serial encoding.
 	Parallel bool
+	// Shards splits each group's high-volume entropy streams (φ tails and
+	// radials) into this many independently-coded shards (container v3)
+	// and adds a per-group CRC so damaged groups can be salvaged
+	// individually. Values <= 1 keep the legacy streams, byte-identical to
+	// previous releases. The flag rides in the stream header, so decoders
+	// need no out-of-band signal.
+	Shards int
 }
 
 func (o Options) groups() int {
@@ -88,7 +96,14 @@ type Encoded struct {
 const (
 	flagCartesian  = 1 << 0
 	flagPlainDelta = 1 << 1
+	// flagSharded marks the container v3 dialect: each group payload is
+	// prefixed by its CRC-32C, and the φ-tail and radial streams use the
+	// sharded entropy framing of internal/arith.
+	flagSharded = 1 << 2
 )
+
+// crcTable is the Castagnoli polynomial, matching the container CRCs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Encode compresses the sparse subset of pc given by idx. The cloud's
 // origin must be the sensor position (§3.3).
@@ -104,6 +119,9 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 	}
 	if opts.DisableRadialOpt {
 		flags |= flagPlainDelta
+	}
+	if opts.Shards > 1 {
+		flags |= flagSharded
 	}
 	out = varint.AppendUint(out, flags)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.Q))
@@ -167,7 +185,14 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 		if r.err != nil {
 			return Encoded{}, fmt.Errorf("sparse: group %d: %w", gi, r.err)
 		}
-		out = varint.AppendUint(out, uint64(len(r.data)))
+		if opts.Shards > 1 {
+			// v3 dialect: the group length covers a leading CRC-32C so a
+			// damaged group can be detected — and skipped — on its own.
+			out = varint.AppendUint(out, uint64(len(r.data))+4)
+			out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(r.data, crcTable))
+		} else {
+			out = varint.AppendUint(out, uint64(len(r.data)))
+		}
 		out = append(out, r.data...)
 		enc.OutlierIdx = append(enc.OutlierIdx, r.outliers...)
 		enc.DecodedOrder = append(enc.DecodedOrder, r.order...)
@@ -326,10 +351,21 @@ func encodeGroup(pc geom.PointCloud, group []int32, rs []float64, opts Options) 
 	data = appendStream(data, deflateBytes(s))
 	s = arith.AppendCompressInts(s[:0], dPhiHeads)
 	data = appendStream(data, s)
-	s = arith.AppendCompressInts(s[:0], phiTails)
-	data = appendStream(data, s)
-	s = arith.AppendCompressInts(s[:0], radials)
-	data = appendStream(data, s)
+	// φ tails and radials are the group's two high-volume streams; in the
+	// sharded dialect they split into independently-coded shards. The small
+	// head/length/ref streams stay single-coder: sharding them would cost
+	// model restarts without useful parallelism.
+	if opts.Shards > 1 {
+		s = arith.AppendCompressIntsSharded(s[:0], phiTails, opts.Shards, opts.Parallel)
+		data = appendStream(data, s)
+		s = arith.AppendCompressIntsSharded(s[:0], radials, opts.Shards, opts.Parallel)
+		data = appendStream(data, s)
+	} else {
+		s = arith.AppendCompressInts(s[:0], phiTails)
+		data = appendStream(data, s)
+		s = arith.AppendCompressInts(s[:0], radials)
+		data = appendStream(data, s)
+	}
 	s = appendCompressRefs(s[:0], refs)
 	data = appendStream(data, s)
 	*sp = s

@@ -29,8 +29,12 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 	if !(q > 0) || math.IsInf(q, 0) {
 		return nil, fmt.Errorf("%w: invalid error bound %v", ErrCorrupt, q)
 	}
-	cartesian := flags&flagCartesian != 0
-	plainDelta := flags&flagPlainDelta != 0
+	gf := groupFlags{
+		cartesian:  flags&flagCartesian != 0,
+		plainDelta: flags&flagPlainDelta != 0,
+		sharded:    flags&flagSharded != 0,
+	}
+	cartesian := gf.cartesian
 
 	nGroups, used, err := varint.Uint(data)
 	if err != nil {
@@ -54,8 +58,17 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 		group := data[:glen]
 		data = data[glen:]
 
-		if !cartesian && len(group) >= 8 {
-			rMax := math.Float64frombits(binary.LittleEndian.Uint64(group))
+		// Sharded (v3) groups carry a 4-byte CRC before the payload; the
+		// rMax culling peek must look past it.
+		body := group
+		if gf.sharded {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("%w: group %d shorter than its CRC", ErrCorrupt, gi)
+			}
+			body = body[4:]
+		}
+		if !cartesian && len(body) >= 8 {
+			rMax := math.Float64frombits(binary.LittleEndian.Uint64(body))
 			lo := prevRMax
 			prevRMax = rMax
 			// Quantization can nudge a point just past its group edge.
@@ -64,7 +77,7 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 				continue // shell disjoint from the query interval
 			}
 		}
-		pts, err := decodeGroup(group, q, cartesian, plainDelta, nil)
+		pts, err := decodeGroupChecked(group, q, gf, nil)
 		if err != nil {
 			return nil, fmt.Errorf("sparse: group %d: %w", gi, err)
 		}
