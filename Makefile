@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-json bench-sweep soak
+.PHONY: check build vet test race fuzz bench-json bench-sweep bench-pack soak
 
 # check is the CI gate: vet + full test suite, then the data-race pass
 # (which includes the reliable-transport fault-injection tests).
@@ -30,6 +30,14 @@ bench-json:
 bench-sweep:
 	$(GO) run ./cmd/dbgc-bench -exp sweep -shards 8 -gomaxprocs 1,2,4,8 -json BENCH_7.json
 
+# Block bitpacking ablation: per-stream bytes and pack/unpack timings of
+# the blockpack codec against the legacy entropy coders, plus the
+# v2/v3/v4 container dialect matrix with the size-guard check.
+# PACK_ITERS=1 is the CI smoke scale; raise it for stable timings.
+PACK_ITERS ?= 15
+bench-pack:
+	$(GO) run ./cmd/dbgc-bench -exp pack -frames $(PACK_ITERS) -json BENCH_8.json
+
 # Chaos soak: concurrent tenants through fault-injected links and
 # crash-prone disks with induced crash-restarts, under the race detector.
 # Fails if any acked frame is missing or corrupt after the final restart.
@@ -48,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/kdtree
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/gpcc
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/quadtree
+	$(GO) test -fuzz=FuzzBlockPack -fuzztime=$(FUZZTIME) ./internal/blockpack
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/arith
 	$(GO) test -fuzz=FuzzShardedStream -fuzztime=$(FUZZTIME) ./internal/arith
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/core

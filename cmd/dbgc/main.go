@@ -58,11 +58,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dbgc compress   [-q meters] [-groups n] [-exact] [-shards n] [-parallel] input.bin output.dbgc
+  dbgc compress   [-q meters] [-groups n] [-exact] [-shards n] [-blockpack|-blockpack-force] [-parallel] input.bin output.dbgc
   dbgc decompress [-parallel] input.dbgc output.bin
   dbgc info       input.dbgc
   dbgc simulate   [-scene kind] [-seed n] output.bin
-  dbgc pack       [-q meters] [-fps n] [-intensity] [-shards n] frames... output.dbgs
+  dbgc pack       [-q meters] [-fps n] [-intensity] [-shards n] [-blockpack] frames... output.dbgs
   dbgc unpack     input.dbgs output-dir
   dbgc view       [-extent m] [-size WxH] frame.bin|frame.ply|frame.dbgc
   dbgc query      -box x0,y0,z0,x1,y1,z1 frame.dbgc output.bin`)
@@ -75,6 +75,8 @@ func runCompress(args []string) error {
 	groups := fs.Int("groups", 6, "radial point groups")
 	exact := fs.Bool("exact", false, "use exact cell-based clustering")
 	shards := fs.Int("shards", 1, "entropy shard count (>1 writes the v3 container)")
+	blockpack := fs.Bool("blockpack", false, "block-bitpack the integer streams when it shrinks the frame (v4 container, size-guarded)")
+	blockpackForce := fs.Bool("blockpack-force", false, "always write the v4 container, skipping the blockpack size guard")
 	parallel := fs.Bool("parallel", false, "compress stages and shards concurrently")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
@@ -88,6 +90,8 @@ func runCompress(args []string) error {
 	opts.Groups = *groups
 	opts.ExactClustering = *exact
 	opts.Shards = *shards
+	opts.BlockPack = *blockpack
+	opts.BlockPackForce = *blockpackForce
 	opts.Parallel = *parallel
 	data, stats, err := dbgc.Compress(pc, opts)
 	if err != nil {
@@ -221,6 +225,9 @@ func runInfo(args []string) error {
 	dialect := ""
 	if layout.ShardedStreams {
 		dialect = ", sharded entropy streams"
+	}
+	if layout.BlockPacked {
+		dialect += ", blockpacked integer streams"
 	}
 	fmt.Printf("%s: %d bytes, %d points, ratio %.2f (format v%d%s)\n",
 		fs.Arg(0), len(data), len(pc), float64(len(pc)*12)/float64(len(data)), layout.Version, dialect)

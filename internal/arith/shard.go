@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dbgc/internal/declimits"
+	"dbgc/internal/par"
 	"dbgc/internal/varint"
 )
 
@@ -103,15 +104,15 @@ func appendSharded(dst []byte, n, shards int, parallel bool, encode func(lo, hi 
 		parts[i] = encode(lo, hi, (*bufs[i])[:0])
 	}
 	if parallel {
-		var wg sync.WaitGroup
-		for i := 0; i < s; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
+		// Bounded fan-out: par.Chunks runs at most GOMAXPROCS workers, each
+		// encoding a contiguous run of shards. One goroutine per shard (the
+		// previous scheme) oversubscribes badly when shard count exceeds the
+		// core count — see DESIGN.md §12 on the BENCH_7 regression.
+		par.Chunks(s, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
 				encodeShard(i)
-			}(i)
-		}
-		wg.Wait()
+			}
+		})
 	} else {
 		for i := 0; i < s; i++ {
 			encodeShard(i)
@@ -180,17 +181,15 @@ func decodeSharded(data []byte, n int, b *declimits.Budget, parallel bool, decod
 	s := len(shards)
 	if parallel && s > 1 {
 		errs := make([]error, s)
-		var wg sync.WaitGroup
-		for i := 0; i < s; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer declimits.Recover(&errs[i], ErrCorrupt)
-				lo, hi := shardRange(n, s, i)
-				errs[i] = decode(i, shards[i], lo, hi)
-			}(i)
-		}
-		wg.Wait()
+		par.Chunks(s, func(_, clo, chi int) {
+			for i := clo; i < chi; i++ {
+				func() {
+					defer declimits.Recover(&errs[i], ErrCorrupt)
+					lo, hi := shardRange(n, s, i)
+					errs[i] = decode(i, shards[i], lo, hi)
+				}()
+			}
+		})
 		for _, err := range errs {
 			if err != nil {
 				return err
@@ -205,6 +204,23 @@ func decodeSharded(data []byte, n int, b *declimits.Budget, parallel bool, decod
 		}
 	}
 	return nil
+}
+
+// AppendSharded frames n elements into the shard layout, encoding each
+// shard with encode(lo, hi, dst) (which appends shard [lo, hi) to dst and
+// returns the extended slice). Exported so other codecs (blockpack) can
+// reuse the container v3 framing — and its determinism and validation
+// contract — without duplicating it.
+func AppendSharded(dst []byte, n, shards int, parallel bool, encode func(lo, hi int, dst []byte) []byte) []byte {
+	return appendSharded(dst, n, shards, parallel, encode)
+}
+
+// DecodeSharded parses the shard framing, validating the declared shard
+// count and lengths against b, and runs decode(i, shard, lo, hi) for every
+// shard — concurrently (bounded by GOMAXPROCS) when parallel is set. The
+// first error wins. The exported counterpart of AppendSharded.
+func DecodeSharded(data []byte, n int, b *declimits.Budget, parallel bool, decode func(i int, shard []byte, lo, hi int) error) error {
+	return decodeSharded(data, n, b, parallel, decode)
 }
 
 // AppendCompressCodesSharded appends the sharded order-0 adaptive coding of

@@ -1,0 +1,512 @@
+package benchkit
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"time"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
+	"dbgc/internal/core"
+	"dbgc/internal/geom"
+	"dbgc/internal/lidar"
+	"dbgc/internal/octree"
+	"dbgc/internal/outlier"
+	"dbgc/internal/sparse"
+	"dbgc/internal/varint"
+)
+
+// PackStream is one integer stream's codec ablation row: the bytes and
+// encode/decode times of the legacy entropy codec against the blockpack
+// codec, over the stream exactly as the v4 encoder segments it (per radial
+// group for the sparse streams, whole-section otherwise).
+type PackStream struct {
+	Name        string `json:"stream"`
+	LegacyCodec string `json:"legacy_codec"`
+	Count       int    `json:"count"`
+	Segments    int    `json:"segments"`
+
+	LegacyBytes int `json:"legacy_bytes"`
+	PackBytes   int `json:"blockpack_bytes"`
+	// BytesDeltaPct is blockpack's size drift in percent, positive when
+	// blockpack is larger than the legacy codec.
+	BytesDeltaPct float64 `json:"bytes_delta_pct"`
+
+	LegacyEncNs float64 `json:"legacy_encode_ns"`
+	PackEncNs   float64 `json:"blockpack_encode_ns"`
+	LegacyDecNs float64 `json:"legacy_decode_ns"`
+	PackDecNs   float64 `json:"blockpack_decode_ns"`
+
+	// DecodeSpeedup is legacy decode time over blockpack decode time for
+	// the whole stream (>1 means blockpack is faster).
+	DecodeSpeedup float64 `json:"decode_speedup"`
+	EncodeSpeedup float64 `json:"encode_speedup"`
+}
+
+// PackFrame is one whole-frame container configuration of the dialect
+// matrix: v2 (plain), v3 (sharded), guarded v4 (blockpack with the size
+// guard), and forced v4, with the city-frame size, ratio, and round-trip
+// times. Version is the version byte the encoder actually emitted — for
+// the guarded configuration it reveals which dialect won the frame.
+type PackFrame struct {
+	Config    string `json:"config"`
+	Version   int    `json:"emitted_version"`
+	Shards    int    `json:"shards"`
+	BlockPack bool   `json:"blockpack"`
+	Forced    bool   `json:"blockpack_forced"`
+
+	Bytes        int     `json:"bytes"`
+	Ratio        float64 `json:"ratio"`
+	CompressMs   float64 `json:"compress_ms"`
+	DecompressMs float64 `json:"decompress_ms"`
+
+	// DeltaVsV3Pct is the size drift against the v3 (sharded, same-shards)
+	// baseline in percent; positive means this configuration is larger.
+	DeltaVsV3Pct float64 `json:"delta_vs_v3_pct"`
+	RoundTripOK  bool    `json:"round_trip_ok"`
+}
+
+// PackResult is the `-exp pack` ablation (BENCH_8): per-stream codec
+// comparison on the real city-frame integer streams, plus the container
+// dialect matrix.
+type PackResult struct {
+	Scene  string  `json:"scene"`
+	Q      float64 `json:"q"`
+	Points int     `json:"points"`
+	Iters  int     `json:"iters"`
+
+	Streams []PackStream `json:"streams"`
+
+	// TotalDecodeSpeedup aggregates every stream: summed legacy decode
+	// time over summed blockpack decode time.
+	TotalDecodeSpeedup float64 `json:"total_decode_speedup"`
+	MinDecodeSpeedup   float64 `json:"min_decode_speedup"`
+	TotalLegacyBytes   int     `json:"total_legacy_bytes"`
+	TotalPackBytes     int     `json:"total_blockpack_bytes"`
+
+	Frames []PackFrame `json:"frames"`
+	// V4WithinV3 reports the acceptance bound: the v4 container (at the
+	// matching shard count) is no larger than v3.
+	V4WithinV3 bool `json:"v4_total_le_v3"`
+}
+
+// segsI64/segsU64 are a stream's segments exactly as the encoder codes
+// them: the entropy coder restarts per segment, so the ablation must too.
+type packCase struct {
+	name   string
+	legacy string
+	u64    [][]uint64
+	i64    [][]int64
+
+	legEncU func([]uint64) []byte
+	legDecU func([]byte, int) ([]uint64, error)
+	legEncI func([]int64) []byte
+	legDecI func([]byte, int) ([]int64, error)
+
+	packEncU func([]uint64) []byte
+	packDecU func([]byte, int) ([]uint64, error)
+	packEncI func([]int64) []byte
+	packDecI func([]byte, int) ([]int64, error)
+}
+
+// Pack runs the block-bitpacking ablation on the city frame at q: it
+// captures the raw integer streams the v4 dialect replaces (octree leaf
+// counts, sparse lens/θ/φ/r, quadtree z-deltas), codes each with both the
+// legacy codec and blockpack, and then sizes the four container
+// configurations. iters controls timing repetitions.
+func Pack(q float64, iters int) (PackResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	res := PackResult{Scene: "city", Q: q, Iters: iters}
+	pc, err := Frame(lidar.City, 1)
+	if err != nil {
+		return res, err
+	}
+	res.Points = len(pc)
+
+	opts := core.DefaultOptions(q)
+	denseIdx, sparseIdx := core.SplitPoints(pc, opts)
+	dense := subCloud(pc, denseIdx)
+	counts, err := octree.CollectCounts(dense, q)
+	if err != nil {
+		return res, fmt.Errorf("octree counts: %w", err)
+	}
+	groups, outIdx, err := sparse.CollectStreams(pc, sparseIdx, sparse.Options{
+		Q: q, Groups: opts.Groups, UTheta: opts.UTheta, UPhi: opts.UPhi,
+	})
+	if err != nil {
+		return res, fmt.Errorf("sparse streams: %w", err)
+	}
+	var dz []int64
+	if len(outIdx) > 0 {
+		dz, err = outlier.CollectZDeltas(subCloud(pc, outIdx), q)
+		if err != nil {
+			return res, fmt.Errorf("z deltas: %w", err)
+		}
+	}
+
+	cases := buildCases(counts, groups, dz)
+	var totalLegDec, totalPackDec float64
+	res.MinDecodeSpeedup = 0
+	for _, c := range cases {
+		row, err := benchCase(c, iters)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", c.name, err)
+		}
+		if row.Count == 0 {
+			continue
+		}
+		res.Streams = append(res.Streams, row)
+		res.TotalLegacyBytes += row.LegacyBytes
+		res.TotalPackBytes += row.PackBytes
+		totalLegDec += row.LegacyDecNs
+		totalPackDec += row.PackDecNs
+		if res.MinDecodeSpeedup == 0 || row.DecodeSpeedup < res.MinDecodeSpeedup {
+			res.MinDecodeSpeedup = row.DecodeSpeedup
+		}
+	}
+	if totalPackDec > 0 {
+		res.TotalDecodeSpeedup = totalLegDec / totalPackDec
+	}
+
+	frames, ok, err := packFrames(pc, q, iters)
+	if err != nil {
+		return res, err
+	}
+	res.Frames = frames
+	res.V4WithinV3 = ok
+	return res, nil
+}
+
+func subCloud(pc geom.PointCloud, idx []int32) geom.PointCloud {
+	out := make(geom.PointCloud, len(idx))
+	for i, j := range idx {
+		out[i] = pc[j]
+	}
+	return out
+}
+
+// buildCases wires each replaced stream to its legacy codec (what v2/v3
+// use for it) and its blockpack codec (what v4 uses).
+func buildCases(counts []uint64, groups []sparse.GroupStreams, dz []int64) []packCase {
+	var lens [][]uint64
+	var dThetaHeads, thetaTails, dPhiHeads, phiTails, radials [][]int64
+	for _, g := range groups {
+		lens = append(lens, g.Lens)
+		dThetaHeads = append(dThetaHeads, g.DThetaHeads)
+		thetaTails = append(thetaTails, g.ThetaTails)
+		dPhiHeads = append(dPhiHeads, g.DPhiHeads)
+		phiTails = append(phiTails, g.PhiTails)
+		radials = append(radials, g.Radials)
+	}
+	arithU := func(vs []uint64) []byte { return arith.AppendCompressUints(nil, vs) }
+	arithUDec := func(b []byte, n int) ([]uint64, error) { return arith.DecompressUintsLimited(b, n, nil) }
+	arithI := func(vs []int64) []byte { return arith.AppendCompressInts(nil, vs) }
+	arithIDec := func(b []byte, n int) ([]int64, error) { return arith.DecompressIntsLimited(b, n, nil) }
+	packU := func(vs []uint64) []byte { return blockpack.PackUint64Sharded(nil, vs, 1, false) }
+	packUDec := func(b []byte, n int) ([]uint64, error) { return blockpack.UnpackUint64Sharded(b, n, nil, false) }
+	packIPlain := func(vs []int64) []byte { return blockpack.PackInt64(nil, vs) }
+	packIPlainDec := func(b []byte, n int) ([]int64, error) { return blockpack.UnpackInt64(b, n, nil) }
+	packI := func(vs []int64) []byte { return blockpack.PackInt64Sharded(nil, vs, 1, false) }
+	packIDec := func(b []byte, n int) ([]int64, error) { return blockpack.UnpackInt64Sharded(b, n, nil, false) }
+
+	return []packCase{
+		{
+			name: "octree.counts", legacy: "arith", u64: [][]uint64{counts},
+			legEncU: arithU, legDecU: arithUDec, packEncU: packU, packDecU: packUDec,
+		},
+		{
+			name: "sparse.lens", legacy: "arith", u64: lens,
+			legEncU: arithU, legDecU: arithUDec, packEncU: packU, packDecU: packUDec,
+		},
+		{
+			name: "sparse.dThetaHeads", legacy: "varint+deflate", i64: dThetaHeads,
+			legEncI: deflateInts, legDecI: inflateInts, packEncI: packIPlain, packDecI: packIPlainDec,
+		},
+		{
+			name: "sparse.thetaTails", legacy: "varint+deflate", i64: thetaTails,
+			legEncI: deflateInts, legDecI: inflateInts, packEncI: packI, packDecI: packIDec,
+		},
+		{
+			name: "sparse.dPhiHeads", legacy: "arith", i64: dPhiHeads,
+			legEncI: arithI, legDecI: arithIDec, packEncI: packIPlain, packDecI: packIPlainDec,
+		},
+		{
+			name: "sparse.phiTails", legacy: "arith", i64: phiTails,
+			legEncI: arithI, legDecI: arithIDec, packEncI: packI, packDecI: packIDec,
+		},
+		{
+			name: "sparse.radials", legacy: "arith", i64: radials,
+			legEncI: arithI, legDecI: arithIDec, packEncI: packI, packDecI: packIDec,
+		},
+		{
+			name: "quadtree.dz", legacy: "arith", i64: [][]int64{dz},
+			legEncI: arithI, legDecI: arithIDec, packEncI: packI, packDecI: packIDec,
+		},
+	}
+}
+
+func benchCase(c packCase, iters int) (PackStream, error) {
+	row := PackStream{Name: c.name, LegacyCodec: c.legacy}
+	type seg struct {
+		n        int
+		legacy   []byte
+		packed   []byte
+		checkU   []uint64
+		checkI   []int64
+		legDecU  func([]byte, int) ([]uint64, error)
+		packDecU func([]byte, int) ([]uint64, error)
+		legDecI  func([]byte, int) ([]int64, error)
+		packDecI func([]byte, int) ([]int64, error)
+	}
+	var segs []seg
+	for _, vs := range c.u64 {
+		if len(vs) == 0 {
+			continue
+		}
+		segs = append(segs, seg{
+			n: len(vs), legacy: c.legEncU(vs), packed: c.packEncU(vs), checkU: vs,
+			legDecU: c.legDecU, packDecU: c.packDecU,
+		})
+		row.Count += len(vs)
+	}
+	for _, vs := range c.i64 {
+		if len(vs) == 0 {
+			continue
+		}
+		segs = append(segs, seg{
+			n: len(vs), legacy: c.legEncI(vs), packed: c.packEncI(vs), checkI: vs,
+			legDecI: c.legDecI, packDecI: c.packDecI,
+		})
+		row.Count += len(vs)
+	}
+	row.Segments = len(segs)
+	if row.Count == 0 {
+		return row, nil
+	}
+	for _, s := range segs {
+		row.LegacyBytes += len(s.legacy)
+		row.PackBytes += len(s.packed)
+	}
+	row.BytesDeltaPct = 100 * (float64(row.PackBytes) - float64(row.LegacyBytes)) / float64(row.LegacyBytes)
+
+	// Verify both codecs round-trip before trusting the timings.
+	for _, s := range segs {
+		if s.checkU != nil {
+			got, err := s.packDecU(s.packed, s.n)
+			if err != nil {
+				return row, fmt.Errorf("blockpack decode: %w", err)
+			}
+			for i := range got {
+				if got[i] != s.checkU[i] {
+					return row, fmt.Errorf("blockpack round trip mismatch at %d", i)
+				}
+			}
+		} else {
+			got, err := s.packDecI(s.packed, s.n)
+			if err != nil {
+				return row, fmt.Errorf("blockpack decode: %w", err)
+			}
+			for i := range got {
+				if got[i] != s.checkI[i] {
+					return row, fmt.Errorf("blockpack round trip mismatch at %d", i)
+				}
+			}
+		}
+	}
+
+	timeIt := func(f func() error) (float64, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+	}
+	var err error
+	if row.LegacyEncNs, err = timeIt(func() error {
+		for _, s := range segs {
+			if s.checkU != nil {
+				_ = c.legEncU(s.checkU)
+			} else {
+				_ = c.legEncI(s.checkI)
+			}
+		}
+		return nil
+	}); err != nil {
+		return row, err
+	}
+	if row.PackEncNs, err = timeIt(func() error {
+		for _, s := range segs {
+			if s.checkU != nil {
+				_ = c.packEncU(s.checkU)
+			} else {
+				_ = c.packEncI(s.checkI)
+			}
+		}
+		return nil
+	}); err != nil {
+		return row, err
+	}
+	if row.LegacyDecNs, err = timeIt(func() error {
+		for _, s := range segs {
+			var err error
+			if s.checkU != nil {
+				_, err = s.legDecU(s.legacy, s.n)
+			} else {
+				_, err = s.legDecI(s.legacy, s.n)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return row, err
+	}
+	if row.PackDecNs, err = timeIt(func() error {
+		for _, s := range segs {
+			var err error
+			if s.checkU != nil {
+				_, err = s.packDecU(s.packed, s.n)
+			} else {
+				_, err = s.packDecI(s.packed, s.n)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return row, err
+	}
+	if row.PackDecNs > 0 {
+		row.DecodeSpeedup = row.LegacyDecNs / row.PackDecNs
+	}
+	if row.PackEncNs > 0 {
+		row.EncodeSpeedup = row.LegacyEncNs / row.PackEncNs
+	}
+	return row, nil
+}
+
+// deflateInts is the legacy azimuthal-stream codec: zigzag varints through
+// DEFLATE at best compression, as sparse.Encode uses for the θ streams.
+func deflateInts(vs []int64) []byte {
+	raw := varint.AppendInts(nil, vs)
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err) // only fails for invalid level
+	}
+	if _, err := w.Write(raw); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func inflateInts(data []byte, n int) ([]int64, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return varint.DecodeInts(raw, n)
+}
+
+// packFrames sizes and times the container dialect matrix on the frame.
+func packFrames(pc geom.PointCloud, q float64, iters int) ([]PackFrame, bool, error) {
+	want, err := core.Decompress(mustCompress(pc, q, 1, false))
+	if err != nil {
+		return nil, false, err
+	}
+	configs := []struct {
+		name      string
+		shards    int
+		blockpack bool
+		forced    bool
+	}{
+		{"v2 (plain)", 1, false, false},
+		{"v3 (sharded)", 8, false, false},
+		{"v4 (blockpack, guarded)", 1, true, false},
+		{"v4 (blockpack, guarded, sharded)", 8, true, false},
+		{"v4 (blockpack, forced, sharded)", 8, true, true},
+	}
+	frames := make([]PackFrame, 0, len(configs))
+	v3Bytes := map[int]int{} // shards → v3 size, for the delta columns
+	for _, cfg := range configs {
+		opts := core.DefaultOptions(q)
+		opts.Shards = cfg.shards
+		opts.BlockPack = cfg.blockpack
+		opts.BlockPackForce = cfg.forced
+		var data []byte
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if data, _, err = core.Compress(pc, opts); err != nil {
+				return nil, false, err
+			}
+		}
+		compressMs := float64(time.Since(start).Microseconds()) / float64(iters) / 1000
+		var got geom.PointCloud
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if got, err = core.Decompress(data); err != nil {
+				return nil, false, err
+			}
+		}
+		decompressMs := float64(time.Since(start).Microseconds()) / float64(iters) / 1000
+		f := PackFrame{
+			Config: cfg.name, Version: int(data[4]), Shards: cfg.shards,
+			BlockPack: cfg.blockpack, Forced: cfg.forced,
+			Bytes: len(data), Ratio: Ratio(len(pc), len(data)),
+			CompressMs: compressMs, DecompressMs: decompressMs,
+			RoundTripOK: cloudsMatch(want, got),
+		}
+		if !cfg.blockpack {
+			v3Bytes[cfg.shards] = len(data)
+		} else if base, ok := v3Bytes[cfg.shards]; ok && base > 0 {
+			f.DeltaVsV3Pct = 100 * (float64(len(data)) - float64(base)) / float64(base)
+		}
+		frames = append(frames, f)
+	}
+	// The acceptance bound covers the guarded configurations only: forced
+	// v4 intentionally trades ratio for decode speed and is reported for
+	// the record, not held to the bound.
+	ok := true
+	for _, f := range frames {
+		if !f.RoundTripOK || (!f.Forced && f.DeltaVsV3Pct > 0) {
+			ok = false
+		}
+	}
+	return frames, ok, nil
+}
+
+func mustCompress(pc geom.PointCloud, q float64, shards int, blockpack bool) []byte {
+	opts := core.DefaultOptions(q)
+	opts.Shards = shards
+	opts.BlockPack = blockpack
+	data, _, err := core.Compress(pc, opts)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func cloudsMatch(a, b geom.PointCloud) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -87,6 +87,28 @@ type Options struct {
 	// byte-identical to previous releases. The output depends only on the
 	// input and the shard count, never on Parallel or GOMAXPROCS.
 	Shards int
+	// BlockPack codes the integer hot paths — octree leaf counts, sparse
+	// polyline lengths and θ/φ/r deltas, outlier quadtree counts and Δz —
+	// with the blockpack codec (FastPFOR-style 128-value blocks, patched
+	// exceptions) instead of adaptive arithmetic coding and varint+DEFLATE,
+	// and emits the container v4 dialect. Arithmetic-coded occupancy and
+	// reference-symbol streams are unaffected. Off keeps v2/v3 bytes
+	// unchanged; on composes with Shards (blockpacked streams reuse the
+	// shard framing, so sharded parallel decode still applies).
+	//
+	// BlockPack is guarded by a whole-frame size comparison: the encoder
+	// also builds the plain v2/v3 container and emits whichever is
+	// smaller, so enabling it never grows a frame. On heavily skewed
+	// streams the adaptive coders win and the frame stays v2/v3; on
+	// flatter distributions the packed v4 container wins and decodes
+	// several times faster. The guard roughly doubles encode work; see
+	// BlockPackForce to skip it.
+	BlockPack bool
+	// BlockPackForce emits the v4 container unconditionally, skipping the
+	// BlockPack size guard (and its second encode pass). Intended for
+	// format tooling, tests, and callers that prefer decode throughput
+	// over ratio regardless of the frame. Implies BlockPack.
+	BlockPackForce bool
 }
 
 // DefaultOptions returns the paper's configuration for error bound q.
@@ -150,8 +172,14 @@ const (
 	// sharded framing of internal/arith, and prefixes each sparse radial
 	// group with its own CRC-32C. All three versions decode.
 	version3 = 3
+	// version4 keeps the v3 envelope and framing but codes the integer hot
+	// paths (leaf counts, polyline lengths, θ/φ/r deltas, Δz) with the
+	// blockpack codec of internal/blockpack. Emitted when Options.BlockPack
+	// is set and the packed container wins the size guard (or when
+	// BlockPackForce skips the guard). All four versions decode.
+	version4 = 4
 	// version is what Compress emits for unsharded options (Shards <= 1);
-	// sharded compression emits version3.
+	// sharded compression emits version3, blockpacked version4.
 	version = version2
 )
 
@@ -185,6 +213,38 @@ func NewEncoder(opts Options) *Encoder { return &Encoder{Opts: opts} }
 // caller-owned.
 func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 	opts := e.Opts
+	if opts.BlockPackForce {
+		opts.BlockPack = true
+	}
+	if opts.BlockPack && !opts.BlockPackForce {
+		// Size guard: blockpack trades ratio for decode speed, and on
+		// heavily skewed streams the adaptive coders win. Encode both
+		// dialects and keep the smaller container; ties go to the plain
+		// dialect so guarded output degenerates to exactly v2/v3 bytes.
+		packed, _, err := e.compressOnce(pc, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		packedStats := e.stats
+		plainOpts := opts
+		plainOpts.BlockPack = false
+		plain, stats, err := e.compressOnce(pc, plainOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(packed) < len(plain) {
+			// The mapping is dialect-independent, and the second pass
+			// rebuilt the identical content in e.mapping, so the saved
+			// stats still alias valid scratch.
+			e.stats = packedStats
+			return packed, &e.stats, nil
+		}
+		return plain, stats, nil
+	}
+	return e.compressOnce(pc, opts)
+}
+
+func (e *Encoder) compressOnce(pc geom.PointCloud, opts Options) ([]byte, *Stats, error) {
 	if opts.Q <= 0 {
 		return nil, nil, fmt.Errorf("core: error bound must be positive, got %v", opts.Q)
 	}
@@ -221,7 +281,7 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 	denseDone := make(chan struct{})
 	encodeDense := func() {
 		t := time.Now()
-		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards})
+		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack})
 		stats.OCT = time.Since(t)
 		stats.ENT = denseEnc.EntropyTime
 		close(denseDone)
@@ -243,6 +303,7 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 		CartesianMode:    opts.CartesianPolylines,
 		Parallel:         opts.Parallel,
 		Shards:           opts.Shards,
+		BlockPack:        opts.BlockPack,
 	})
 	<-denseDone
 	if denseErr != nil {
@@ -272,10 +333,14 @@ func (e *Encoder) Compress(pc geom.PointCloud) ([]byte, *Stats, error) {
 	stats.OUT = time.Since(t0)
 
 	// Final layout (Figure 8). Sharded entropy streams need the v3
-	// container so decoders select the right dialect per section.
+	// container, blockpacked streams the v4, so decoders select the right
+	// dialect per section.
 	ver := byte(version)
 	if opts.Shards > 1 {
 		ver = version3
+	}
+	if opts.BlockPack {
+		ver = version4
 	}
 	out := make([]byte, 0, len(denseEnc.Data)+len(sparseEnc.Data)+len(outlierData)+64)
 	out = append(out, magic...)
@@ -386,16 +451,25 @@ func (e *Encoder) splitPoints(pc geom.PointCloud, opts Options) (dense, sparseId
 	return dense, sparseIdx
 }
 
+// SplitPoints classifies pc into dense and sparse index sets exactly as
+// Compress does under opts. It exists for the benchkit pack ablation, which
+// replays the codec choice on the real per-stream data of a frame.
+func SplitPoints(pc geom.PointCloud, opts Options) (dense, sparseIdx []int32) {
+	var e Encoder
+	d, s := e.splitPoints(pc, opts)
+	return append([]int32(nil), d...), append([]int32(nil), s...)
+}
+
 func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
 	switch opts.OutlierMode {
 	case OutlierQuadtree:
-		enc, err := outlier.EncodeWith(pts, opts.Q, outlier.EncodeOptions{Shards: opts.Shards, Parallel: opts.Parallel})
+		enc, err := outlier.EncodeWith(pts, opts.Q, outlier.EncodeOptions{Shards: opts.Shards, BlockPack: opts.BlockPack, Parallel: opts.Parallel})
 		if err != nil {
 			return nil, nil, err
 		}
 		return enc.Data, enc.DecodedOrder, nil
 	case OutlierOctree:
-		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards})
+		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -115,8 +115,9 @@ type container struct {
 // parseContainer splits a frame into its envelope and sections, charging
 // declared section lengths against b. It reads all container versions:
 // v1 frames section payloads with a bare length, v2 adds a CRC32-C per
-// section (length uvarint, CRC fixed32 LE, payload), and v3 keeps the v2
-// envelope while the section payloads use the sharded entropy dialect.
+// section (length uvarint, CRC fixed32 LE, payload), v3 keeps the v2
+// envelope while the section payloads use the sharded entropy dialect, and
+// v4 additionally codes the integer hot paths with blockpack.
 func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 	var c container
 	if len(data) < len(magic)+1 {
@@ -126,7 +127,7 @@ func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 		return c, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	c.version = data[len(magic)]
-	if c.version != version1 && c.version != version2 && c.version != version3 {
+	if c.version != version1 && c.version != version2 && c.version != version3 && c.version != version4 {
 		return c, fmt.Errorf("core: unsupported version %d", c.version)
 	}
 	data = data[len(magic)+1:]
@@ -268,7 +269,8 @@ func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, sa
 	// The container version, not the payload, selects the entropy dialect
 	// of the dense and outlier sections; sparse streams are self-flagged.
 	sharded := c.version >= version3
-	octOpts := octree.DecodeOptions{Budget: b, Sharded: sharded, Parallel: opts.Parallel}
+	blockpacked := c.version >= version4
+	octOpts := octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: opts.Parallel}
 	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel, Budget: b, Salvage: salvage}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -279,7 +281,7 @@ func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, sa
 		}()
 		go func() {
 			defer wg.Done()
-			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, opts.Parallel)
+			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, opts.Parallel)
 		}()
 		// The sparse section fans its radial groups out to further
 		// goroutines; decode it on this one.
@@ -288,18 +290,18 @@ func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, sa
 	} else {
 		pts[SectionDense], errs[SectionDense] = octree.DecodeWith(c.sec[SectionDense].payload, octOpts)
 		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
-		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, opts.Parallel)
+		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, opts.Parallel)
 	}
 	return pts, errs
 }
 
-func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget, sharded, parallel bool) (pc geom.PointCloud, err error) {
+func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget, sharded, blockpacked, parallel bool) (pc geom.PointCloud, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
 	switch mode {
 	case OutlierQuadtree:
-		return outlier.DecodeWith(data, outlier.DecodeOptions{Budget: b, Sharded: sharded, Parallel: parallel})
+		return outlier.DecodeWith(data, outlier.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: parallel})
 	case OutlierOctree:
-		return octree.DecodeWith(data, octree.DecodeOptions{Budget: b, Sharded: sharded, Parallel: parallel})
+		return octree.DecodeWith(data, octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: parallel})
 	case OutlierNone:
 		n, used, err := varint.Uint(data)
 		if err != nil {

@@ -26,11 +26,19 @@ func FuzzDecompress(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	popts := DefaultOptions(0.02)
+	popts.BlockPackForce = true
+	v4, _, err := Compress(pc, popts)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(data)
 	f.Add(data[:len(data)/2])
 	f.Add(v3)
+	f.Add(v4)
 	f.Add([]byte("DBGC\x01garbage"))
 	f.Add([]byte("DBGC\x03garbage"))
+	f.Add([]byte("DBGC\x04garbage"))
 	f.Add([]byte{})
 	mut := append([]byte(nil), data...)
 	if len(mut) > 10 {
@@ -42,6 +50,11 @@ func FuzzDecompress(f *testing.F) {
 		mut3[20] ^= 0xff
 	}
 	f.Add(mut3)
+	mut4 := append([]byte(nil), v4...)
+	if len(mut4) > 30 {
+		mut4[30] ^= 0xff
+	}
+	f.Add(mut4)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		dec, err := Decompress(b)
 		if err == nil && dec == nil {

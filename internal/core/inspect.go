@@ -19,6 +19,9 @@ type Layout struct {
 	// ShardedStreams reports the v3 dialect: high-volume entropy streams
 	// split into independently coded shards, sparse groups CRC-prefixed.
 	ShardedStreams bool
+	// BlockPacked reports the v4 dialect: integer hot-path streams coded
+	// with the blockpack codec inside the shard framing.
+	BlockPacked bool
 	// Groups is the number of radial point groups in the sparse section.
 	Groups int
 	// PointsDense, PointsSparse, PointsOutlier are header point counts
@@ -40,6 +43,7 @@ func Inspect(data []byte) (Layout, error) {
 	l.OutlierMode = c.mode
 	l.SectionCRCs = c.sec[SectionDense].hasCRC
 	l.ShardedStreams = c.version >= version3
+	l.BlockPacked = c.version >= version4
 
 	dense := c.sec[SectionDense].payload
 	l.BytesDense = len(dense)

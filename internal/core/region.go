@@ -27,7 +27,8 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 	}
 
 	sharded := c.version >= version3
-	out, err := octree.DecodeRegionWith(c.sec[SectionDense].payload, region, octree.DecodeOptions{Sharded: sharded})
+	blockpacked := c.version >= version4
+	out, err := octree.DecodeRegionWith(c.sec[SectionDense].payload, region, octree.DecodeOptions{Sharded: sharded, BlockPack: blockpacked})
 	if err != nil {
 		return nil, fmt.Errorf("core: dense: %w", err)
 	}
@@ -45,7 +46,7 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil, sharded, false)
+	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil, sharded, blockpacked, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: outliers: %w", err)
 	}

@@ -22,16 +22,22 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	packed, err := EncodeWith(pc, 0.02, EncodeOptions{BlockPack: true})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(plain.Data)
 	f.Add(grouped.Data)
 	f.Add(sharded.Data)
+	f.Add(packed.Data)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		_, _ = Decode(b)
 		_, _ = DecodeGrouped(b)
-		// The v3 dialect flag is out of band, so every input is also fed
-		// through the sharded decoder, serial and parallel.
+		// The v3/v4 dialect flags are out of band, so every input is also
+		// fed through the sharded and blockpack decoders.
 		_, _ = DecodeWith(b, DecodeOptions{Sharded: true})
 		_, _ = DecodeWith(b, DecodeOptions{Sharded: true, Parallel: true})
+		_, _ = DecodeWith(b, DecodeOptions{BlockPack: true})
 	})
 }

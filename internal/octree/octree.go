@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/par"
@@ -94,10 +95,17 @@ type EncodeOptions struct {
 	// The produced stream requires a shard-aware decoder (DecodeWith with
 	// Sharded set) when Shards > 1.
 	Shards int
+	// BlockPack codes the per-leaf count stream with the blockpack codec
+	// instead of the adaptive arithmetic coder (container v4) and moves the
+	// occupancy stream into the sharded framing. The produced stream
+	// requires DecodeWith with BlockPack set. Off keeps v2/v3 bytes
+	// unchanged.
+	BlockPack bool
 }
 
 // Sharded reports whether the options produce sharded entropy streams.
-func (o EncodeOptions) sharded() bool { return o.Shards > 1 }
+// BlockPack (v4) always uses the shard framing, with possibly one shard.
+func (o EncodeOptions) sharded() bool { return o.Shards > 1 || o.BlockPack }
 
 // Encode compresses points so that every reconstructed coordinate differs
 // from the original by at most q per dimension. An empty input encodes to a
@@ -150,6 +158,9 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 		return compressOccupancy(occ)
 	}
 	encodeCounts := func() []byte {
+		if opts.BlockPack {
+			return blockpack.PackUint64Sharded(nil, counts, opts.Shards, opts.Parallel)
+		}
 		if opts.sharded() {
 			return arith.AppendCompressUintsSharded(nil, counts, opts.Shards, opts.Parallel)
 		}
@@ -180,6 +191,30 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 	buildPool.Put(scratch)
 	enc.Data = out
 	return enc, nil
+}
+
+// CollectCounts builds the octree for points at error bound q and returns
+// the per-leaf point count stream without entropy coding it. It exists for
+// the benchkit pack ablation, which compares codecs on the real count
+// stream of a frame.
+func CollectCounts(points geom.PointCloud, q float64) ([]uint64, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("octree: error bound must be positive, got %v", q)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	cube := geom.Bounds(points).Cube()
+	depth := depthFor(cube.MaxDim(), q)
+	side := 2 * q * math.Pow(2, float64(depth))
+	if side < cube.MaxDim() {
+		side = cube.MaxDim()
+	}
+	scratch := buildPool.Get().(*buildScratch)
+	_, counts, _ := buildAndSerialize(scratch, points, cube.Min, side, depth, false)
+	out := append([]uint64(nil), counts...)
+	buildPool.Put(scratch)
+	return out, nil
 }
 
 // depthFor returns the number of subdivision levels needed for leaf side
@@ -376,6 +411,10 @@ type DecodeOptions struct {
 	// sharded framing. The container records this per section; it is not
 	// inferred from the payload.
 	Sharded bool
+	// BlockPack declares that the count stream uses the blockpack codec in
+	// the shard framing (container v4). Implies the sharded framing for the
+	// occupancy stream.
+	BlockPack bool
 	// Parallel decodes the shards of a sharded stream concurrently. It has
 	// no effect on unsharded streams.
 	Parallel bool
@@ -449,12 +488,16 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 
 	var occ []byte
 	var counts []uint64
-	if opts.Sharded {
+	if opts.Sharded || opts.BlockPack {
 		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, b, opts.Parallel)
 		if err != nil {
 			return nil, fmt.Errorf("octree: occupancy: %w", err)
 		}
-		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
+		if opts.BlockPack {
+			counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, b, opts.Parallel)
+		} else {
+			counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
+		}
 	} else {
 		occ, err = decompressOccupancy(occStream, occLen, b)
 		if err != nil {

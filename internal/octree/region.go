@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -67,12 +68,16 @@ func DecodeRegionWith(data []byte, region geom.AABB, opts DecodeOptions) (geom.P
 	}
 	var occ []byte
 	var counts []uint64
-	if opts.Sharded {
+	if opts.Sharded || opts.BlockPack {
 		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, opts.Budget, opts.Parallel)
 		if err != nil {
 			return nil, fmt.Errorf("octree: occupancy: %w", err)
 		}
-		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, opts.Budget, opts.Parallel)
+		if opts.BlockPack {
+			counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, opts.Budget, opts.Parallel)
+		} else {
+			counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, opts.Budget, opts.Parallel)
+		}
 	} else {
 		occ, err = decompressOccupancy(occStream, occLen, opts.Budget)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/quadtree"
@@ -36,6 +37,10 @@ type EncodeOptions struct {
 	// many independently-coded shards (container v3). Values <= 1 keep the
 	// legacy single-coder streams.
 	Shards int
+	// BlockPack codes the z-delta and quadtree count streams with the
+	// blockpack codec in the shard framing (container v4). Off keeps v2/v3
+	// bytes unchanged.
+	BlockPack bool
 	// Parallel encodes the shards of a sharded stream concurrently.
 	Parallel bool
 }
@@ -54,7 +59,7 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 	for i, p := range points {
 		xy[i] = quadtree.Point2{X: p.X, Y: p.Y}
 	}
-	qt, err := quadtree.EncodeWith(xy, q, quadtree.EncodeOptions{Shards: opts.Shards, Parallel: opts.Parallel})
+	qt, err := quadtree.EncodeWith(xy, q, quadtree.EncodeOptions{Shards: opts.Shards, BlockPack: opts.BlockPack, Parallel: opts.Parallel})
 	if err != nil {
 		return Encoded{}, fmt.Errorf("outlier: quadtree: %w", err)
 	}
@@ -74,7 +79,9 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 		dz[i] = zq[i] - zq[i-1]
 	}
 	var zStream []byte
-	if opts.Shards > 1 {
+	if opts.BlockPack {
+		zStream = blockpack.PackInt64Sharded(nil, dz, opts.Shards, opts.Parallel)
+	} else if opts.Shards > 1 {
 		zStream = arith.AppendCompressIntsSharded(nil, dz, opts.Shards, opts.Parallel)
 	} else {
 		zStream = arith.CompressInts(dz)
@@ -89,6 +96,32 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 	return Encoded{Data: out, DecodedOrder: qt.DecodedOrder}, nil
 }
 
+// CollectZDeltas builds the quadtree for points at error bound q and
+// returns the delta-encoded quantized z stream without entropy coding it.
+// It exists for the benchkit pack ablation, which compares codecs on the
+// real z-delta stream of a frame.
+func CollectZDeltas(points geom.PointCloud, q float64) ([]int64, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("outlier: error bound must be positive, got %v", q)
+	}
+	xy := make([]quadtree.Point2, len(points))
+	for i, p := range points {
+		xy[i] = quadtree.Point2{X: p.X, Y: p.Y}
+	}
+	qt, err := quadtree.Encode(xy, q)
+	if err != nil {
+		return nil, fmt.Errorf("outlier: quadtree: %w", err)
+	}
+	dz := make([]int64, len(points))
+	prev := int64(0)
+	for j, oi := range qt.DecodedOrder {
+		zq := int64(math.Round(points[oi].Z / (2 * q)))
+		dz[j] = zq - prev
+		prev = zq
+	}
+	return dz, nil
+}
+
 // Decode reconstructs the outlier points.
 func Decode(data []byte) (geom.PointCloud, error) {
 	return DecodeLimited(data, nil)
@@ -101,6 +134,9 @@ type DecodeOptions struct {
 	// Sharded declares that the entropy streams use the container v3
 	// sharded framing.
 	Sharded bool
+	// BlockPack declares that the z-delta and quadtree count streams use
+	// the blockpack codec in the shard framing (container v4).
+	BlockPack bool
 	// Parallel decodes the shards of a sharded stream concurrently.
 	Parallel bool
 }
@@ -133,9 +169,10 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 		return nil, fmt.Errorf("%w: quadtree stream truncated", ErrCorrupt)
 	}
 	xy, err := quadtree.DecodeWith(data[:qtLen], quadtree.DecodeOptions{
-		Budget:   b,
-		Sharded:  opts.Sharded,
-		Parallel: opts.Parallel,
+		Budget:    b,
+		Sharded:   opts.Sharded,
+		BlockPack: opts.BlockPack,
+		Parallel:  opts.Parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("outlier: quadtree: %w", err)
@@ -150,7 +187,9 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 		return nil, fmt.Errorf("%w: z stream truncated", ErrCorrupt)
 	}
 	var dz []int64
-	if opts.Sharded {
+	if opts.BlockPack {
+		dz, err = blockpack.UnpackInt64Sharded(data[:zLen], len(xy), b, opts.Parallel)
+	} else if opts.Sharded {
 		dz, err = arith.DecompressIntsShardedLimited(data[:zLen], len(xy), b, opts.Parallel)
 	} else {
 		dz, err = arith.DecompressIntsLimited(data[:zLen], len(xy), b)

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
 	"dbgc/internal/declimits"
 	"dbgc/internal/varint"
 )
@@ -41,6 +42,10 @@ type EncodeOptions struct {
 	// independently-coded shards (container v3). Values <= 1 keep the
 	// legacy single-coder streams.
 	Shards int
+	// BlockPack codes the leaf count stream with the blockpack codec in the
+	// shard framing (container v4) and moves the occupancy stream into the
+	// sharded framing. Off keeps v2/v3 bytes unchanged.
+	BlockPack bool
 	// Parallel encodes the shards of a sharded stream concurrently.
 	Parallel bool
 }
@@ -153,9 +158,13 @@ func EncodeWith(points []Point2, q float64, opts EncodeOptions) (Encoded, error)
 	enc.DecodedOrder = order
 
 	var occStream, countStream []byte
-	if opts.Shards > 1 {
+	if opts.Shards > 1 || opts.BlockPack {
 		occStream = arith.AppendCompressCodesSharded(nil, occ, 16, opts.Shards, opts.Parallel)
-		countStream = arith.AppendCompressUintsSharded(nil, counts, opts.Shards, opts.Parallel)
+		if opts.BlockPack {
+			countStream = blockpack.PackUint64Sharded(nil, counts, opts.Shards, opts.Parallel)
+		} else {
+			countStream = arith.AppendCompressUintsSharded(nil, counts, opts.Shards, opts.Parallel)
+		}
 	} else {
 		occStream = compressCodes(occ, parents)
 		countStream = arith.CompressUints(counts)
@@ -205,6 +214,10 @@ type DecodeOptions struct {
 	// Sharded declares that the entropy streams use the container v3
 	// sharded framing.
 	Sharded bool
+	// BlockPack declares that the count stream uses the blockpack codec in
+	// the shard framing (container v4). Implies the sharded framing for the
+	// occupancy stream.
+	BlockPack bool
 	// Parallel decodes the shards of a sharded stream concurrently.
 	Parallel bool
 }
@@ -270,7 +283,9 @@ func DecodeWith(data []byte, opts DecodeOptions) (pts []Point2, err error) {
 		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
 	}
 	var counts []uint64
-	if opts.Sharded {
+	if opts.BlockPack {
+		counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, b, opts.Parallel)
+	} else if opts.Sharded {
 		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
 	} else {
 		counts, err = arith.DecompressUintsLimited(countStream, countLen, b)
@@ -282,7 +297,7 @@ func DecodeWith(data []byte, opts DecodeOptions) (pts []Point2, err error) {
 	// walk; sharded streams materialize the code sequence first (the shards
 	// decode independently, possibly in parallel) and the walk replays it.
 	var decodeCode func(parent byte) (byte, error)
-	if opts.Sharded {
+	if opts.Sharded || opts.BlockPack {
 		occ, err := arith.DecompressCodesShardedLimited(occStream, occLen, 16, b, opts.Parallel)
 		if err != nil {
 			return nil, fmt.Errorf("quadtree: occupancy: %w", err)

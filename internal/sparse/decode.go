@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/blockpack"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/polyline"
@@ -44,6 +45,7 @@ type groupFlags struct {
 	cartesian  bool
 	plainDelta bool
 	sharded    bool
+	blockpack  bool
 	parallel   bool
 }
 
@@ -74,6 +76,7 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 		cartesian:  flags&flagCartesian != 0,
 		plainDelta: flags&flagPlainDelta != 0,
 		sharded:    flags&flagSharded != 0,
+		blockpack:  flags&flagBlockPack != 0,
 		parallel:   opts.Parallel,
 	}
 
@@ -143,10 +146,10 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 }
 
 // decodeGroupChecked strips and verifies the CRC-32C prefix that sharded
-// (v3) groups carry, then decodes the group payload. Legacy groups pass
-// through unchanged.
+// (v3) and blockpacked (v4) groups carry, then decodes the group payload.
+// Legacy groups pass through unchanged.
 func decodeGroupChecked(data []byte, q float64, gf groupFlags, b *declimits.Budget) (geom.PointCloud, error) {
-	if gf.sharded {
+	if gf.sharded || gf.blockpack {
 		if len(data) < 4 {
 			return nil, fmt.Errorf("%w: group shorter than its CRC", ErrCorrupt)
 		}
@@ -212,7 +215,13 @@ func decodeGroup(data []byte, q float64, gf groupFlags, b *declimits.Budget) (ge
 		return nil, fmt.Errorf("%w: %d trailing bytes in group", ErrCorrupt, len(data))
 	}
 
-	lens, err := arith.DecompressUintsLimited(streams[0], nLines, b)
+	var lens []uint64
+	var err error
+	if gf.blockpack {
+		lens, err = blockpack.UnpackUint64Sharded(streams[0], nLines, b, gf.parallel)
+	} else {
+		lens, err = arith.DecompressUintsLimited(streams[0], nLines, b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sparse: lengths: %w", err)
 	}
@@ -230,47 +239,73 @@ func decodeGroup(data []byte, q float64, gf groupFlags, b *declimits.Budget) (ge
 		return nil, err
 	}
 
-	// A zigzag varint is at most 10 bytes, so a valid head/tail stream
-	// inflates to at most 10 bytes per element; the bound stops DEFLATE
-	// bombs before io.ReadAll materializes them.
-	thetaHeadBytes, err := inflateBytesBounded(streams[1], 10*int64(nLines), b)
-	if err != nil {
-		return nil, err
-	}
-	dThetaHeads, err := varint.DecodeInts(thetaHeadBytes, nLines)
-	if err != nil {
-		return nil, fmt.Errorf("sparse: theta heads: %w", err)
-	}
-	thetaTailBytes, err := inflateBytesBounded(streams[2], 10*int64(nTails), b)
-	if err != nil {
-		return nil, err
-	}
-	thetaTails, err := varint.DecodeInts(thetaTailBytes, nTails)
-	if err != nil {
-		return nil, fmt.Errorf("sparse: theta tails: %w", err)
-	}
-	dPhiHeads, err := arith.DecompressIntsLimited(streams[3], nLines, b)
-	if err != nil {
-		return nil, fmt.Errorf("sparse: phi heads: %w", err)
-	}
-	// φ tails and radials are the two high-volume streams; sharded (v3)
-	// groups code them with the sharded framing, decodable in parallel.
-	var phiTails, radials []int64
-	if gf.sharded {
-		phiTails, err = arith.DecompressIntsShardedLimited(streams[4], nTails, b, gf.parallel)
+	var dThetaHeads, thetaTails, dPhiHeads, phiTails, radials []int64
+	if gf.blockpack {
+		// Blockpacked (v4) groups carry every integer stream in the
+		// blockpack coding: head streams plain (one block run), tail and
+		// radial streams in the shard framing for parallel decode.
+		dThetaHeads, err = blockpack.UnpackInt64(streams[1], nLines, b)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: theta heads: %w", err)
+		}
+		thetaTails, err = blockpack.UnpackInt64Sharded(streams[2], nTails, b, gf.parallel)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: theta tails: %w", err)
+		}
+		dPhiHeads, err = blockpack.UnpackInt64(streams[3], nLines, b)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: phi heads: %w", err)
+		}
+		phiTails, err = blockpack.UnpackInt64Sharded(streams[4], nTails, b, gf.parallel)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: phi tails: %w", err)
+		}
+		radials, err = blockpack.UnpackInt64Sharded(streams[5], total, b, gf.parallel)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: radials: %w", err)
+		}
 	} else {
-		phiTails, err = arith.DecompressIntsLimited(streams[4], nTails, b)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("sparse: phi tails: %w", err)
-	}
-	if gf.sharded {
-		radials, err = arith.DecompressIntsShardedLimited(streams[5], total, b, gf.parallel)
-	} else {
-		radials, err = arith.DecompressIntsLimited(streams[5], total, b)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("sparse: radials: %w", err)
+		// A zigzag varint is at most 10 bytes, so a valid head/tail stream
+		// inflates to at most 10 bytes per element; the bound stops DEFLATE
+		// bombs before io.ReadAll materializes them.
+		thetaHeadBytes, err := inflateBytesBounded(streams[1], 10*int64(nLines), b)
+		if err != nil {
+			return nil, err
+		}
+		dThetaHeads, err = varint.DecodeInts(thetaHeadBytes, nLines)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: theta heads: %w", err)
+		}
+		thetaTailBytes, err := inflateBytesBounded(streams[2], 10*int64(nTails), b)
+		if err != nil {
+			return nil, err
+		}
+		thetaTails, err = varint.DecodeInts(thetaTailBytes, nTails)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: theta tails: %w", err)
+		}
+		dPhiHeads, err = arith.DecompressIntsLimited(streams[3], nLines, b)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: phi heads: %w", err)
+		}
+		// φ tails and radials are the two high-volume streams; sharded (v3)
+		// groups code them with the sharded framing, decodable in parallel.
+		if gf.sharded {
+			phiTails, err = arith.DecompressIntsShardedLimited(streams[4], nTails, b, gf.parallel)
+		} else {
+			phiTails, err = arith.DecompressIntsLimited(streams[4], nTails, b)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sparse: phi tails: %w", err)
+		}
+		if gf.sharded {
+			radials, err = arith.DecompressIntsShardedLimited(streams[5], total, b, gf.parallel)
+		} else {
+			radials, err = arith.DecompressIntsLimited(streams[5], total, b)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sparse: radials: %w", err)
+		}
 	}
 	if err := b.Nodes(int64(nRefs)); err != nil {
 		return nil, err

@@ -22,14 +22,20 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	packed, err := Encode(pc, []int32{0, 1, 2, 3, 4},
+		Options{Q: 0.02, Groups: 2, UTheta: 0.003, UPhi: 0.007, BlockPack: true})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(enc.Data)
 	f.Add(enc.Data[:len(enc.Data)/3])
 	f.Add(sharded.Data)
+	f.Add(packed.Data)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		// The sharded flag rides in the stream header, so plain Decode
-		// already covers the v3 dialect; Salvage additionally exercises
-		// the per-group CRC recovery path.
+		// The sharded and blockpack flags ride in the stream header, so
+		// plain Decode already covers the v3/v4 dialects; Salvage
+		// additionally exercises the per-group CRC recovery path.
 		_, _ = Decode(b)
 		_, _ = DecodeWith(b, DecodeOptions{Salvage: true})
 	})

@@ -33,6 +33,7 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 		cartesian:  flags&flagCartesian != 0,
 		plainDelta: flags&flagPlainDelta != 0,
 		sharded:    flags&flagSharded != 0,
+		blockpack:  flags&flagBlockPack != 0,
 	}
 	cartesian := gf.cartesian
 
@@ -58,10 +59,10 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 		group := data[:glen]
 		data = data[glen:]
 
-		// Sharded (v3) groups carry a 4-byte CRC before the payload; the
-		// rMax culling peek must look past it.
+		// Sharded (v3) and blockpacked (v4) groups carry a 4-byte CRC
+		// before the payload; the rMax culling peek must look past it.
 		body := group
-		if gf.sharded {
+		if gf.sharded || gf.blockpack {
 			if len(body) < 4 {
 				return nil, fmt.Errorf("%w: group %d shorter than its CRC", ErrCorrupt, gi)
 			}

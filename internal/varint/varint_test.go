@@ -75,6 +75,97 @@ func TestUintsRoundTripQuick(t *testing.T) {
 	}
 }
 
+// TestVarintLengthBoundaries pins the encoded length at every 7-bit
+// threshold, in particular the 5-byte boundary at 2^28 and the 10-byte
+// encodings at the top of the uint64 range that bound every inflate buffer
+// in the decoders.
+func TestVarintLengthBoundaries(t *testing.T) {
+	for bytes := 1; bytes <= 9; bytes++ {
+		hi := uint64(1)<<uint(7*bytes) - 1 // largest value fitting in `bytes`
+		if got := len(AppendUint(nil, hi)); got != bytes {
+			t.Errorf("AppendUint(2^%d-1) took %d bytes, want %d", 7*bytes, got, bytes)
+		}
+		if got := len(AppendUint(nil, hi+1)); got != bytes+1 {
+			t.Errorf("AppendUint(2^%d) took %d bytes, want %d", 7*bytes, got, bytes+1)
+		}
+	}
+	for _, v := range []uint64{1 << 63, math.MaxUint64} {
+		if got := len(AppendUint(nil, v)); got != 10 {
+			t.Errorf("AppendUint(%d) took %d bytes, want 10", v, got)
+		}
+	}
+	// Round-trip every boundary value through the full encode/decode path.
+	var vals []uint64
+	for bytes := 1; bytes <= 9; bytes++ {
+		hi := uint64(1)<<uint(7*bytes) - 1
+		vals = append(vals, hi, hi+1)
+	}
+	vals = append(vals, 1<<63, math.MaxUint64)
+	got, err := DecodeUints(EncodeUints(vals), len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Errorf("boundary value %d: got %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+// TestZigzagIntLengthBoundaries pins the zigzag varint length of signed
+// values around the 5-byte boundary (|v| ~ 2^27) and at the 10-byte extremes.
+func TestZigzagIntLengthBoundaries(t *testing.T) {
+	cases := map[int64]int{
+		1<<27 - 1:     4,  // zigzag 2^28-2, still 4 bytes
+		1 << 27:       5,  // zigzag 2^28, first 5-byte value
+		-(1 << 27):    4,  // zigzag 2^28-1, still 4 bytes
+		-(1<<27 + 1):  5,  // zigzag 2^28+1, 5 bytes
+		math.MaxInt64: 10, // zigzag 2^64-2
+		math.MinInt64: 10, // zigzag 2^64-1
+		-1 << 62:      9,
+		1<<62 - 1:     9,
+		0:             1,
+		-(1 << 6):     1, // zigzag 127, last 1-byte value
+		1 << 6:        2, // zigzag 128, first 2-byte value
+	}
+	for v, want := range cases {
+		if got := len(AppendInt(nil, v)); got != want {
+			t.Errorf("AppendInt(%d) took %d bytes, want %d", v, got, want)
+		}
+		dec, _, err := Int(AppendInt(nil, v))
+		if err != nil {
+			t.Fatalf("Int(%d): %v", v, err)
+		}
+		if dec != v {
+			t.Errorf("round trip of %d gave %d", v, dec)
+		}
+	}
+}
+
+// TestZigzagOrderPreserving checks the magnitude ordering the block packer
+// relies on: values of smaller magnitude never map to larger zigzag codes.
+func TestZigzagOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == math.MinInt64 || b == math.MinInt64 {
+			return true // |MinInt64| overflows; pinned in TestZigzag
+		}
+		absA, absB := a, b
+		if absA < 0 {
+			absA = -absA
+		}
+		if absB < 0 {
+			absB = -absB
+		}
+		if absA < absB {
+			return Zigzag(a) < Zigzag(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDecodeTruncated(t *testing.T) {
 	buf := EncodeInts([]int64{1 << 40})
 	if _, err := DecodeInts(buf[:len(buf)-1], 1); err == nil {
