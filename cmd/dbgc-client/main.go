@@ -6,9 +6,15 @@
 // across nacks, timeouts, and reconnects; -noack restores the legacy
 // fire-and-forget wire behaviour.
 //
+// Against a replicated deployment, -servers lists primary and follower
+// (comma-separated, primary first): the client fails over to the next
+// address whenever a connection attempt fails or the node refuses it busy
+// (an unpromoted follower does), and sticks with whichever admits it.
+//
 // Usage:
 //
-//	dbgc-client [-server localhost:7045] [-scene kitti-city] [-frames 10]
+//	dbgc-client [-server localhost:7045 | -servers host:a,host:b]
+//	            [-scene kitti-city] [-frames 10]
 //	            [-q 0.02] [-rate 10] [-window 8] [-ack-timeout 5s] [-noack]
 //	            [-workers 1] [-partial] [-max-points n] [-mem-budget bytes]
 package main
@@ -20,6 +26,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"dbgc"
@@ -44,6 +51,7 @@ type compressedFrame struct {
 
 func main() {
 	server := flag.String("server", "localhost:7045", "dbgc-server address")
+	servers := flag.String("servers", "", "comma-separated server addresses in preference order (failover mode; overrides -server)")
 	tenant := flag.String("tenant", "", "tenant name announced to the server (empty = server default tenant)")
 	sceneKind := flag.String("scene", string(lidar.City), "scene preset")
 	frames := flag.Int("frames", 10, "number of frames to capture and send")
@@ -70,6 +78,9 @@ func main() {
 	var query func(netproto.Query) (netproto.Message, error)
 	var finish func() error
 
+	if *noack && *servers != "" {
+		log.Fatalf("-servers requires acknowledged mode (drop -noack)")
+	}
 	if *noack {
 		conn, err := net.Dial("tcp", *server)
 		if err != nil {
@@ -89,13 +100,19 @@ func main() {
 			return netproto.Write(conn, netproto.Message{Kind: netproto.KindBye, Seq: uint64(*frames)})
 		}
 	} else {
-		cli, err := reliable.NewClient(reliable.Options{
-			Dial:        func() (net.Conn, error) { return net.Dial("tcp", *server) },
+		opts := reliable.Options{
 			Tenant:      *tenant,
 			MaxInFlight: *window,
 			AckTimeout:  *ackTimeout,
 			Logf:        log.Printf,
-		})
+		}
+		if *servers != "" {
+			opts.Addrs = strings.Split(*servers, ",")
+			opts.DialTo = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+		} else {
+			opts.Dial = func() (net.Conn, error) { return net.Dial("tcp", *server) }
+		}
+		cli, err := reliable.NewClient(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,9 +123,9 @@ func main() {
 				return err
 			}
 			st := cli.Stats()
-			if st.Resent > 0 || st.Reconnects > 1 {
-				log.Printf("reliability: %d/%d frames acked, %d resent, %d nacks, %d connections",
-					st.Acked, st.Sent, st.Resent, st.Nacked, st.Reconnects)
+			if st.Resent > 0 || st.Reconnects > 1 || st.Failovers > 0 {
+				log.Printf("reliability: %d/%d frames acked, %d resent, %d nacks, %d connections, %d failovers",
+					st.Acked, st.Sent, st.Resent, st.Nacked, st.Reconnects, st.Failovers)
 			}
 			return nil
 		}

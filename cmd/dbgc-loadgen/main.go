@@ -58,6 +58,8 @@ func main() {
 	writeErr := flag.Float64("write-err", 0.0005, "disk injected write-fault probability")
 	shedHigh := flag.Int("shed-high", 0, "server shed high-water mark (0 = shedding off)")
 	shedLow := flag.Int("shed-low", 0, "server shed low-water mark")
+	failover := flag.Bool("failover", false, "run the primary→follower replication failover scenario instead of the single-node soak")
+	syncTimeout := flag.Duration("sync-timeout", time.Second, "sync-replication follower ack budget per frame (failover scenario)")
 	dir := flag.String("dir", "", "shard directory (default: a fresh temp dir, removed on success)")
 	out := flag.String("out", "BENCH_load.json", "result JSON path")
 	verbose := flag.Bool("v", false, "log per-client reliability events")
@@ -80,6 +82,16 @@ func main() {
 			log.Fatal(err)
 		}
 		cleanupDir = true
+	}
+
+	if *failover {
+		os.Exit(runFailover(failoverOpts{
+			tenants: *tenants, clientsPer: *clientsPer,
+			frames: *frames, frameBytes: *frameBytes,
+			seed: *seed, flip: *flip, drop: *drop, tear: *tear, writeErr: *writeErr,
+			downtime: *downtime, syncTimeout: *syncTimeout,
+			dir: workDir, cleanupDir: cleanupDir, out: *out, verbose: *verbose,
+		}))
 	}
 
 	h := &harness{
@@ -172,11 +184,7 @@ func main() {
 
 	res := buildResult(*tenants, *clientsPer, *frames, *frameBytes, *seed, duration,
 		h.totals, crashReports, results, verified, lost, failures)
-	blob, _ := json.MarshalIndent(res, "", "  ")
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		log.Fatalf("writing %s: %v", *out, err)
-	}
-	log.Printf("wrote %s", *out)
+	writeResult(*out, res)
 	log.Printf("soak: %d frames acked in %v (%.0f frames/s, %.2f MB/s), p99 %.2fms, %d busy nacks, %d quarantined, %d shed, %d crashes",
 		res.FramesAcked, duration.Round(time.Millisecond), res.FramesPerSec, res.MBytesPerSec,
 		res.LatencyP99Ms, res.BusyNacked, res.Quarantined, res.TenantsShed, len(crashReports))
@@ -331,8 +339,8 @@ type crashReport struct {
 	Shards      int     `json:"shards"`
 	SurvivedOps int     `json:"unsynced_ops_survived"`
 	TornTails   int     `json:"torn_tails"`
-	RestartMs  float64 `json:"restart_ms"`
-	RecoveryMs float64 `json:"first_ack_ms"`
+	RestartMs   float64 `json:"restart_ms"`
+	RecoveryMs  float64 `json:"first_ack_ms"`
 }
 
 // crash pulls the plug: every disk loses its unsynced writes (possibly
@@ -430,7 +438,15 @@ type clientConfig struct {
 	drop       float64
 	tear       float64
 	addr       string
-	verbose    bool
+	// addrs switches the client to multi-address failover mode (used by
+	// the -failover scenario; overrides addr).
+	addrs []string
+	// ackTimeout overrides the 2s default resend timer (sync replication
+	// holds acks longer than a single-node server would).
+	ackTimeout time.Duration
+	// onAck, when set, observes every acknowledged sequence number.
+	onAck   func(seq uint64)
+	verbose bool
 }
 
 type clientResult struct {
@@ -441,6 +457,7 @@ type clientResult struct {
 	Resent     int    `json:"resent"`
 	BusyNacked int    `json:"busy_nacked"`
 	Reconnects int    `json:"reconnects"`
+	Failovers  int    `json:"failovers,omitempty"`
 	Err        string `json:"err,omitempty"`
 }
 
@@ -459,17 +476,15 @@ func runClient(cc clientConfig, sent *atomic.Int64) clientResult {
 	if cc.verbose {
 		logf = log.Printf
 	}
-	cli, err := reliable.NewClient(reliable.Options{
-		Dial: func() (net.Conn, error) {
-			c, err := net.Dial("tcp", cc.addr)
-			if err != nil {
-				return nil, err
-			}
-			return inj.Wrap(c), nil
-		},
+	ackTimeout := cc.ackTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = 2 * time.Second
+	}
+	opts := reliable.Options{
 		Tenant:       cc.tenant,
+		OnAck:        cc.onAck,
 		MaxInFlight:  8,
-		AckTimeout:   2 * time.Second,
+		AckTimeout:   ackTimeout,
 		BaseBackoff:  10 * time.Millisecond,
 		MaxBackoff:   500 * time.Millisecond,
 		MaxStalls:    2000, // must survive crash windows and shed periods
@@ -477,7 +492,26 @@ func runClient(cc clientConfig, sent *atomic.Int64) clientResult {
 		BusyRetries:  10000,
 		Seed:         cc.seed,
 		Logf:         logf,
-	})
+	}
+	if len(cc.addrs) > 0 {
+		opts.Addrs = cc.addrs
+		opts.DialTo = func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Wrap(c), nil
+		}
+	} else {
+		opts.Dial = func() (net.Conn, error) {
+			c, err := net.Dial("tcp", cc.addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Wrap(c), nil
+		}
+	}
+	cli, err := reliable.NewClient(opts)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -500,6 +534,7 @@ func runClient(cc clientConfig, sent *atomic.Int64) clientResult {
 	}
 	st := cli.Stats()
 	res.Acked, res.Resent, res.BusyNacked, res.Reconnects = st.Acked, st.Resent, st.BusyNacked, st.Reconnects
+	res.Failovers = st.Failovers
 	return res
 }
 
@@ -565,24 +600,34 @@ type benchResult struct {
 		FrameBytes int   `json:"frame_bytes"`
 		Seed       int64 `json:"seed"`
 	} `json:"config"`
-	DurationS        float64        `json:"duration_s"`
-	FramesAcked      uint64         `json:"frames_acked"`
-	FramesPerSec     float64        `json:"frames_per_s"`
-	MBytesPerSec     float64        `json:"mbytes_per_s"`
-	LatencyP50Ms     float64        `json:"latency_p50_ms"`
-	LatencyP99Ms     float64        `json:"latency_p99_ms"`
-	BusyNacked       uint64         `json:"busy_nacked"`
-	Nacked           uint64         `json:"nacked"`
-	Quarantined      uint64         `json:"quarantined"`
-	TenantsShed      uint64         `json:"tenants_shed"`
-	SessionsRejected uint64         `json:"sessions_rejected"`
-	SessionsStalled  uint64         `json:"sessions_stalled"`
-	SessionsOpened   uint64         `json:"sessions_opened"`
-	Crashes          []crashReport  `json:"crashes"`
-	Clients          []clientResult `json:"clients"`
-	VerifiedFrames   int            `json:"verified_frames"`
-	LostFrames       int            `json:"lost_frames"`
-	FailedClients    int            `json:"failed_clients"`
+	DurationS        float64         `json:"duration_s"`
+	FramesAcked      uint64          `json:"frames_acked"`
+	FramesPerSec     float64         `json:"frames_per_s"`
+	MBytesPerSec     float64         `json:"mbytes_per_s"`
+	LatencyP50Ms     float64         `json:"latency_p50_ms"`
+	LatencyP99Ms     float64         `json:"latency_p99_ms"`
+	BusyNacked       uint64          `json:"busy_nacked"`
+	Nacked           uint64          `json:"nacked"`
+	Quarantined      uint64          `json:"quarantined"`
+	TenantsShed      uint64          `json:"tenants_shed"`
+	SessionsRejected uint64          `json:"sessions_rejected"`
+	SessionsStalled  uint64          `json:"sessions_stalled"`
+	SessionsOpened   uint64          `json:"sessions_opened"`
+	Crashes          []crashReport   `json:"crashes"`
+	Clients          []clientResult  `json:"clients"`
+	VerifiedFrames   int             `json:"verified_frames"`
+	LostFrames       int             `json:"lost_frames"`
+	FailedClients    int             `json:"failed_clients"`
+	Failover         *failoverReport `json:"failover,omitempty"`
+}
+
+// writeResult serializes one run's result JSON for CI trending.
+func writeResult(path string, res benchResult) {
+	blob, _ := json.MarshalIndent(res, "", "  ")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	log.Printf("wrote %s", path)
 }
 
 func buildResult(tenants, clients, frames, frameBytes int, seed int64, dur time.Duration,

@@ -15,6 +15,19 @@
 // the rest. -fsync always batches fsyncs across tenants via group commit:
 // every ack still means durable, but concurrent frames share fsync rounds.
 //
+// Replication (requires -store-dir): -replica-of ADDR runs this node as
+// the primary and streams every stored record to the follower listening at
+// ADDR; -sync-repl additionally withholds each client ack until the
+// follower has the frame durably (quorum of 2). -follower runs this node
+// as the follower: it accepts only replication traffic — client hellos and
+// frames are refused with a busy hint so multi-address clients rotate to
+// the primary — until it is promoted. -promote bumps the replication epoch
+// at startup, fencing the deposed primary; restart the surviving follower
+// with -promote (keep -follower to fence stray replication from the old
+// epoch, drop it to run as a plain server) to take over. /healthz reports
+// degraded (HTTP 503) on replication lag over -repl-lag-max, a down
+// replication link, or sticky fsync errors.
+//
 // Usage:
 //
 //	dbgc-server [-listen :7045] [-store frames.db | -store-dir dir]
@@ -24,14 +37,15 @@
 //	            [-tenants n] [-max-sessions n] [-sessions-per-tenant n]
 //	            [-queue-depth n] [-tenant-budget n] [-open-stores n]
 //	            [-shed-high n] [-shed-low n] [-retry-after 200ms]
-//	            [-http :7046]
+//	            [-replica-of addr] [-follower] [-promote] [-sync-repl]
+//	            [-sync-timeout 5s] [-scrub-interval 1m] [-repl-lag-max n]
+//	            [-wm-every n] [-http :7046]
 //	            [-read-timeout 60s] [-drain-timeout 10s]
 package main
 
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,7 +61,9 @@ import (
 	"dbgc"
 	"dbgc/internal/lidar"
 	"dbgc/internal/netproto"
+	"dbgc/internal/ops"
 	"dbgc/internal/reliable"
+	"dbgc/internal/replica"
 	"dbgc/internal/store"
 )
 
@@ -72,6 +88,14 @@ func main() {
 	shedLow := flag.Int("shed-low", 0, "in-flight level at which shed tenants are readmitted (default shed-high/2)")
 	retryAfter := flag.Duration("retry-after", 200*time.Millisecond, "retry hint attached to busy nacks")
 	stallTimeout := flag.Duration("stall-timeout", 0, "cut sessions that stay backpressured this long without draining (0 = never)")
+	replicaOf := flag.String("replica-of", "", "run as primary, replicating every stored record to the follower at this address (requires -store-dir)")
+	followerMode := flag.Bool("follower", false, "run as follower: accept replication, refuse client traffic until promoted (requires -store-dir)")
+	promote := flag.Bool("promote", false, "bump the replication epoch at startup (failover: fences the deposed primary)")
+	syncRepl := flag.Bool("sync-repl", false, "with -replica-of: withhold client acks until the follower has each frame durably (quorum 2)")
+	syncTimeout := flag.Duration("sync-timeout", 5*time.Second, "with -sync-repl: nack a frame if the follower ack takes longer than this")
+	scrubInterval := flag.Duration("scrub-interval", time.Minute, "with -replica-of: anti-entropy scrub period (0 = off)")
+	replLagMax := flag.Int64("repl-lag-max", 32<<20, "with -replica-of: /healthz degrades when replication lag exceeds this many bytes")
+	wmEvery := flag.Int("wm-every", 32, "with -follower: persist watermarks every this many applied records")
 	httpAddr := flag.String("http", "", "serve /healthz and /metrics on this address (empty = disabled)")
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "idle timeout per connection")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for sessions to finish on shutdown")
@@ -97,14 +121,74 @@ func main() {
 		defer group.Close()
 	}
 
+	// Replication roles. Promotion happens before anything serves: the
+	// epoch bump must be durable before the first client frame is acked.
+	if (*replicaOf != "" || *followerMode || *promote) && stg.shards == nil {
+		log.Fatalf("replication flags (-replica-of/-follower/-promote) require -store-dir")
+	}
+	if *replicaOf != "" && *followerMode {
+		log.Fatalf("-replica-of and -follower are mutually exclusive")
+	}
+	if *promote && !*followerMode {
+		epoch, err := replica.Promote(stg.shards.Dir())
+		if err != nil {
+			log.Fatalf("promote: %v", err)
+		}
+		log.Printf("promoted: replication epoch now %d", epoch)
+	}
+	var receiver *replica.Receiver
+	var sender *replica.Sender
+	if *followerMode {
+		receiver, err = replica.NewReceiver(stg.shards, group, *wmEvery)
+		if err != nil {
+			log.Fatalf("follower setup: %v", err)
+		}
+		defer receiver.Close()
+		if *promote {
+			// Promote through the live receiver so the client-refusal
+			// gate drops too — a bare on-disk epoch bump would leave the
+			// node serving nobody.
+			epoch, err := receiver.Promote()
+			if err != nil {
+				log.Fatalf("promote: %v", err)
+			}
+			log.Printf("promoted: replication epoch now %d", epoch)
+		}
+	}
+	if *replicaOf != "" {
+		meta, err := replica.LoadMeta(stg.shards.Dir())
+		if err != nil {
+			log.Fatalf("loading replication meta: %v", err)
+		}
+		sender, err = replica.NewSender(replica.SenderConfig{
+			Shards: stg.shards,
+			Addr:   *replicaOf,
+			DialTo: func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			},
+			Epoch:         meta.Epoch,
+			ScrubInterval: *scrubInterval,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("replication sender: %v", err)
+		}
+		go sender.Run()
+		log.Printf("replicating to %s (epoch %d, sync=%v)", *replicaOf, meta.Epoch, *syncRepl)
+	}
+	var repl *replLink
+	if sender != nil {
+		repl = &replLink{sender: sender, syncMode: *syncRepl, timeout: *syncTimeout}
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 
 	limits := dbgc.DecodeLimits{MaxPoints: *maxPoints, MemBudget: *memBudget}
-	srv := reliable.NewServer(reliable.ServerConfig{
-		Handle:               handler(stg, group, *decompress, *parallel, *partial, syncAlways, limits),
+	cfg := reliable.ServerConfig{
+		Handle:               handler(stg, group, *decompress, *parallel, *partial, syncAlways, limits, repl),
 		Query:                querier(stg),
 		Quarantine:           quarantiner(stg),
 		ReadTimeout:          *readTimeout,
@@ -119,14 +203,24 @@ func main() {
 		ShedHighWater:        *shedHigh,
 		ShedLowWater:         *shedLow,
 		Logf:                 log.Printf,
-	})
+	}
+	if receiver != nil {
+		cfg.ReplHello = receiver.HandleHello
+		cfg.ReplRecord = receiver.HandleRecord
+		cfg.NotReady = receiver.NotReady
+	}
+	srv := reliable.NewServer(cfg)
+	if group != nil {
+		// Sticky fsync failures surface in both /metrics and /healthz.
+		group.OnError = func(error) { srv.Metrics().StoreSyncErrors.Add(1) }
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		httpSrv = opsServer(*httpAddr, srv, stg)
+		httpSrv = opsServer(*httpAddr, srv, stg, group, sender, receiver, *replLagMax)
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("http: %v", err)
@@ -153,6 +247,10 @@ func main() {
 	}
 	if httpSrv != nil {
 		httpSrv.Close()
+	}
+	if sender != nil {
+		sender.Stop()
+		sender.Wait()
 	}
 	if group != nil {
 		if err := group.Close(); err != nil {
@@ -246,30 +344,92 @@ func (s *storage) Summary() string {
 	return fmt.Sprintf("%d frames stored", s.single.Len())
 }
 
+// replLink carries the replication sender into the frame handler: every
+// stored frame kicks the ship loop, and in sync mode the ack is withheld
+// until the follower confirms durability.
+type replLink struct {
+	sender   *replica.Sender
+	syncMode bool
+	timeout  time.Duration
+}
+
+// gate finishes one frame's replication obligations after local commit.
+func (r *replLink) gate(tenant string, end int64) error {
+	if r == nil {
+		return nil
+	}
+	r.sender.Kick()
+	if !r.syncMode {
+		return nil
+	}
+	if err := r.sender.WaitDurable(tenant, end, r.timeout); err != nil {
+		// Nack: the client retransmits, and the retry waits again. The
+		// frame is locally durable but unconfirmed on the follower — in
+		// sync mode that is not yet an ackable state.
+		return fmt.Errorf("sync replication: %w", err)
+	}
+	return nil
+}
+
 // opsServer exposes /healthz and /metrics for monitoring and the load
-// harness.
-func opsServer(addr string, srv *reliable.Server, stg *storage) *http.Server {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap := srv.Metrics().Snapshot()
+// harness. Health degrades (HTTP 503) on sticky fsync errors, a down
+// replication link, a fenced (deposed) primary, or replication lag over
+// lagMax bytes.
+func opsServer(addr string, srv *reliable.Server, stg *storage, group *store.Group,
+	sender *replica.Sender, receiver *replica.Receiver, lagMax int64) *http.Server {
+	health := &ops.Health{}
+	if group != nil {
+		health.Add("store", func() (string, bool) {
+			if err := group.Err(); err != nil {
+				return fmt.Sprintf("fsync failing (%d rounds): %v", group.ErrCount(), err), false
+			}
+			return "", true
+		})
+	}
+	if sender != nil {
+		health.Add("replication", func() (string, bool) {
+			st := sender.Stats()
+			switch {
+			case st.Fenced:
+				return "fenced by promoted follower", false
+			case !st.LinkUp:
+				return "link down", false
+			case lagMax > 0 && st.LagBytes > lagMax:
+				return fmt.Sprintf("lag %d bytes exceeds %d", st.LagBytes, lagMax), false
+			}
+			return fmt.Sprintf("lag %d bytes", st.LagBytes), true
+		})
+	}
+	if receiver != nil {
+		health.Add("role", func() (string, bool) {
+			if receiver.Promoted() {
+				return "primary (promoted)", true
+			}
+			return "follower", true
+		})
+	}
+	metrics := func() any {
 		out := struct {
 			reliable.MetricsSnapshot
-			OpenShards int    `json:"open_shards,omitempty"`
-			Storage    string `json:"storage"`
-		}{MetricsSnapshot: snap, Storage: stg.String()}
+			OpenShards int                    `json:"open_shards,omitempty"`
+			Storage    string                 `json:"storage"`
+			Repl       *replica.SenderStats   `json:"repl_sender,omitempty"`
+			Follower   *replica.ReceiverStats `json:"repl_receiver,omitempty"`
+		}{MetricsSnapshot: srv.Metrics().Snapshot(), Storage: stg.String()}
 		if stg.shards != nil {
 			out.OpenShards = stg.shards.OpenCount()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(out)
-	})
-	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		if sender != nil {
+			st := sender.Stats()
+			out.Repl = &st
+		}
+		if receiver != nil {
+			st := receiver.Stats()
+			out.Follower = &st
+		}
+		return out
+	}
+	return ops.NewServer(addr, health, metrics)
 }
 
 // commit makes one frame durable according to the fsync mode: group-commit
@@ -292,7 +452,7 @@ func commit(group *store.Group, st *store.Store, always bool) error {
 // retried, not quarantined). In partial mode a frame with some damaged
 // sections stores what decoded and reports a PartialFrameError so the
 // session quarantines only the damaged bytes and still acks.
-func handler(stg *storage, group *store.Group, decompress, parallel, partial, syncAlways bool, limits dbgc.DecodeLimits) func(tenant string, m netproto.Message) error {
+func handler(stg *storage, group *store.Group, decompress, parallel, partial, syncAlways bool, limits dbgc.DecodeLimits, repl *replLink) func(tenant string, m netproto.Message) error {
 	opts := dbgc.DecompressOptions{Parallel: parallel, Limits: limits}
 	return func(tenant string, m netproto.Message) error {
 		st, release, err := stg.acquire(tenant)
@@ -300,6 +460,7 @@ func handler(stg *storage, group *store.Group, decompress, parallel, partial, sy
 			return fmt.Errorf("tenant %s store: %w", tenant, err)
 		}
 		defer release()
+		var end int64
 		switch m.Kind {
 		case netproto.KindCompressed:
 			if decompress && partial {
@@ -315,7 +476,7 @@ func handler(stg *storage, group *store.Group, decompress, parallel, partial, sy
 						reasons = append(reasons, fmt.Sprintf("%s: %v", rep.Section, rep.Err))
 					}
 				}
-				if err := st.Put(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
+				if end, err = st.Append(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
 					return err
 				}
 				if len(reasons) == 0 {
@@ -326,31 +487,39 @@ func handler(stg *storage, group *store.Group, decompress, parallel, partial, sy
 				if err := commit(group, st, syncAlways); err != nil {
 					return err
 				}
+				if err := repl.gate(tenant, end); err != nil {
+					return err
+				}
 				return &reliable.PartialFrameError{Reason: strings.Join(reasons, "; "), Damaged: damaged}
 			} else if decompress {
 				pc, err := dbgc.DecompressWith(m.Payload, opts)
 				if err != nil {
 					return fmt.Errorf("%w: frame %d: %v", reliable.ErrBadFrame, m.Seq, err)
 				}
-				if err := st.Put(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
+				if end, err = st.Append(m.Seq, store.KindDecompressed, encodeRaw(pc)); err != nil {
 					return err
 				}
 				log.Printf("%s frame %d: %d bytes -> %d points, stored decompressed", tenant, m.Seq, len(m.Payload), len(pc))
 			} else {
-				if err := st.Put(m.Seq, store.KindCompressed, m.Payload); err != nil {
+				if end, err = st.Append(m.Seq, store.KindCompressed, m.Payload); err != nil {
 					return err
 				}
 				log.Printf("%s frame %d: stored %d compressed bytes", tenant, m.Seq, len(m.Payload))
 			}
 		case netproto.KindRaw:
-			if err := st.Put(m.Seq, store.KindDecompressed, m.Payload); err != nil {
+			if end, err = st.Append(m.Seq, store.KindDecompressed, m.Payload); err != nil {
 				return err
 			}
 			log.Printf("%s frame %d: stored %d raw bytes", tenant, m.Seq, len(m.Payload))
 		default:
 			return fmt.Errorf("%w: unexpected kind %d", reliable.ErrBadFrame, m.Kind)
 		}
-		return commit(group, st, syncAlways)
+		if err := commit(group, st, syncAlways); err != nil {
+			return err
+		}
+		// Local durability first, then the replication gate: a sync-mode
+		// ack proves the frame is on both nodes' disks.
+		return repl.gate(tenant, end)
 	}
 }
 

@@ -58,6 +58,26 @@ const (
 	// a retry-after hint) carrying HelloSeq. A connection that sends data
 	// without a hello is assigned the default tenant.
 	KindHello byte = 8
+
+	// Replication dialect (see internal/replica): a primary streams its
+	// stores' records to a follower over these kinds. Every replication
+	// payload starts with an epoch/term byte — promotions bump the epoch,
+	// and a receiver refuses records from an older epoch so a deposed
+	// primary cannot overwrite a promoted follower.
+
+	// KindReplHello opens a replication exchange; the payload selects
+	// stream, digest, or manifest mode (internal/replica encodes it). The
+	// follower answers with a payload-carrying KindReplAck on HelloSeq,
+	// or a Nack when the sender's epoch is stale.
+	KindReplHello byte = 9
+	// KindReplRecord carries one store record (tenant, seq, kind, CRC,
+	// payload) plus the watermark chain fields; the follower verifies the
+	// record CRC32-C, applies, makes it durable, then acks.
+	KindReplRecord byte = 10
+	// KindReplAck acknowledges an applied-and-durable replication record
+	// (same Seq), or answers a KindReplHello with a payload (watermarks,
+	// digests, or a manifest).
+	KindReplAck byte = 11
 )
 
 // HelloSeq is the reserved sequence number carried by KindHello frames and

@@ -1,0 +1,101 @@
+// Package ops provides the operational HTTP surface shared by the dbgc
+// daemons: a /healthz endpoint that aggregates registered health checks
+// into 200 ok / 503 degraded with machine-readable reasons, and a
+// /metrics endpoint serving an arbitrary JSON snapshot.
+//
+// /healthz is load-bearing, not cosmetic: the failover harness polls it to
+// decide that a node is degraded (replication lag over threshold, link
+// down, sticky fsync errors) and asserts that degradation is actually
+// reported during injected faults.
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Probe inspects one subsystem. ok=false marks the node degraded; detail
+// explains why (included in the /healthz JSON either way when non-empty).
+type Probe func() (detail string, ok bool)
+
+// Health aggregates named probes. The zero value is usable (and healthy).
+type Health struct {
+	mu     sync.Mutex
+	names  []string
+	probes map[string]Probe
+}
+
+// Add registers a probe under a name; re-adding a name replaces it.
+func (h *Health) Add(name string, p Probe) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.probes == nil {
+		h.probes = make(map[string]Probe)
+	}
+	if _, seen := h.probes[name]; !seen {
+		h.names = append(h.names, name)
+	}
+	h.probes[name] = p
+}
+
+// Status is the /healthz response body.
+type Status struct {
+	Status  string            `json:"status"` // "ok" or "degraded"
+	Reasons []string          `json:"reasons,omitempty"`
+	Detail  map[string]string `json:"detail,omitempty"`
+}
+
+// Evaluate runs every probe in registration order.
+func (h *Health) Evaluate() Status {
+	h.mu.Lock()
+	names := append([]string(nil), h.names...)
+	probes := make(map[string]Probe, len(h.probes))
+	for k, v := range h.probes {
+		probes[k] = v
+	}
+	h.mu.Unlock()
+	st := Status{Status: "ok", Detail: map[string]string{}}
+	for _, name := range names {
+		detail, ok := probes[name]()
+		if detail != "" {
+			st.Detail[name] = detail
+		}
+		if !ok {
+			st.Status = "degraded"
+			st.Reasons = append(st.Reasons, name+": "+detail)
+		}
+	}
+	if len(st.Detail) == 0 {
+		st.Detail = nil
+	}
+	return st
+}
+
+// ServeHTTP answers /healthz: HTTP 200 with {"status":"ok"} while every
+// probe passes, HTTP 503 with the failing reasons once any degrades.
+func (h *Health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	st := h.Evaluate()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// NewServer builds the ops HTTP server: /healthz from health, /metrics
+// from the snapshot function (its result is JSON-encoded per request).
+func NewServer(addr string, health *Health, metrics func() any) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", health)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(metrics())
+	})
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+}

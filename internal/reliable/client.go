@@ -41,11 +41,28 @@ var ErrFrameRejected = errors.New("reliable: frame rejected")
 var ErrAdmission = errors.New("reliable: admission refused")
 
 // Options configures a Client. The zero value of every field except Dial
-// gets a sensible default.
+// (or Addrs+DialTo) gets a sensible default.
 type Options struct {
 	// Dial opens a connection to the server. Called again, after
-	// backoff, whenever the current connection fails. Required.
+	// backoff, whenever the current connection fails. Required unless
+	// Addrs and DialTo are set.
 	Dial func() (net.Conn, error)
+	// Addrs lists the servers of a replicated deployment in preference
+	// order (primary first). The client dials Addrs[0] and fails over to
+	// the next address — with the usual jittered backoff — whenever a
+	// connection attempt fails, the handshake is refused busy, or the
+	// current connection dies. Once an address yields an admitted
+	// connection the client sticks to it until it fails again. Requires
+	// DialTo; mutually exclusive with Dial.
+	Addrs []string
+	// DialTo opens a connection to one address from Addrs. Required when
+	// Addrs is set.
+	DialTo func(addr string) (net.Conn, error)
+	// OnAck, when set, is called with the sequence number of every frame
+	// the server acknowledges (exactly once per Send). It runs on the
+	// goroutine driving Send/Flush and must not call back into the
+	// client.
+	OnAck func(seq uint64)
 	// MaxInFlight bounds the number of unacknowledged frames (default
 	// 8). Send blocks once the window is full.
 	MaxInFlight int
@@ -89,6 +106,7 @@ type Stats struct {
 	BusyNacked int // backpressure refusals (server busy, frame retried)
 	Resent     int // retransmitted frames (nack, busy retry, or reconnect)
 	Reconnects int // successful dials, including the first
+	Failovers  int // address rotations in multi-address mode
 }
 
 // Client sends frames reliably over a flaky link. It is not safe for
@@ -107,9 +125,12 @@ type Client struct {
 	// busyUntil is the earliest time the server asked us to retry after a
 	// busy refusal; sends and reconnects honor it before transmitting.
 	busyUntil time.Time
-	lastErr   error
-	stats     Stats
-	closed    bool
+	// addrIdx is the Addrs entry the client is currently using (multi-
+	// address mode only).
+	addrIdx int
+	lastErr error
+	stats   Stats
+	closed  bool
 }
 
 type pframe struct {
@@ -128,8 +149,13 @@ type event struct {
 // NewClient builds a client; the first connection is dialed lazily on the
 // first Send.
 func NewClient(cfg Options) (*Client, error) {
-	if cfg.Dial == nil {
-		return nil, errors.New("reliable: Options.Dial is required")
+	switch {
+	case cfg.Dial == nil && len(cfg.Addrs) == 0:
+		return nil, errors.New("reliable: Options.Dial (or Addrs+DialTo) is required")
+	case cfg.Dial != nil && len(cfg.Addrs) > 0:
+		return nil, errors.New("reliable: Options.Dial and Options.Addrs are mutually exclusive")
+	case len(cfg.Addrs) > 0 && cfg.DialTo == nil:
+		return nil, errors.New("reliable: Options.Addrs requires Options.DialTo")
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 8
@@ -216,6 +242,44 @@ func (c *Client) Flush() error {
 	}
 	return nil
 }
+
+// Tick makes bounded progress without requiring the window to drain: it
+// processes every response that has already arrived, retransmits any
+// busy-held frames whose backoff expired, and otherwise waits up to d for
+// one more response. A quiet wait is not an error. Replication senders use
+// it to pump acks (and fire OnAck) while no new frames are being sent.
+func (c *Client) Tick(d time.Duration) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.drain(); err != nil {
+		return err
+	}
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if c.conn == nil {
+		return c.reconnect()
+	}
+	if c.heldCount() > 0 {
+		return c.resendHeld()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case ev, ok := <-c.events:
+		if !ok {
+			c.dropConn(c.lastErr)
+			return c.reconnect()
+		}
+		return c.handleEvent(ev)
+	case <-timer.C:
+		return nil
+	}
+}
+
+// InFlight reports the number of sent-but-unacknowledged frames.
+func (c *Client) InFlight() int { return len(c.pending) }
 
 // pump makes one unit of progress toward draining pending frames: process
 // buffered events, retransmit busy-held frames once their backoff expires,
@@ -383,7 +447,10 @@ func (c *Client) handleEvent(ev event) error {
 		return c.reconnect()
 	}
 	switch ev.msg.Kind {
-	case netproto.KindAck:
+	case netproto.KindAck, netproto.KindReplAck:
+		// ReplAck is the replication dialect's ack: same window
+		// semantics, distinct kind so follower responses are
+		// self-describing on the wire.
 		c.ack(ev.msg.Seq)
 	case netproto.KindNack:
 		if retryAfter, reason, busy := netproto.BusyHint(ev.msg.Payload); busy {
@@ -398,8 +465,7 @@ func (c *Client) handleEvent(ev event) error {
 		if f.retries > c.cfg.FrameRetries {
 			// Remove the frame so the client stays usable for the rest of
 			// the stream if the caller opts to continue past the error.
-			c.ack(ev.msg.Seq)
-			c.stats.Acked-- // it was dropped, not delivered
+			c.forget(ev.msg.Seq)
 			return fmt.Errorf("%w: frame %d rejected %d times (%s), giving up",
 				ErrFrameRejected, ev.msg.Seq, f.retries, ev.msg.Payload)
 		}
@@ -433,8 +499,7 @@ func (c *Client) handleBusy(seq uint64, retryAfter time.Duration, reason string)
 	f.held = true
 	f.busy++
 	if f.busy > c.cfg.BusyRetries {
-		c.ack(seq)
-		c.stats.Acked-- // dropped, not delivered
+		c.forget(seq)
 		return fmt.Errorf("%w: frame %d refused busy %d times (%s), giving up",
 			ErrFrameRejected, seq, f.busy, reason)
 	}
@@ -445,6 +510,17 @@ func (c *Client) handleBusy(seq uint64, retryAfter time.Duration, reason string)
 	c.extendBusy(retryAfter << shift)
 	c.cfg.Logf("reliable: frame %d refused busy (%s), retry after %v (refusal %d)",
 		seq, reason, retryAfter, f.busy)
+	if len(c.cfg.Addrs) > 1 && f.busy%4 == 0 {
+		// A node that refuses frame after frame busy (an unpromoted
+		// follower does, indefinitely) is not going to drain this window.
+		// Tenant-announcing clients rotate on the refused hello; default-
+		// tenant sessions have no hello, so rotate here instead of
+		// camping on the retry hint. resendHeld reconnects on the next
+		// address and retransmits everything pending.
+		c.cfg.Logf("reliable: %d straight busy refusals from %s, rotating", f.busy, c.CurrentAddr())
+		c.dropConn(nil)
+		c.rotate()
+	}
 	return nil
 }
 
@@ -464,9 +540,22 @@ func (c *Client) extendBusy(d time.Duration) {
 }
 
 func (c *Client) ack(seq uint64) {
+	if !c.forget(seq) {
+		return // duplicate ack after a retransmit
+	}
+	c.stats.Acked++
+	c.stalls = 0 // acks are the progress signal
+	if c.cfg.OnAck != nil {
+		c.cfg.OnAck(seq)
+	}
+}
+
+// forget removes a frame from the in-flight window without counting it
+// acknowledged — the shared bookkeeping of real acks and gave-up frames.
+func (c *Client) forget(seq uint64) bool {
 	f, ok := c.bySeq[seq]
 	if !ok {
-		return // duplicate ack after a retransmit
+		return false
 	}
 	delete(c.bySeq, seq)
 	for i, p := range c.pending {
@@ -475,8 +564,7 @@ func (c *Client) ack(seq uint64) {
 			break
 		}
 	}
-	c.stats.Acked++
-	c.stalls = 0 // acks are the progress signal
+	return true
 }
 
 func (c *Client) writeFrame(m netproto.Message) error {
@@ -526,10 +614,11 @@ func (c *Client) reconnect() error {
 			time.Sleep(wait)
 		}
 		c.stalls++
-		conn, err := c.cfg.Dial()
+		conn, err := c.dial()
 		if err != nil {
 			c.lastErr = err
 			c.cfg.Logf("reliable: dial failed (attempt %d): %v", c.stalls, err)
+			c.rotate()
 			continue
 		}
 		c.conn = conn
@@ -540,7 +629,12 @@ func (c *Client) reconnect() error {
 			if errors.Is(err, ErrAdmission) {
 				return err
 			}
-			continue // refused busy or connection died: back off, redial
+			// Refused busy or connection died: back off and redial. In
+			// multi-address mode a busy refusal usually means "not the
+			// primary right now" — rotate so the next attempt finds the
+			// promoted node.
+			c.rotate()
+			continue
 		}
 		// Reconnect retransmits everything, so no frame stays held.
 		for _, f := range c.pending {
@@ -611,6 +705,35 @@ func (c *Client) helloHandshake() error {
 			return errAckTimeout
 		}
 	}
+}
+
+// dial opens a connection via Dial, or to the current preferred address in
+// multi-address mode.
+func (c *Client) dial() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial()
+	}
+	return c.cfg.DialTo(c.cfg.Addrs[c.addrIdx])
+}
+
+// rotate advances to the next configured address after a failed connection
+// attempt. With zero or one address it is a no-op.
+func (c *Client) rotate() {
+	if len(c.cfg.Addrs) < 2 {
+		return
+	}
+	c.addrIdx = (c.addrIdx + 1) % len(c.cfg.Addrs)
+	c.stats.Failovers++
+	c.cfg.Logf("reliable: failing over to %s", c.cfg.Addrs[c.addrIdx])
+}
+
+// CurrentAddr reports the address the client is currently pointed at
+// (empty in single-Dial mode).
+func (c *Client) CurrentAddr() string {
+	if len(c.cfg.Addrs) == 0 {
+		return ""
+	}
+	return c.cfg.Addrs[c.addrIdx]
 }
 
 func (c *Client) sleepBackoff(attempt int) {

@@ -1,0 +1,130 @@
+package reliable
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dbgc/internal/netproto"
+)
+
+// memServer runs a Server that stores frames in a map and returns its
+// address plus the stored map guarded by mu.
+func memServer(t *testing.T, cfg ServerConfig) (addr string, stored map[uint64][]byte, mu *sync.Mutex) {
+	t.Helper()
+	mu = &sync.Mutex{}
+	stored = make(map[uint64][]byte)
+	if cfg.Handle == nil {
+		cfg.Handle = func(_ string, m netproto.Message) error {
+			mu.Lock()
+			stored[m.Seq] = append([]byte(nil), m.Payload...)
+			mu.Unlock()
+			return nil
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv := NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String(), stored, mu
+}
+
+// TestFailoverOnDialFailure: the preferred address is dead, so the client
+// must rotate to the live one and deliver everything there.
+func TestFailoverOnDialFailure(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	liveAddr, stored, mu := memServer(t, ServerConfig{})
+
+	cli, err := NewClient(Options{
+		Addrs:       []string{deadAddr, liveAddr},
+		DialTo:      func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, time.Second) },
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 5; seq++ {
+		if err := cli.Send(netproto.Message{Kind: netproto.KindCompressed, Seq: seq, Payload: []byte{byte(seq)}}); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := cli.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failover counted despite a dead preferred address")
+	}
+	if cli.CurrentAddr() != liveAddr {
+		t.Fatalf("client ended on %s, want %s", cli.CurrentAddr(), liveAddr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stored) != 5 {
+		t.Fatalf("live server stored %d frames, want 5", len(stored))
+	}
+}
+
+// TestFailoverOnBusyRefusal: the preferred node admits the connection but
+// refuses the session busy (an unpromoted follower does exactly this); the
+// client must rotate instead of hammering it.
+func TestFailoverOnBusyRefusal(t *testing.T) {
+	busyAddr, busyStored, busyMu := memServer(t, ServerConfig{
+		NotReady: func() (string, time.Duration, bool) {
+			return "follower: not promoted", time.Millisecond, true
+		},
+	})
+	liveAddr, stored, mu := memServer(t, ServerConfig{})
+
+	cli, err := NewClient(Options{
+		Addrs:       []string{busyAddr, liveAddr},
+		DialTo:      func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, time.Second) },
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 5; seq++ {
+		if err := cli.Send(netproto.Message{Kind: netproto.KindCompressed, Seq: seq, Payload: []byte{byte(seq)}}); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Stats().Failovers == 0 {
+		t.Fatal("no failover counted despite a busy-refusing preferred node")
+	}
+	mu.Lock()
+	n := len(stored)
+	mu.Unlock()
+	if n != 5 {
+		t.Fatalf("live server stored %d frames, want 5", n)
+	}
+	busyMu.Lock()
+	defer busyMu.Unlock()
+	if len(busyStored) != 0 {
+		t.Fatalf("busy node stored %d frames, want 0", len(busyStored))
+	}
+}

@@ -18,6 +18,10 @@ type Metrics struct {
 	BusyNacked  atomic.Uint64 // frames refused with a backpressure hint
 	Quarantined atomic.Uint64 // quarantine callbacks invoked
 
+	// Replication and storage health.
+	ReplRecords     atomic.Uint64 // replication records ingested (follower side)
+	StoreSyncErrors atomic.Uint64 // sticky fsync failures observed by the commit group
+
 	// Admission and lifecycle.
 	SessionsOpened   atomic.Uint64
 	SessionsClosed   atomic.Uint64
@@ -45,6 +49,8 @@ type MetricsSnapshot struct {
 	Nacked           uint64  `json:"nacked"`
 	BusyNacked       uint64  `json:"busy_nacked"`
 	Quarantined      uint64  `json:"quarantined"`
+	ReplRecords      uint64  `json:"repl_records"`
+	StoreSyncErrors  uint64  `json:"store_sync_errors"`
 	SessionsOpened   uint64  `json:"sessions_opened"`
 	SessionsClosed   uint64  `json:"sessions_closed"`
 	SessionsRejected uint64  `json:"sessions_rejected"`
@@ -66,6 +72,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Nacked:           m.Nacked.Load(),
 		BusyNacked:       m.BusyNacked.Load(),
 		Quarantined:      m.Quarantined.Load(),
+		ReplRecords:      m.ReplRecords.Load(),
+		StoreSyncErrors:  m.StoreSyncErrors.Load(),
 		SessionsOpened:   m.SessionsOpened.Load(),
 		SessionsClosed:   m.SessionsClosed.Load(),
 		SessionsRejected: m.SessionsRejected.Load(),
@@ -116,9 +124,9 @@ func (h *latencyHist) quantile(q float64) float64 {
 	var seen uint64
 	for i, c := range counts {
 		if seen+c > rank {
-			lo := float64(uint64(1) << i)         // bucket floor in µs
+			lo := float64(uint64(1) << i)           // bucket floor in µs
 			frac := float64(rank-seen) / float64(c) // position inside bucket
-			return lo * (1 + frac) / 1000          // → ms
+			return lo * (1 + frac) / 1000           // → ms
 		}
 		seen += c
 	}

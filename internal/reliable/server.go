@@ -68,6 +68,24 @@ type ServerConfig struct {
 	// checksum mismatch, ErrBadFrame, or a handler panic) before they
 	// are nacked. Must be safe for concurrent use.
 	Quarantine func(tenant string, m netproto.Message, reason string)
+	// ReplHello, when set, answers KindReplHello exchanges from a
+	// replication peer: it receives the hello payload and returns the
+	// KindReplAck response payload, or an error to refuse (stale epoch).
+	// A nil ReplHello nacks all replication traffic.
+	ReplHello func(payload []byte) ([]byte, error)
+	// ReplRecord, when set, applies one KindReplRecord frame (the tenant
+	// is encoded inside the payload, not taken from the session). A nil
+	// return acks the record with KindReplAck; an error nacks it so the
+	// primary retransmits. Replication sessions bypass tenant admission
+	// and budgets — there is one trusted peer — but still flow through
+	// the bounded session queue, so busy nacks backpressure the primary.
+	ReplRecord func(m netproto.Message) error
+	// NotReady, when set and returning refuse=true, turns away client
+	// ingest (hellos, data frames, queries) with a busy nack carrying
+	// retryAfter — the mechanism a follower uses to bounce producers to
+	// the primary until it is promoted. Replication traffic is exempt.
+	// Called per frame; must be cheap and safe for concurrent use.
+	NotReady func() (reason string, retryAfter time.Duration, refuse bool)
 	// ReadTimeout is the maximum idle time between frames before the
 	// session is considered abandoned (default 60s).
 	ReadTimeout time.Duration
@@ -395,6 +413,14 @@ func (s *Session) Run() (err error) {
 				}
 				return err
 			}
+		case netproto.KindReplHello:
+			if err := s.replHello(m); err != nil {
+				return err
+			}
+		case netproto.KindReplRecord:
+			if err := s.ingestRepl(m); err != nil {
+				return err
+			}
 		case netproto.KindQuery:
 			if err := s.answer(m); err != nil {
 				return err
@@ -409,9 +435,112 @@ func (s *Session) Run() (err error) {
 	}
 }
 
+// replPeer is the internal binding name of a replication session. It is
+// not a valid tenant name (leading dot), so it can never collide with a
+// client tenant in logs or quarantine labels.
+const replPeer = ".replica"
+
+// notReady applies the NotReady gate to one client frame: when the node
+// refuses client traffic (an unpromoted follower), the frame is answered
+// with a busy nack carrying the configured retry hint and the session is
+// closed, so a reliable client re-dials — and, in multi-address mode,
+// rotates toward the primary.
+func (s *Session) notReady(seq uint64) (refused bool, err error) {
+	if s.cfg.NotReady == nil {
+		return false, nil
+	}
+	reason, retryAfter, refuse := s.cfg.NotReady()
+	if !refuse {
+		return false, nil
+	}
+	if retryAfter <= 0 {
+		retryAfter = s.cfg.RetryAfter
+	}
+	if s.srv != nil {
+		s.srv.metrics.BusyNacked.Add(1)
+	}
+	if werr := s.respond(netproto.NackBusy(seq, retryAfter, reason)); werr != nil {
+		return true, werr
+	}
+	return true, errCloseSession
+}
+
+// replHello answers a replication handshake. The handler sees the raw
+// payload (epoch, mode, tenant — see internal/replica) and returns the
+// response payload carried back on a KindReplAck with the same sequence
+// number; refusals (stale epoch, replication disabled) travel as nacks.
+func (s *Session) replHello(m netproto.Message) error {
+	if s.cfg.ReplHello == nil {
+		return s.respond(netproto.Nack(m.Seq, "replication unsupported"))
+	}
+	resp, err := s.callReplHello(m.Payload)
+	if err != nil {
+		return s.respond(netproto.Nack(m.Seq, clip(err.Error())))
+	}
+	return s.write(netproto.Message{Kind: netproto.KindReplAck, Seq: m.Seq, Payload: resp})
+}
+
+func (s *Session) callReplHello(payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("repl hello panic: %v", r)
+		}
+	}()
+	return s.cfg.ReplHello(payload)
+}
+
+// bindRepl lazily sets up the ingest pipeline for a replication session.
+// Unlike bind it skips tenant admission and budgets — the peer is a single
+// trusted primary, and its backpressure is the bounded session queue.
+func (s *Session) bindRepl() {
+	if s.bound != "" {
+		return
+	}
+	s.bound = replPeer
+	s.pipe = framepipe.New(1, s.cfg.QueueDepth, s.process)
+	s.notify = make(chan struct{}, s.cfg.QueueDepth)
+	s.workerDone = make(chan struct{})
+	go s.respondLoop()
+}
+
+// ingestRepl admits one replication record into the pipeline. Records flow
+// through the same bounded queue as client frames (full queue → busy nack,
+// so the primary's sender backs off), but bypass tenant budgets and the
+// NotReady gate — replication is exactly the traffic a follower exists to
+// accept.
+func (s *Session) ingestRepl(m netproto.Message) error {
+	if s.cfg.ReplRecord == nil {
+		return s.respond(netproto.Nack(m.Seq, "replication unsupported"))
+	}
+	s.bindRepl()
+	if s.bound != replPeer {
+		// A tenant-bound client smuggling repl frames: reject, keep session.
+		return s.respond(netproto.Nack(m.Seq, "session bound to a tenant"))
+	}
+	if s.srv != nil {
+		s.srv.metrics.FramesIn.Add(1)
+		s.srv.metrics.ReplRecords.Add(1)
+		s.srv.metrics.BytesIn.Add(uint64(len(m.Payload)))
+	}
+	if s.srv != nil {
+		s.srv.noteInflight(1)
+	}
+	if !s.pipe.TrySubmit(ingestJob{m: m, at: time.Now()}) {
+		if s.srv != nil {
+			s.srv.noteInflight(-1)
+		}
+		return s.overloaded(m.Seq, "replica queue full")
+	}
+	s.notify <- struct{}{}
+	return nil
+}
+
 // hello binds the session to the named tenant. Rebinding after data has
 // flowed is refused (stores are already keyed).
 func (s *Session) hello(m netproto.Message) error {
+	if refused, err := s.notReady(netproto.HelloSeq); refused {
+		return err
+	}
 	name := string(m.Payload)
 	if s.bound != "" {
 		if name == s.bound {
@@ -475,6 +604,9 @@ func (s *Session) ensureBound(seq uint64) error {
 // ingest admits one data frame into the bounded pipeline, or refuses it
 // with a busy nack when the session queue or the tenant budget is full.
 func (s *Session) ingest(m netproto.Message) error {
+	if refused, err := s.notReady(m.Seq); refused {
+		return err
+	}
 	if err := s.ensureBound(m.Seq); err != nil {
 		return err
 	}
@@ -587,7 +719,13 @@ func (s *Session) finish(r ingestDone) {
 		if s.srv != nil {
 			s.srv.metrics.Acked.Add(1)
 		}
-		if err := s.respond(netproto.Ack(r.m.Seq)); err != nil {
+		ack := netproto.Ack(r.m.Seq)
+		if r.m.Kind == netproto.KindReplRecord {
+			// The replication dialect acks with its own kind so the
+			// primary's window logic can tell follower acks apart.
+			ack.Kind = netproto.KindReplAck
+		}
+		if err := s.respond(ack); err != nil {
 			s.conn.Close() // reader notices and ends the session
 		}
 		return
@@ -626,6 +764,12 @@ func (s *Session) dispatch(m netproto.Message) (err error) {
 			s.quarantine(m, err.Error())
 		}
 	}()
+	if m.Kind == netproto.KindReplRecord {
+		if s.cfg.ReplRecord == nil {
+			return errors.New("no repl handler")
+		}
+		return s.cfg.ReplRecord(m)
+	}
 	if s.cfg.Handle == nil {
 		return errors.New("no handler")
 	}
@@ -647,6 +791,9 @@ func (s *Session) tenantName() string {
 }
 
 func (s *Session) answer(m netproto.Message) error {
+	if refused, err := s.notReady(m.Seq); refused {
+		return err
+	}
 	if err := s.ensureBound(m.Seq); err != nil {
 		return err
 	}

@@ -1,0 +1,142 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// MetaName is the replication metadata file inside a store directory. It
+// deliberately lacks the .db extension so store.Shards never mistakes it
+// for a tenant segment.
+const MetaName = "replica.meta"
+
+// metaMagic guards against reading some other file as replication
+// metadata.
+var metaMagic = [4]byte{'D', 'B', 'G', 'R'}
+
+const metaVersion byte = 1
+
+// Meta is the durable replication state of a node: its epoch and, on a
+// follower, the per-tenant applied watermarks.
+//
+// The watermark invariant: Meta is persisted only after the records below
+// each watermark have been group-committed, so the saved watermark never
+// exceeds durable data. A crash between applies and the next save only
+// makes the watermark stale — the primary re-ships the gap and re-apply is
+// idempotent.
+type Meta struct {
+	Epoch      byte
+	Watermarks map[string]int64
+}
+
+// MetaPath returns the metadata path for a store directory.
+func MetaPath(dir string) string { return filepath.Join(dir, MetaName) }
+
+// LoadMeta reads a directory's replication metadata. A missing or corrupt
+// file yields the zero Meta (epoch 0, no watermarks) without error — the
+// consequence is idempotent re-shipping, not data loss.
+func LoadMeta(dir string) (Meta, error) {
+	m := Meta{Watermarks: map[string]int64{}}
+	raw, err := os.ReadFile(MetaPath(dir))
+	if os.IsNotExist(err) {
+		return m, nil
+	} else if err != nil {
+		return m, err
+	}
+	// Layout: magic(4) | version(1) | epoch(1) | count(2) | entries of
+	// nameLen(1)|name|wm(8) | crc32c of everything before it (4).
+	if len(raw) < 12 || string(raw[:4]) != string(metaMagic[:]) || raw[4] != metaVersion {
+		return Meta{Watermarks: map[string]int64{}}, nil
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return Meta{Watermarks: map[string]int64{}}, nil
+	}
+	m.Epoch = raw[5]
+	count := int(binary.LittleEndian.Uint16(raw[6:]))
+	rest := raw[8 : len(raw)-4]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return Meta{Epoch: m.Epoch, Watermarks: map[string]int64{}}, nil
+		}
+		nameLen := int(rest[0])
+		if len(rest) < 1+nameLen+8 {
+			return Meta{Epoch: m.Epoch, Watermarks: map[string]int64{}}, nil
+		}
+		m.Watermarks[string(rest[1:1+nameLen])] = int64(binary.LittleEndian.Uint64(rest[1+nameLen:]))
+		rest = rest[1+nameLen+8:]
+	}
+	return m, nil
+}
+
+// SaveMeta atomically replaces a directory's replication metadata:
+// write-to-temp, fsync, rename, fsync directory — a crash leaves either
+// the old file or the new one, never a torn mix.
+func SaveMeta(dir string, m Meta) error {
+	buf := make([]byte, 0, 8+len(m.Watermarks)*16)
+	buf = append(buf, metaMagic[:]...)
+	buf = append(buf, metaVersion, m.Epoch)
+	buf = appendU16(buf, uint16(len(m.Watermarks)))
+	for name, w := range m.Watermarks {
+		buf = append(buf, byte(len(name)))
+		buf = append(buf, name...)
+		buf = appendU64(buf, uint64(w))
+	}
+	buf = appendU32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := MetaPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, MetaPath(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Promote bumps the epoch in a directory's metadata and persists it,
+// returning the new epoch. Used by the -promote flag at startup; running
+// processes promote through Receiver.Promote.
+func Promote(dir string) (byte, error) {
+	m, err := LoadMeta(dir)
+	if err != nil {
+		return 0, err
+	}
+	if m.Epoch == ^byte(0) {
+		return 0, fmt.Errorf("replica: epoch exhausted")
+	}
+	m.Epoch++
+	if err := SaveMeta(dir, m); err != nil {
+		return 0, err
+	}
+	return m.Epoch, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -23,6 +23,12 @@ var ErrGroupClosed = errors.New("store: commit group closed")
 type Group struct {
 	interval time.Duration
 
+	// OnError, when set before the first Commit/Async, is called with
+	// every fsync failure the committer observes — including failures of
+	// Async rounds, which have no waiting caller to return the error to.
+	// Called from the committer goroutine; must not block.
+	OnError func(error)
+
 	mu      sync.Mutex
 	pending map[*Store]*commitBatch
 	wake    chan struct{}
@@ -33,6 +39,13 @@ type Group struct {
 	// can report the achieved batching factor.
 	commits uint64
 	rounds  uint64
+
+	// firstErr and errCount make fsync failures sticky: an Async round's
+	// error has no waiter to land on, so it is latched here instead of
+	// vanishing — a dying disk degrades loudly (Err, /healthz) rather
+	// than silently un-acking durability.
+	firstErr error
+	errCount uint64
 }
 
 type commitBatch struct {
@@ -101,6 +114,39 @@ func (g *Group) Stats() (commits, rounds uint64) {
 	return g.commits, g.rounds
 }
 
+// Err returns the first fsync error any commit round has hit, or nil. The
+// error is sticky: once a round fails, every later Err call reports it
+// (health endpoints treat a non-nil Err as a degraded store) until the
+// process restarts with a healthy disk.
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// ErrCount returns how many fsync failures the committer has observed.
+func (g *Group) ErrCount() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.errCount
+}
+
+// noteErr latches a round failure and reports it to OnError.
+func (g *Group) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.firstErr == nil {
+		g.firstErr = err
+	}
+	g.errCount++
+	g.mu.Unlock()
+	if g.OnError != nil {
+		g.OnError(err)
+	}
+}
+
 // Close flushes every pending batch and stops the committer.
 func (g *Group) Close() error {
 	g.mu.Lock()
@@ -137,6 +183,7 @@ func (g *Group) run() {
 		g.mu.Unlock()
 		for st, b := range batch {
 			b.err = st.Sync()
+			g.noteErr(b.err)
 			close(b.done)
 		}
 		if closed {
@@ -147,6 +194,7 @@ func (g *Group) run() {
 			g.mu.Unlock()
 			for st, b := range batch {
 				b.err = st.Sync()
+				g.noteErr(b.err)
 				close(b.done)
 			}
 			return

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -84,6 +85,7 @@ type Store struct {
 type recordPos struct {
 	off  int64
 	size uint32
+	crc  uint32
 	kind byte
 }
 
@@ -174,7 +176,7 @@ func (s *Store) rebuild() error {
 		if sum.Sum32() != want {
 			break // corrupt record: stop and truncate here
 		}
-		s.index[seq] = recordPos{off: off, size: size, kind: kind}
+		s.index[seq] = recordPos{off: off, size: size, crc: want, kind: kind}
 		off = next
 	}
 	s.end = off
@@ -184,22 +186,32 @@ func (s *Store) rebuild() error {
 // Put appends a frame record. A later Put with the same sequence number
 // shadows the earlier one.
 func (s *Store) Put(seq uint64, kind byte, payload []byte) error {
+	_, err := s.Append(seq, kind, payload)
+	return err
+}
+
+// Append is Put returning the segment end offset after the new record —
+// the position a replication sender can wait on: once the follower's
+// acknowledged watermark reaches end, this record (and everything appended
+// before it) is replicated.
+func (s *Store) Append(seq uint64, kind byte, payload []byte) (end int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var hdr [recordHeader]byte
 	binary.LittleEndian.PutUint64(hdr[0:], seq)
 	hdr[8] = kind
+	crc := crc32.Checksum(payload, castagnoli)
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[13:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[13:], crc)
 	if _, err := s.f.WriteAt(hdr[:], s.end); err != nil {
-		return fmt.Errorf("store: writing header: %w", err)
+		return s.end, fmt.Errorf("store: writing header: %w", err)
 	}
 	if _, err := s.f.WriteAt(payload, s.end+recordHeader); err != nil {
-		return fmt.Errorf("store: writing payload: %w", err)
+		return s.end, fmt.Errorf("store: writing payload: %w", err)
 	}
-	s.index[seq] = recordPos{off: s.end, size: uint32(len(payload)), kind: kind}
+	s.index[seq] = recordPos{off: s.end, size: uint32(len(payload)), crc: crc, kind: kind}
 	s.end += recordHeader + int64(len(payload))
-	return nil
+	return s.end, nil
 }
 
 // Get returns the payload and kind of the frame with the given sequence
@@ -259,6 +271,90 @@ func (s *Store) Seqs() []uint64 {
 		out = append(out, seq)
 	}
 	return out
+}
+
+// End returns the segment end offset: the append position of the next
+// record, and the upper bound of every live record's extent. Replication
+// uses it as the "caught up when the follower's watermark reaches here"
+// mark.
+func (s *Store) End() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// RecordInfo describes one live record without its payload: identity,
+// payload checksum, and segment extent in append order. Manifest entries
+// are what the anti-entropy scrub compares across replicas.
+type RecordInfo struct {
+	Seq  uint64
+	Kind byte
+	Size uint32
+	CRC  uint32 // crc32c of the payload, as stored in the record header
+	Off  int64  // record start offset
+	End  int64  // record end offset (Off + header + Size)
+}
+
+// Record is a live record with its payload, as read back for replication.
+type Record struct {
+	RecordInfo
+	Payload []byte
+}
+
+// Manifest returns every live record (shadowed duplicates excluded),
+// sorted by segment offset — the store's append order restricted to the
+// surviving records.
+func (s *Store) Manifest() []RecordInfo {
+	s.mu.Lock()
+	out := make([]RecordInfo, 0, len(s.index))
+	for seq, pos := range s.index {
+		out = append(out, RecordInfo{
+			Seq: seq, Kind: pos.kind, Size: pos.size, CRC: pos.crc,
+			Off: pos.off, End: pos.off + recordHeader + int64(pos.size),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+// ReadSince returns live records whose start offset is at or past from, in
+// append order, stopping after maxBytes of payload (at least one record is
+// returned when any qualifies; maxBytes <= 0 means no byte bound). Each
+// payload is checksum-verified on read. This is the replication tail: a
+// sender keeps a cursor at the end offset of the last shipped record and
+// reads forward from it.
+func (s *Store) ReadSince(from int64, maxBytes int) ([]Record, error) {
+	s.mu.Lock()
+	infos := make([]RecordInfo, 0, 8)
+	for seq, pos := range s.index {
+		if pos.off < from {
+			continue
+		}
+		infos = append(infos, RecordInfo{
+			Seq: seq, Kind: pos.kind, Size: pos.size, CRC: pos.crc,
+			Off: pos.off, End: pos.off + recordHeader + int64(pos.size),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Off < infos[j].Off })
+	out := make([]Record, 0, len(infos))
+	budget := maxBytes
+	for _, info := range infos {
+		if maxBytes > 0 && budget < int(info.Size) && len(out) > 0 {
+			break
+		}
+		payload := make([]byte, info.Size)
+		if _, err := s.f.ReadAt(payload, info.Off+recordHeader); err != nil {
+			return out, fmt.Errorf("store: reading record %d: %w", info.Seq, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != info.CRC {
+			return out, fmt.Errorf("store: record %d: %w", info.Seq, ErrCorrupt)
+		}
+		out = append(out, Record{RecordInfo: info, Payload: payload})
+		budget -= int(info.Size)
+	}
+	return out, nil
 }
 
 // Close flushes and closes the underlying file.
