@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench-json bench-sweep bench-pack soak \
-	failover-soak vuln
+.PHONY: check build vet test race fuzz bench-json bench-sweep bench-pack \
+	bench-ctx soak failover-soak vuln
 
-# check is the CI gate: vet + full test suite, then the data-race pass
-# (which includes the reliable-transport fault-injection tests), then a
-# known-vulnerability scan when the scanner is installed.
+# check is the CI gate: vet + full test suite (which includes the
+# city-frame compression-ratio smoke test, TestRatioSmoke), then the
+# data-race pass (which includes the reliable-transport fault-injection
+# tests), then a known-vulnerability scan when the scanner is installed.
 check: build vet test race vuln
 
 build:
@@ -39,6 +40,13 @@ bench-sweep:
 PACK_ITERS ?= 15
 bench-pack:
 	$(GO) run ./cmd/dbgc-bench -exp pack -frames $(PACK_ITERS) -json BENCH_8.json
+
+# Context-modeling ablation: the occupancy feature sweep, the sparse-section
+# context gain, and the v5 container dialect matrix with the ratio/guard/
+# byte-identity acceptance checks. CTX_ITERS=1 is the CI smoke scale.
+CTX_ITERS ?= 10
+bench-ctx:
+	$(GO) run ./cmd/dbgc-bench -exp ctx -frames $(CTX_ITERS) -json BENCH_10.json
 
 # Chaos soak: concurrent tenants through fault-injected links and
 # crash-prone disks with induced crash-restarts, under the race detector.
@@ -78,6 +86,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/gpcc
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/quadtree
 	$(GO) test -fuzz=FuzzBlockPack -fuzztime=$(FUZZTIME) ./internal/blockpack
+	$(GO) test -fuzz=FuzzContextOctree -fuzztime=$(FUZZTIME) ./internal/octree
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/arith
 	$(GO) test -fuzz=FuzzShardedStream -fuzztime=$(FUZZTIME) ./internal/arith
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/core

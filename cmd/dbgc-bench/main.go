@@ -8,7 +8,7 @@
 //	dbgc-bench -exp fig9 -frames 3 # one experiment, 3 frames per config
 //
 // Experiments: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster,
-// throughput, memory, temporal, perf, all.
+// throughput, memory, temporal, perf, sweep, pack, ctx, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, perf, sweep, pack, all")
+	exp := flag.String("exp", "all", "experiment to run: fig3, fig9, fig10, fig11, table2, fig12, fig13, cluster, throughput, memory, temporal, perf, sweep, pack, ctx, all")
 	frames := flag.Int("frames", 2, "frames per configuration (the paper uses 1000)")
 	quick := flag.Bool("quick", false, "restrict sweeps to fewer error bounds and scenes")
 	csvDir := flag.String("csv", "", "also write raw rows as CSV files into this directory")
@@ -77,8 +77,9 @@ func main() {
 		"perf":       runPerf,
 		"sweep":      runSweep,
 		"pack":       runPack,
+		"ctx":        runCtx,
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal", "perf", "sweep", "pack"}
+	order := []string{"fig3", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "cluster", "throughput", "memory", "temporal", "perf", "sweep", "pack", "ctx"}
 
 	var selected []string
 	if *exp == "all" {
@@ -467,6 +468,51 @@ func runPack(frames int, quick bool) error {
 	return writeCSV("pack", []string{"stream", "count", "legacy_bytes", "blockpack_bytes",
 		"legacy_encode_ns", "blockpack_encode_ns", "legacy_decode_ns", "blockpack_decode_ns",
 		"decode_speedup"}, csvRows)
+}
+
+func runCtx(frames int, quick bool) error {
+	header("Context-modeled entropy coding ablation: feature sweep and v5 dialect matrix (city, q=2cm)")
+	res, err := benchkit.Ctx(benchkit.DefaultQ, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d points, %d iters per timing\n", res.Points, res.Iters)
+	fmt.Printf("%-26s %9s %10s %10s %8s %10s %10s\n",
+		"features", "contexts", "leg bytes", "ctx bytes", "Δbytes", "enc", "dec")
+	var csvRows [][]string
+	for _, s := range res.Features {
+		fmt.Printf("%-26s %9d %10d %10d %+7.2f%% %8.2fms %8.2fms\n",
+			s.Features, s.Contexts, s.LegacyBytes, s.CtxBytes, s.BytesDeltaPct,
+			s.EncNs/1e6, s.DecNs/1e6)
+		csvRows = append(csvRows, []string{
+			s.Features, fmt.Sprint(s.Contexts), fmt.Sprint(s.LegacyBytes), fmt.Sprint(s.CtxBytes),
+			f64(s.BytesDeltaPct), f64(s.EncNs), f64(s.DecNs),
+		})
+	}
+	fmt.Printf("sparse section: %d -> %d bytes (%+.2f%%)\n",
+		res.SparseLegacyBytes, res.SparseCtxBytes, res.SparseDeltaPct)
+	fmt.Printf("%-38s %8s %8s %8s %10s %10s %11s %11s %9s %6s\n",
+		"container", "version", "shards", "ratio", "bytes", "vs base", "unpack fps", "stream fps", "par=ser", "ok")
+	for _, f := range res.Frames {
+		fmt.Printf("%-38s %8d %8d %8.2f %10d %+9.3f%% %11.1f %11.1f %9v %6v\n",
+			f.Config, f.Version, f.Shards, f.Ratio, f.Bytes, f.DeltaVsBasePct,
+			f.UnpackFPS, f.StreamUnpackFPS, f.ParallelIdentical, f.RoundTripOK)
+	}
+	fmt.Printf("headline ctx ratio %.2f (plateau 20.5 broken: %v), guard ok: %v, unpack within 15%%: %v\n",
+		res.CtxRatio, res.PlateauBroken, res.GuardOK, res.UnpackWithin15Pct)
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return writeCSV("ctx", []string{"features", "contexts", "legacy_bytes", "ctx_bytes",
+		"bytes_delta_pct", "encode_ns", "decode_ns"}, csvRows)
 }
 
 func runMemory(frames int, quick bool) error {

@@ -58,11 +58,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dbgc compress   [-q meters] [-groups n] [-exact] [-shards n] [-blockpack|-blockpack-force] [-parallel] input.bin output.dbgc
+  dbgc compress   [-q meters] [-groups n] [-exact] [-shards n] [-blockpack|-blockpack-force] [-ctx] [-parallel] input.bin output.dbgc
   dbgc decompress [-parallel] input.dbgc output.bin
   dbgc info       input.dbgc
   dbgc simulate   [-scene kind] [-seed n] output.bin
-  dbgc pack       [-q meters] [-fps n] [-intensity] [-shards n] [-blockpack] frames... output.dbgs
+  dbgc pack       [-q meters] [-fps n] [-intensity] [-shards n] [-blockpack] [-ctx] frames... output.dbgs
   dbgc unpack     input.dbgs output-dir
   dbgc view       [-extent m] [-size WxH] frame.bin|frame.ply|frame.dbgc
   dbgc query      -box x0,y0,z0,x1,y1,z1 frame.dbgc output.bin`)
@@ -77,6 +77,7 @@ func runCompress(args []string) error {
 	shards := fs.Int("shards", 1, "entropy shard count (>1 writes the v3 container)")
 	blockpack := fs.Bool("blockpack", false, "block-bitpack the integer streams when it shrinks the frame (v4 container, size-guarded)")
 	blockpackForce := fs.Bool("blockpack-force", false, "always write the v4 container, skipping the blockpack size guard")
+	ctx := fs.Bool("ctx", false, "context-model the occupancy and angular streams when it shrinks each stream (v5 container, size-guarded)")
 	parallel := fs.Bool("parallel", false, "compress stages and shards concurrently")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
@@ -92,6 +93,7 @@ func runCompress(args []string) error {
 	opts.Shards = *shards
 	opts.BlockPack = *blockpack
 	opts.BlockPackForce = *blockpackForce
+	opts.ContextModel = *ctx
 	opts.Parallel = *parallel
 	data, stats, err := dbgc.Compress(pc, opts)
 	if err != nil {
@@ -228,6 +230,9 @@ func runInfo(args []string) error {
 	}
 	if layout.BlockPacked {
 		dialect += ", blockpacked integer streams"
+	}
+	if layout.ContextModeled {
+		dialect += ", context-modeled entropy streams"
 	}
 	fmt.Printf("%s: %d bytes, %d points, ratio %.2f (format v%d%s)\n",
 		fs.Arg(0), len(data), len(pc), float64(len(pc)*12)/float64(len(data)), layout.Version, dialect)

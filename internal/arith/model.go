@@ -128,5 +128,27 @@ func (m *Model) rescale() {
 	}
 }
 
+// Update advances the adaptive state for sym exactly as coding the symbol
+// would, without emitting bits, so encoder and decoder can keep auxiliary
+// (shared prior) models in lockstep.
+func (m *Model) Update(sym int) {
+	if sym < 0 || sym >= m.n {
+		panic("arith: Update symbol out of range")
+	}
+	m.update(sym)
+}
+
+// CopyFrom overwrites m with an exact copy of src's state. Both models must
+// share one alphabet size. It exists so a context model can be seeded from a
+// warmed shared model instead of the uniform prior, which removes most of
+// the adaptation cost of splitting a short stream across many contexts.
+func (m *Model) CopyFrom(src *Model) {
+	if m.n != src.n {
+		panic("arith: CopyFrom across alphabet sizes")
+	}
+	copy(m.tree, src.tree)
+	m.total = src.total
+}
+
 // Size returns the alphabet size.
 func (m *Model) Size() int { return m.n }

@@ -109,6 +109,16 @@ type Options struct {
 	// format tooling, tests, and callers that prefer decode throughput
 	// over ratio regardless of the frame. Implies BlockPack.
 	BlockPackForce bool
+	// ContextModel codes the octree occupancy stream and the sparse angular
+	// streams with the table-driven context models of internal/ctxmodel
+	// (parent occupancy, octant reflection, magnitude buckets; see DESIGN.md
+	// §15) and emits the container v5 dialect. Every context-modeled stream
+	// is size-guarded per stream: the encoder also builds the stream's
+	// v2/v3/v4 coding and keeps whichever is smaller, so enabling it costs
+	// at most a few marker bytes per frame and typically saves 3-4%.
+	// Composes with Shards (context state resets per shard; parallel encode
+	// stays byte-identical to serial) and with BlockPack.
+	ContextModel bool
 }
 
 // DefaultOptions returns the paper's configuration for error bound q.
@@ -178,9 +188,23 @@ const (
 	// is set and the packed container wins the size guard (or when
 	// BlockPackForce skips the guard). All four versions decode.
 	version4 = 4
+	// version5 keeps the envelope but follows the version byte with a
+	// dialect byte: v1-v4 infer the entropy dialect from the version number
+	// alone, while v5's context modeling composes with sharding and
+	// blockpacking, so the combination must be spelled out. Emitted when
+	// Options.ContextModel is set. All five versions decode.
+	version5 = 5
 	// version is what Compress emits for unsharded options (Shards <= 1);
-	// sharded compression emits version3, blockpacked version4.
+	// sharded compression emits version3, blockpacked version4,
+	// context-modeled version5.
 	version = version2
+)
+
+// Dialect bits of the v5 container's dialect byte.
+const (
+	dialectSharded   = 1 << 0 // v3 sharded entropy framing
+	dialectBlockPack = 1 << 1 // v4 blockpacked integer hot paths
+	dialectContext   = 1 << 2 // context-modeled occupancy/angular streams
 )
 
 // castagnoli is the CRC32-C table shared by section framing and checks.
@@ -281,7 +305,7 @@ func (e *Encoder) compressOnce(pc geom.PointCloud, opts Options) ([]byte, *Stats
 	denseDone := make(chan struct{})
 	encodeDense := func() {
 		t := time.Now()
-		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack})
+		denseEnc, denseErr = octree.EncodeWith(densePts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack, Context: opts.ContextModel})
 		stats.OCT = time.Since(t)
 		stats.ENT = denseEnc.EntropyTime
 		close(denseDone)
@@ -304,6 +328,7 @@ func (e *Encoder) compressOnce(pc geom.PointCloud, opts Options) ([]byte, *Stats
 		Parallel:         opts.Parallel,
 		Shards:           opts.Shards,
 		BlockPack:        opts.BlockPack,
+		Context:          opts.ContextModel,
 	})
 	<-denseDone
 	if denseErr != nil {
@@ -334,7 +359,8 @@ func (e *Encoder) compressOnce(pc geom.PointCloud, opts Options) ([]byte, *Stats
 
 	// Final layout (Figure 8). Sharded entropy streams need the v3
 	// container, blockpacked streams the v4, so decoders select the right
-	// dialect per section.
+	// dialect per section. Context-modeled streams need the v5 container,
+	// whose dialect byte spells out the full combination.
 	ver := byte(version)
 	if opts.Shards > 1 {
 		ver = version3
@@ -342,9 +368,23 @@ func (e *Encoder) compressOnce(pc geom.PointCloud, opts Options) ([]byte, *Stats
 	if opts.BlockPack {
 		ver = version4
 	}
+	var dialect byte
+	if opts.ContextModel {
+		ver = version5
+		dialect = dialectContext
+		if opts.Shards > 1 {
+			dialect |= dialectSharded
+		}
+		if opts.BlockPack {
+			dialect |= dialectBlockPack
+		}
+	}
 	out := make([]byte, 0, len(denseEnc.Data)+len(sparseEnc.Data)+len(outlierData)+64)
 	out = append(out, magic...)
 	out = append(out, ver)
+	if ver == version5 {
+		out = append(out, dialect)
+	}
 	out = varint.AppendUint(out, uint64(opts.OutlierMode))
 	out = appendSection(out, denseEnc.Data)
 	out = appendSection(out, sparseEnc.Data)
@@ -469,7 +509,7 @@ func encodeOutliers(pts geom.PointCloud, opts Options) ([]byte, []int, error) {
 		}
 		return enc.Data, enc.DecodedOrder, nil
 	case OutlierOctree:
-		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack})
+		enc, err := octree.EncodeWith(pts, opts.Q, octree.EncodeOptions{Parallel: opts.Parallel, Shards: opts.Shards, BlockPack: opts.BlockPack, Context: opts.ContextModel})
 		if err != nil {
 			return nil, nil, err
 		}

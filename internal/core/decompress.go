@@ -104,12 +104,24 @@ func (s *section) verify(id SectionID) error {
 	return nil
 }
 
-// container is a parsed frame envelope: version, outlier mode, and the
-// three section payloads (not yet decoded or CRC-verified).
+// container is a parsed frame envelope: version, dialect byte (v5 only,
+// zero otherwise), outlier mode, and the three section payloads (not yet
+// decoded or CRC-verified).
 type container struct {
 	version byte
+	dialect byte
 	mode    OutlierMode
 	sec     [numSections]section
+}
+
+// flags returns the per-stream entropy dialect of the container: v1/v2 are
+// plain, v3 sharded, v4 sharded+blockpacked, and v5 carries the combination
+// explicitly in its dialect byte.
+func (c container) flags() (sharded, blockpacked, ctx bool) {
+	if c.version == version5 {
+		return c.dialect&dialectSharded != 0, c.dialect&dialectBlockPack != 0, c.dialect&dialectContext != 0
+	}
+	return c.version >= version3, c.version >= version4, false
 }
 
 // parseContainer splits a frame into its envelope and sections, charging
@@ -127,10 +139,20 @@ func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 		return c, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	c.version = data[len(magic)]
-	if c.version != version1 && c.version != version2 && c.version != version3 && c.version != version4 {
+	if c.version < version1 || c.version > version5 {
 		return c, fmt.Errorf("core: unsupported version %d", c.version)
 	}
 	data = data[len(magic)+1:]
+	if c.version == version5 {
+		if len(data) < 1 {
+			return c, fmt.Errorf("%w: missing dialect byte", ErrCorrupt)
+		}
+		c.dialect = data[0]
+		if c.dialect&^(dialectSharded|dialectBlockPack|dialectContext) != 0 {
+			return c, fmt.Errorf("%w: unknown dialect bits %#x", ErrCorrupt, c.dialect)
+		}
+		data = data[1:]
+	}
 	mode64, used, err := varint.Uint(data)
 	if err != nil {
 		return c, fmt.Errorf("core: outlier mode: %w", err)
@@ -166,7 +188,7 @@ func parseContainer(data []byte, b *declimits.Budget) (container, error) {
 
 // newBudget returns nil (unlimited, zero overhead) for zero limits.
 func newBudget(l DecodeLimits) *declimits.Budget {
-	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.MaxShards == 0 && l.Ctx == nil {
+	if l.MaxPoints == 0 && l.MaxNodes == 0 && l.MaxSectionBytes == 0 && l.MemBudget == 0 && l.MaxShards == 0 && l.MaxContexts == 0 && l.Ctx == nil {
 		return nil
 	}
 	return declimits.New(l)
@@ -266,11 +288,11 @@ func DecompressPartial(data []byte, opts DecompressOptions) (geom.PointCloud, []
 // skip CRC-condemned radial groups of a v3 stream instead of failing the
 // section (DecompressPartial's group-level recovery).
 func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, salvage bool) (pts [numSections]geom.PointCloud, errs [numSections]error) {
-	// The container version, not the payload, selects the entropy dialect
-	// of the dense and outlier sections; sparse streams are self-flagged.
-	sharded := c.version >= version3
-	blockpacked := c.version >= version4
-	octOpts := octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: opts.Parallel}
+	// The container version (plus the v5 dialect byte), not the payload,
+	// selects the entropy dialect of the dense and outlier sections; sparse
+	// streams are self-flagged.
+	sharded, blockpacked, ctx := c.flags()
+	octOpts := octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Context: ctx, Parallel: opts.Parallel}
 	sparseOpts := sparse.DecodeOptions{Parallel: opts.Parallel, Budget: b, Salvage: salvage}
 	if opts.Parallel {
 		var wg sync.WaitGroup
@@ -281,7 +303,7 @@ func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, sa
 		}()
 		go func() {
 			defer wg.Done()
-			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, opts.Parallel)
+			pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, ctx, opts.Parallel)
 		}()
 		// The sparse section fans its radial groups out to further
 		// goroutines; decode it on this one.
@@ -290,18 +312,18 @@ func decodeSections(c container, opts DecompressOptions, b *declimits.Budget, sa
 	} else {
 		pts[SectionDense], errs[SectionDense] = octree.DecodeWith(c.sec[SectionDense].payload, octOpts)
 		pts[SectionSparse], errs[SectionSparse] = sparse.DecodeWith(c.sec[SectionSparse].payload, sparseOpts)
-		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, opts.Parallel)
+		pts[SectionOutlier], errs[SectionOutlier] = decodeOutliers(c.sec[SectionOutlier].payload, c.mode, b, sharded, blockpacked, ctx, opts.Parallel)
 	}
 	return pts, errs
 }
 
-func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget, sharded, blockpacked, parallel bool) (pc geom.PointCloud, err error) {
+func decodeOutliers(data []byte, mode OutlierMode, b *declimits.Budget, sharded, blockpacked, ctx, parallel bool) (pc geom.PointCloud, err error) {
 	defer declimits.Recover(&err, ErrCorrupt)
 	switch mode {
 	case OutlierQuadtree:
 		return outlier.DecodeWith(data, outlier.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: parallel})
 	case OutlierOctree:
-		return octree.DecodeWith(data, octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Parallel: parallel})
+		return octree.DecodeWith(data, octree.DecodeOptions{Budget: b, Sharded: sharded, BlockPack: blockpacked, Context: ctx, Parallel: parallel})
 	case OutlierNone:
 		n, used, err := varint.Uint(data)
 		if err != nil {

@@ -32,13 +32,24 @@ func FuzzDecompress(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	copts := DefaultOptions(0.02)
+	copts.ContextModel = true
+	copts.Shards = 2
+	v5, _, err := Compress(pc, copts)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(data)
 	f.Add(data[:len(data)/2])
 	f.Add(v3)
 	f.Add(v4)
+	f.Add(v5)
+	f.Add(v5[:len(v5)/2])
 	f.Add([]byte("DBGC\x01garbage"))
 	f.Add([]byte("DBGC\x03garbage"))
 	f.Add([]byte("DBGC\x04garbage"))
+	f.Add([]byte("DBGC\x05\x07garbage"))
+	f.Add([]byte("DBGC\x05\xffgarbage"))
 	f.Add([]byte{})
 	mut := append([]byte(nil), data...)
 	if len(mut) > 10 {
@@ -55,6 +66,16 @@ func FuzzDecompress(f *testing.F) {
 		mut4[30] ^= 0xff
 	}
 	f.Add(mut4)
+	// v5 mutants: flip the dialect byte and garble the context-table header
+	// region at the head of the dense section.
+	mut5 := append([]byte(nil), v5...)
+	mut5[5] ^= 0x04
+	f.Add(mut5)
+	mut5b := append([]byte(nil), v5...)
+	if len(mut5b) > 45 {
+		mut5b[45] ^= 0xff
+	}
+	f.Add(mut5b)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		dec, err := Decompress(b)
 		if err == nil && dec == nil {

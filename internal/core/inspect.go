@@ -22,6 +22,11 @@ type Layout struct {
 	// BlockPacked reports the v4 dialect: integer hot-path streams coded
 	// with the blockpack codec inside the shard framing.
 	BlockPacked bool
+	// ContextModeled reports the v5 dialect: occupancy and angular streams
+	// may be coded under the ctxmodel context banks, per-stream size
+	// guarded. On v5 frames all three dialect flags come from the dialect
+	// byte rather than the version number.
+	ContextModeled bool
 	// Groups is the number of radial point groups in the sparse section.
 	Groups int
 	// PointsDense, PointsSparse, PointsOutlier are header point counts
@@ -42,8 +47,7 @@ func Inspect(data []byte) (Layout, error) {
 	}
 	l.OutlierMode = c.mode
 	l.SectionCRCs = c.sec[SectionDense].hasCRC
-	l.ShardedStreams = c.version >= version3
-	l.BlockPacked = c.version >= version4
+	l.ShardedStreams, l.BlockPacked, l.ContextModeled = c.flags()
 
 	dense := c.sec[SectionDense].payload
 	l.BytesDense = len(dense)

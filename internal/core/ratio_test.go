@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"dbgc/internal/lidar"
+)
+
+// TestRatioSmoke is the ratio regression guard that runs under `make
+// check`: the reference city frame must compress at or above the plateau
+// the perf PRs were held to (20.4 with defaults), and the context-modeled
+// v5 dialect must hold the ratio that broke that plateau (21.0). A perf
+// change that silently trades ratio for speed fails here, not in a
+// quarterly bench run.
+func TestRatioSmoke(t *testing.T) {
+	pc := frame(t, lidar.City)
+	ratio := func(data []byte) float64 {
+		return float64(len(pc)*12) / float64(len(data))
+	}
+	plain, _, err := Compress(pc, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ratio(plain); r < 20.4 {
+		t.Errorf("default compression ratio %.2f below the 20.4 floor", r)
+	}
+	opts := DefaultOptions(0.02)
+	opts.ContextModel = true
+	ctx, _, err := Compress(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ratio(ctx); r < 21.0 {
+		t.Errorf("context-modeled compression ratio %.2f below the 21.0 target", r)
+	}
+	t.Logf("city frame ratios: defaults %.2f, context-modeled %.2f", ratio(plain), ratio(ctx))
+}

@@ -26,9 +26,8 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	sharded := c.version >= version3
-	blockpacked := c.version >= version4
-	out, err := octree.DecodeRegionWith(c.sec[SectionDense].payload, region, octree.DecodeOptions{Sharded: sharded, BlockPack: blockpacked})
+	sharded, blockpacked, ctx := c.flags()
+	out, err := octree.DecodeRegionWith(c.sec[SectionDense].payload, region, octree.DecodeOptions{Sharded: sharded, BlockPack: blockpacked, Context: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("core: dense: %w", err)
 	}
@@ -46,7 +45,7 @@ func DecompressRegion(data []byte, region geom.AABB) (geom.PointCloud, error) {
 		}
 	}
 
-	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil, sharded, blockpacked, false)
+	outlierPts, err := decodeOutliers(c.sec[SectionOutlier].payload, c.mode, nil, sharded, blockpacked, ctx, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: outliers: %w", err)
 	}

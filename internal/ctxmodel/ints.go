@@ -1,0 +1,120 @@
+package ctxmodel
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dbgc/internal/arith"
+	"dbgc/internal/declimits"
+	"dbgc/internal/varint"
+)
+
+// Context-modeled integer streams. The sparse path's φ tails are runs of
+// small quantized-angle deltas punctuated by polyline-boundary jumps; the
+// magnitude of one delta strongly predicts the magnitude class of the next
+// (a θ/φ-bucket context, after Sridhara et al.'s observation that the
+// angular grid is locally regular). Values code as zigzag LEB128 through
+// the arithmetic coder, like arith.AppendCompressInts, except the first
+// byte of every value selects its model by the previous value's magnitude
+// bucket; continuation bytes share one model. The bucket state and the
+// bank reset at shard boundaries, so shards stay independently decodable
+// (and, unlike the occupancy replay, decode in parallel).
+
+// IntContexts is the first-byte context count: zigzag bit-length buckets
+// 0..6 plus "7 or more bits".
+const IntContexts = 8
+
+// magBucket buckets a zigzag-mapped value by bit length, saturating at 7.
+func magBucket(z uint64) int {
+	b := bits.Len64(z)
+	if b > 7 {
+		b = 7
+	}
+	return b
+}
+
+// AppendIntsCtx appends the context-modeled zigzag coding of vs, sharded
+// into shards independently coded shards. The bytes depend only on
+// (vs, shards), never on parallel.
+func AppendIntsCtx(dst []byte, vs []int64, shards int, parallel bool) []byte {
+	return arith.AppendSharded(dst, len(vs), shards, parallel, func(lo, hi int, out []byte) []byte {
+		bank := GetBank(IntContexts, 256)
+		cont := arith.GetModel(256)
+		e := arith.GetEncoder()
+		prev := 0
+		for _, v := range vs[lo:hi] {
+			z := varint.Zigzag(v)
+			sym := int(z & 0x7f)
+			rest := z >> 7
+			if rest != 0 {
+				sym |= 0x80
+			}
+			bank.Encode(e, prev, sym)
+			for rest != 0 {
+				sym = int(rest & 0x7f)
+				rest >>= 7
+				if rest != 0 {
+					sym |= 0x80
+				}
+				e.Encode(cont, sym)
+			}
+			prev = magBucket(z)
+		}
+		out = e.AppendFinish(out)
+		arith.PutEncoder(e)
+		arith.PutModel(cont)
+		PutBank(bank)
+		return out
+	})
+}
+
+// DecodeIntsCtx inverts AppendIntsCtx, decoding exactly n integers and
+// charging them (plus the context tables) against b. With parallel set the
+// shards decode concurrently.
+func DecodeIntsCtx(data []byte, n int, b *declimits.Budget, parallel bool) ([]int64, error) {
+	// +2 for the shared seeding model and the continuation model.
+	if err := b.Contexts(IntContexts+2, ModelBytes256); err != nil {
+		return nil, err
+	}
+	if err := b.Nodes(int64(n)); err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	err := arith.DecodeSharded(data, n, b, parallel, func(_ int, shard []byte, lo, hi int) error {
+		bank := GetBank(IntContexts, 256)
+		cont := arith.GetModel(256)
+		d := arith.GetDecoder(shard)
+		defer func() {
+			arith.PutDecoder(d)
+			arith.PutModel(cont)
+			PutBank(bank)
+		}()
+		prev := 0
+		for k := lo; k < hi; k++ {
+			sym, err := bank.Decode(d, prev)
+			if err != nil {
+				return fmt.Errorf("ctxmodel: int %d/%d: %w", k, n, err)
+			}
+			z := uint64(sym & 0x7f)
+			shift := uint(7)
+			for sym >= 0x80 {
+				if shift >= 64 {
+					return fmt.Errorf("%w: varint overflow", ErrCorrupt)
+				}
+				sym, err = d.Decode(cont)
+				if err != nil {
+					return fmt.Errorf("ctxmodel: int %d/%d: %w", k, n, err)
+				}
+				z |= uint64(sym&0x7f) << shift
+				shift += 7
+			}
+			out[k] = varint.Unzigzag(z)
+			prev = magBucket(z)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -44,6 +44,12 @@ type Limits struct {
 	// varint, a slice header, and eventually a goroutine, so the cap keeps
 	// a corrupt header from amplifying into thousands of decode tasks.
 	MaxShards int64
+	// MaxContexts caps the context count any single context-modeled
+	// entropy stream (container v5) may declare. Every context backs an
+	// adaptive frequency table (~1 KiB for the 256-symbol alphabet), so
+	// the cap bounds the table memory a corrupt header can demand before
+	// a single symbol decodes.
+	MaxContexts int64
 	// Ctx, when non-nil, is polled during decoding; its deadline or
 	// cancellation aborts the decode with the context's error.
 	Ctx context.Context
@@ -59,6 +65,7 @@ func DefaultLimits() Limits {
 		MaxSectionBytes: 256 << 20, // one compressed section
 		MemBudget:       1 << 30,   // 1 GiB of decoded output
 		MaxShards:       256,       // shards per entropy stream
+		MaxContexts:     4096,      // contexts per context-modeled stream
 	}
 }
 
@@ -156,6 +163,24 @@ func (b *Budget) Shards(n int64) error {
 		return fmt.Errorf("%w: stream declares %d shards, cap %d", ErrLimit, n, b.lim.MaxShards)
 	}
 	return b.Check()
+}
+
+// Contexts validates one context-modeled stream's declared context count
+// and charges the frequency-table memory the bank will allocate
+// (n contexts of modelBytes each, shared per shard by the pooled banks).
+// Like Shards it is per-stream, not cumulative across streams — but the
+// table bytes do charge the cumulative memory budget.
+func (b *Budget) Contexts(n, modelBytes int64) error {
+	if b == nil {
+		return nil
+	}
+	if n < 0 || modelBytes < 0 {
+		return fmt.Errorf("%w: negative context charge", ErrLimit)
+	}
+	if b.lim.MaxContexts > 0 && n > b.lim.MaxContexts {
+		return fmt.Errorf("%w: stream declares %d contexts, cap %d", ErrLimit, n, b.lim.MaxContexts)
+	}
+	return b.Mem(n * modelBytes)
 }
 
 // Section validates one compressed section's declared byte length.

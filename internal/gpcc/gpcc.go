@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"dbgc/internal/arith"
+	"dbgc/internal/ctxmodel"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
@@ -41,24 +42,39 @@ type Encoded struct {
 	DecodedOrder []int
 }
 
-// coder bundles the context models shared by encode and decode: one
-// occupancy model per 6-bit face-neighbour mask, plus the DPC flag model.
+// occContexts is the size of the occupancy context bank: the 6-bit
+// face-neighbour mask is bucketed by popcount (0, 1, 2, 3+). A raw
+// 64-way mask split diluted adaptation faster than the conditioning paid
+// on ~100k-point frames; the popcount bucket keeps the isolation signal
+// (ground planes vs edges vs interior) while the bank's snapshot seeding
+// lets late-splitting contexts inherit the shared statistics. Octant
+// reflection is applied only to nodes with occupied neighbours: isolated
+// nodes (the bulk of very sparse clouds) have no octant-symmetric
+// structure to exploit, and reflecting them splits the model's mass.
+const occContexts = 4
+
+// coder bundles the context models shared by encode and decode: the
+// occupancy context bank, plus the DPC flag and path models.
 type coder struct {
-	occ  *arith.Model
+	occ  *ctxmodel.Bank
 	flag *arith.Model
 	path *arith.Model // DPC octants; adaptive, so octant bias is exploited
 }
 
 func newCoder() *coder {
-	return &coder{occ: arith.NewModel(256), flag: arith.NewModel(2), path: arith.NewModel(8)}
+	return &coder{occ: ctxmodel.NewBank(occContexts, 256), flag: arith.NewModel(2), path: arith.NewModel(8)}
 }
 
-// occModel returns the occupancy model. A single shared model measured
-// best on LiDAR frames: splitting by neighbour-mask contexts dilutes
-// adaptation faster than the conditioning pays (the mask still gates
-// direct point coding below).
-func (c *coder) occModel(mask int) *arith.Model {
-	return c.occ
+// occCtx maps a 6-bit face-neighbour mask to its bank context.
+func occCtx(mask int) int {
+	n := 0
+	for m := mask; m != 0; m &= m - 1 {
+		n++
+	}
+	if n > occContexts-1 {
+		n = occContexts - 1
+	}
+	return n
 }
 
 // dpcEligible reports whether a node may use direct point coding. Both
@@ -214,7 +230,12 @@ func Encode(points geom.PointCloud, q float64) (Encoded, error) {
 					code |= 1 << uint(o)
 				}
 			}
-			e.Encode(c.occModel(mask), int(code))
+			sym := code
+			if mask != 0 {
+				oct := uint8(nd.x&1) | uint8(nd.y&1)<<1 | uint8(nd.z&1)<<2
+				sym = ctxmodel.Reflect(code, oct)
+			}
+			c.occ.Encode(e, occCtx(mask), int(sym))
 			for o := 0; o < 8; o++ {
 				if len(buckets[o]) == 0 {
 					continue
@@ -339,6 +360,9 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err er
 		return nil, fmt.Errorf("gpcc: counts: %w", err)
 	}
 
+	if err := b.Contexts(occContexts, ctxmodel.ModelBytes256); err != nil {
+		return nil, err
+	}
 	d := arith.NewDecoder(payload)
 	c := newCoder()
 	step := 0.0
@@ -392,9 +416,14 @@ func DecodeLimited(data []byte, b *declimits.Budget) (pc geom.PointCloud, err er
 					continue
 				}
 			}
-			code, err := d.Decode(c.occModel(mask))
+			sym, err := c.occ.Decode(d, occCtx(mask))
 			if err != nil {
 				return nil, fmt.Errorf("gpcc: occupancy: %w", err)
+			}
+			code := sym
+			if mask != 0 {
+				oct := uint8(nd.x&1) | uint8(nd.y&1)<<1 | uint8(nd.z&1)<<2
+				code = int(ctxmodel.Reflect(byte(sym), oct))
 			}
 			if code == 0 {
 				return nil, fmt.Errorf("%w: empty occupancy code", ErrCorrupt)

@@ -22,6 +22,7 @@ import (
 
 	"dbgc/internal/arith"
 	"dbgc/internal/blockpack"
+	"dbgc/internal/ctxmodel"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/par"
@@ -101,6 +102,31 @@ type EncodeOptions struct {
 	// requires DecodeWith with BlockPack set. Off keeps v2/v3 bytes
 	// unchanged.
 	BlockPack bool
+	// Context prefixes the occupancy stream with a one-byte method marker
+	// and, when the context-modeled coding of internal/ctxmodel beats the
+	// v2/v3/v4 bytes, emits it (container v5). The per-stream size guard
+	// means enabling Context never grows the stream; when context coding
+	// loses, the marker is followed by the exact legacy bytes. The
+	// produced stream requires DecodeWith with Context set.
+	Context bool
+	// CtxFeatures selects the occupancy context features when Context is
+	// set; zero means ctxmodel.DefaultFeatures. It exists for the benchkit
+	// ablation.
+	CtxFeatures ctxmodel.Features
+}
+
+// Occupancy method markers of the Context (v5) dialect.
+const (
+	occMethodLegacy = 0 // the v2/v3/v4 occupancy bytes, unchanged
+	occMethodCtx    = 1 // the ctxmodel context-coded stream
+)
+
+// ctxFeatures resolves the effective feature set of a Context encode.
+func (o EncodeOptions) ctxFeatures() ctxmodel.Features {
+	if o.CtxFeatures != 0 {
+		return o.CtxFeatures
+	}
+	return ctxmodel.DefaultFeatures
 }
 
 // Sharded reports whether the options produce sharded entropy streams.
@@ -152,10 +178,25 @@ func EncodeWith(points geom.PointCloud, q float64, opts EncodeOptions) (Encoded,
 	entStart := time.Now()
 	var occStream, countStream []byte
 	encodeOcc := func() []byte {
+		var legacy []byte
 		if opts.sharded() {
-			return arith.AppendCompressCodesSharded(nil, occ, 256, opts.Shards, opts.Parallel)
+			legacy = arith.AppendCompressCodesSharded(nil, occ, 256, opts.Shards, opts.Parallel)
+		} else {
+			legacy = compressOccupancy(occ)
 		}
-		return compressOccupancy(occ)
+		if !opts.Context {
+			return legacy
+		}
+		// v5 dialect: a method marker precedes the stream, and the smaller
+		// of the context-modeled and legacy codings wins. Ties go to
+		// legacy, so guarded output degenerates to exactly the v3/v4 bytes
+		// plus one marker.
+		ctx := ctxmodel.AppendOcc(make([]byte, 1, 64+len(legacy)), occ, depth, opts.ctxFeatures(), opts.Shards, opts.Parallel)
+		if len(ctx) < len(legacy)+1 {
+			ctx[0] = occMethodCtx
+			return ctx
+		}
+		return append([]byte{occMethodLegacy}, legacy...)
 	}
 	encodeCounts := func() []byte {
 		if opts.BlockPack {
@@ -215,6 +256,30 @@ func CollectCounts(points geom.PointCloud, q float64) ([]uint64, error) {
 	out := append([]uint64(nil), counts...)
 	buildPool.Put(scratch)
 	return out, nil
+}
+
+// CollectOccupancy builds the octree for points at error bound q and
+// returns the breadth-first occupancy code sequence and the tree depth
+// without entropy coding. It exists for the benchkit ctx ablation, which
+// compares context schemes on the real occupancy stream of a frame.
+func CollectOccupancy(points geom.PointCloud, q float64) ([]byte, int, error) {
+	if q <= 0 {
+		return nil, 0, fmt.Errorf("octree: error bound must be positive, got %v", q)
+	}
+	if len(points) == 0 {
+		return nil, 0, nil
+	}
+	cube := geom.Bounds(points).Cube()
+	depth := depthFor(cube.MaxDim(), q)
+	side := 2 * q * math.Pow(2, float64(depth))
+	if side < cube.MaxDim() {
+		side = cube.MaxDim()
+	}
+	scratch := buildPool.Get().(*buildScratch)
+	occ, _, _ := buildAndSerialize(scratch, points, cube.Min, side, depth, false)
+	out := append([]byte(nil), occ...)
+	buildPool.Put(scratch)
+	return out, depth, nil
 }
 
 // depthFor returns the number of subdivision levels needed for leaf side
@@ -416,8 +481,13 @@ type DecodeOptions struct {
 	// occupancy stream.
 	BlockPack bool
 	// Parallel decodes the shards of a sharded stream concurrently. It has
-	// no effect on unsharded streams.
+	// no effect on unsharded streams, and none on a context-coded
+	// occupancy stream (the context replay is sequential by construction).
 	Parallel bool
+	// Context declares that the occupancy stream starts with a one-byte
+	// method marker (container v5): occMethodLegacy keeps the dialect the
+	// other options select, occMethodCtx is the ctxmodel coding.
+	Context bool
 }
 
 // DecodeLimited is Decode charging decoded points, occupancy symbols, and
@@ -486,23 +556,39 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 		return nil, fmt.Errorf("%w: %d leaf counts for %d points", ErrCorrupt, countLen, n)
 	}
 
+	ctxOcc := false
+	if opts.Context {
+		if len(occStream) < 1 {
+			return nil, fmt.Errorf("%w: missing occupancy method marker", ErrCorrupt)
+		}
+		switch occStream[0] {
+		case occMethodLegacy:
+		case occMethodCtx:
+			ctxOcc = true
+		default:
+			return nil, fmt.Errorf("%w: unknown occupancy method %d", ErrCorrupt, occStream[0])
+		}
+		occStream = occStream[1:]
+	}
+
 	var occ []byte
 	var counts []uint64
-	if opts.Sharded || opts.BlockPack {
+	switch {
+	case ctxOcc:
+		occ, err = ctxmodel.DecodeOcc(occStream, occLen, depth, b)
+	case opts.Sharded || opts.BlockPack:
 		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, b, opts.Parallel)
-		if err != nil {
-			return nil, fmt.Errorf("octree: occupancy: %w", err)
-		}
-		if opts.BlockPack {
-			counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, b, opts.Parallel)
-		} else {
-			counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
-		}
-	} else {
+	default:
 		occ, err = decompressOccupancy(occStream, occLen, b)
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("octree: occupancy: %w", err)
+	}
+	if opts.BlockPack {
+		counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, b, opts.Parallel)
+	} else if opts.Sharded {
+		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, b, opts.Parallel)
+	} else {
 		counts, err = arith.DecompressUintsLimited(countStream, countLen, b)
 	}
 	if err != nil {

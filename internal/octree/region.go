@@ -6,6 +6,7 @@ import (
 
 	"dbgc/internal/arith"
 	"dbgc/internal/blockpack"
+	"dbgc/internal/ctxmodel"
 	"dbgc/internal/geom"
 	"dbgc/internal/varint"
 )
@@ -66,23 +67,41 @@ func DecodeRegionWith(data []byte, region geom.AABB, opts DecodeOptions) (geom.P
 	if err != nil {
 		return nil, err
 	}
+	ctxOcc := false
+	if opts.Context {
+		// v5 streams lead the occupancy section with a method marker; see
+		// DecodeWith.
+		if len(occStream) < 1 {
+			return nil, fmt.Errorf("%w: missing occupancy method marker", ErrCorrupt)
+		}
+		switch occStream[0] {
+		case occMethodLegacy:
+		case occMethodCtx:
+			ctxOcc = true
+		default:
+			return nil, fmt.Errorf("%w: unknown occupancy method %d", ErrCorrupt, occStream[0])
+		}
+		occStream = occStream[1:]
+	}
 	var occ []byte
 	var counts []uint64
-	if opts.Sharded || opts.BlockPack {
+	switch {
+	case ctxOcc:
+		occ, err = ctxmodel.DecodeOcc(occStream, occLen, depth, opts.Budget)
+	case opts.Sharded || opts.BlockPack:
 		occ, err = arith.DecompressCodesShardedLimited(occStream, occLen, 256, opts.Budget, opts.Parallel)
-		if err != nil {
-			return nil, fmt.Errorf("octree: occupancy: %w", err)
-		}
-		if opts.BlockPack {
-			counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, opts.Budget, opts.Parallel)
-		} else {
-			counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, opts.Budget, opts.Parallel)
-		}
-	} else {
+	default:
 		occ, err = decompressOccupancy(occStream, occLen, opts.Budget)
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("octree: occupancy: %w", err)
+	}
+	switch {
+	case opts.BlockPack:
+		counts, err = blockpack.UnpackUint64Sharded(countStream, countLen, opts.Budget, opts.Parallel)
+	case opts.Sharded:
+		counts, err = arith.DecompressUintsShardedLimited(countStream, countLen, opts.Budget, opts.Parallel)
+	default:
 		counts, err = arith.DecompressUints(countStream, countLen)
 	}
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"dbgc/internal/arith"
 	"dbgc/internal/blockpack"
+	"dbgc/internal/ctxmodel"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/polyline"
@@ -46,6 +47,7 @@ type groupFlags struct {
 	plainDelta bool
 	sharded    bool
 	blockpack  bool
+	ctx        bool
 	parallel   bool
 }
 
@@ -77,6 +79,7 @@ func DecodeWith(data []byte, opts DecodeOptions) (pc geom.PointCloud, err error)
 		plainDelta: flags&flagPlainDelta != 0,
 		sharded:    flags&flagSharded != 0,
 		blockpack:  flags&flagBlockPack != 0,
+		ctx:        flags&flagContext != 0,
 		parallel:   opts.Parallel,
 	}
 
@@ -198,6 +201,21 @@ func decodeGroup(data []byte, q float64, gf groupFlags, b *declimits.Budget) (ge
 		return nil, fmt.Errorf("%w: implausible group header", ErrCorrupt)
 	}
 
+	// v5 groups carry a methods byte naming the entropy coder of each
+	// angular stream; for earlier dialects it stays zero, which is exactly
+	// intMethodLegacy for every stream.
+	var methods byte
+	if gf.ctx {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("%w: missing stream methods byte", ErrCorrupt)
+		}
+		methods = data[0]
+		data = data[1:]
+		if methods>>6 != 0 {
+			return nil, fmt.Errorf("%w: reserved stream method bits %#x", ErrCorrupt, methods)
+		}
+	}
+
 	streams := make([][]byte, 7)
 	for i := range streams {
 		l, used, err := varint.Uint(data)
@@ -239,73 +257,74 @@ func decodeGroup(data []byte, q float64, gf groupFlags, b *declimits.Budget) (ge
 		return nil, err
 	}
 
+	// legacyInts decodes stream i under the pre-v5 dialect rules: blockpack
+	// (v4) packs every stream (heads plain, high-volume streams in the shard
+	// framing); otherwise the azimuthal streams (1, 2) are DEFLATEd varints,
+	// the φ heads (3) plain arithmetic, and the high-volume streams (4, 5)
+	// arithmetic in the shard framing when the group is sharded (v3).
+	legacyInts := func(i, n int, highVolume bool) ([]int64, error) {
+		if gf.blockpack {
+			if highVolume {
+				return blockpack.UnpackInt64Sharded(streams[i], n, b, gf.parallel)
+			}
+			return blockpack.UnpackInt64(streams[i], n, b)
+		}
+		switch i {
+		case 1, 2:
+			// A zigzag varint is at most 10 bytes, so a valid head/tail
+			// stream inflates to at most 10 bytes per element; the bound
+			// stops DEFLATE bombs before io.ReadAll materializes them.
+			raw, err := inflateBytesBounded(streams[i], 10*int64(n), b)
+			if err != nil {
+				return nil, err
+			}
+			return varint.DecodeInts(raw, n)
+		default:
+			if highVolume && gf.sharded {
+				return arith.DecompressIntsShardedLimited(streams[i], n, b, gf.parallel)
+			}
+			return arith.DecompressIntsLimited(streams[i], n, b)
+		}
+	}
+	// decodeInts dispatches stream i on its v5 method marker; marker zero is
+	// the legacy dialect, so pre-v5 groups (methods byte zero) take exactly
+	// the old paths.
+	decodeInts := func(i, n int, shift uint, highVolume bool) ([]int64, error) {
+		switch (methods >> shift) & 3 {
+		case intMethodLegacy:
+			return legacyInts(i, n, highVolume)
+		case intMethodArith:
+			if highVolume && gf.sharded {
+				return arith.DecompressIntsShardedLimited(streams[i], n, b, gf.parallel)
+			}
+			return arith.DecompressIntsLimited(streams[i], n, b)
+		case intMethodCtx:
+			return ctxmodel.DecodeIntsCtx(streams[i], n, b, gf.parallel)
+		default:
+			return nil, fmt.Errorf("%w: unknown stream method", ErrCorrupt)
+		}
+	}
+
 	var dThetaHeads, thetaTails, dPhiHeads, phiTails, radials []int64
-	if gf.blockpack {
-		// Blockpacked (v4) groups carry every integer stream in the
-		// blockpack coding: head streams plain (one block run), tail and
-		// radial streams in the shard framing for parallel decode.
-		dThetaHeads, err = blockpack.UnpackInt64(streams[1], nLines, b)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: theta heads: %w", err)
-		}
-		thetaTails, err = blockpack.UnpackInt64Sharded(streams[2], nTails, b, gf.parallel)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: theta tails: %w", err)
-		}
-		dPhiHeads, err = blockpack.UnpackInt64(streams[3], nLines, b)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: phi heads: %w", err)
-		}
-		phiTails, err = blockpack.UnpackInt64Sharded(streams[4], nTails, b, gf.parallel)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: phi tails: %w", err)
-		}
-		radials, err = blockpack.UnpackInt64Sharded(streams[5], total, b, gf.parallel)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: radials: %w", err)
-		}
-	} else {
-		// A zigzag varint is at most 10 bytes, so a valid head/tail stream
-		// inflates to at most 10 bytes per element; the bound stops DEFLATE
-		// bombs before io.ReadAll materializes them.
-		thetaHeadBytes, err := inflateBytesBounded(streams[1], 10*int64(nLines), b)
-		if err != nil {
-			return nil, err
-		}
-		dThetaHeads, err = varint.DecodeInts(thetaHeadBytes, nLines)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: theta heads: %w", err)
-		}
-		thetaTailBytes, err := inflateBytesBounded(streams[2], 10*int64(nTails), b)
-		if err != nil {
-			return nil, err
-		}
-		thetaTails, err = varint.DecodeInts(thetaTailBytes, nTails)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: theta tails: %w", err)
-		}
-		dPhiHeads, err = arith.DecompressIntsLimited(streams[3], nLines, b)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: phi heads: %w", err)
-		}
-		// φ tails and radials are the two high-volume streams; sharded (v3)
-		// groups code them with the sharded framing, decodable in parallel.
-		if gf.sharded {
-			phiTails, err = arith.DecompressIntsShardedLimited(streams[4], nTails, b, gf.parallel)
-		} else {
-			phiTails, err = arith.DecompressIntsLimited(streams[4], nTails, b)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sparse: phi tails: %w", err)
-		}
-		if gf.sharded {
-			radials, err = arith.DecompressIntsShardedLimited(streams[5], total, b, gf.parallel)
-		} else {
-			radials, err = arith.DecompressIntsLimited(streams[5], total, b)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sparse: radials: %w", err)
-		}
+	dThetaHeads, err = decodeInts(1, nLines, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: theta heads: %w", err)
+	}
+	thetaTails, err = decodeInts(2, nTails, 2, true)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: theta tails: %w", err)
+	}
+	dPhiHeads, err = legacyInts(3, nLines, false)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: phi heads: %w", err)
+	}
+	phiTails, err = decodeInts(4, nTails, 4, true)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: phi tails: %w", err)
+	}
+	radials, err = legacyInts(5, total, true)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: radials: %w", err)
 	}
 	if err := b.Nodes(int64(nRefs)); err != nil {
 		return nil, err

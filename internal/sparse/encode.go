@@ -13,6 +13,7 @@ import (
 
 	"dbgc/internal/arith"
 	"dbgc/internal/blockpack"
+	"dbgc/internal/ctxmodel"
 	"dbgc/internal/declimits"
 	"dbgc/internal/geom"
 	"dbgc/internal/par"
@@ -59,6 +60,14 @@ type Options struct {
 	// groups carry CRCs like the sharded dialect. The flag rides in the
 	// stream header. Off leaves every legacy dialect byte-identical.
 	BlockPack bool
+	// Context lets the angular streams (θ-head deltas, θ tails, φ tails)
+	// compete against two extra entropy coders — plain adaptive arithmetic
+	// and the context-modeled magnitude-bucket coder of internal/ctxmodel —
+	// per group and per stream (container v5). Each group carries a methods
+	// byte recording the winner; a stream whose context coding loses keeps
+	// its legacy bytes, so the dialect never enlarges a stream by more than
+	// the one methods byte per group. The flag rides in the stream header.
+	Context bool
 }
 
 func (o Options) groups() int {
@@ -113,6 +122,18 @@ const (
 	// blockpacked (the high-volume ones inside the shard framing), and each
 	// group payload is CRC-prefixed like the sharded dialect.
 	flagBlockPack = 1 << 3
+	// flagContext marks the container v5 dialect: each group carries a
+	// methods byte (after the count header) naming the per-stream entropy
+	// coder of the θ-head-delta, θ-tail, and φ-tail streams.
+	flagContext = 1 << 4
+)
+
+// Per-stream entropy-coder markers in the v5 methods byte, two bits each:
+// θ-head deltas at bit 0, θ tails at bit 2, φ tails at bit 4.
+const (
+	intMethodLegacy = 0 // the active dialect's coding (v1/v3/v4)
+	intMethodArith  = 1 // plain adaptive arithmetic (sharded if the group is)
+	intMethodCtx    = 2 // ctxmodel magnitude-bucket contexts
 )
 
 // crcTable is the Castagnoli polynomial, matching the container CRCs.
@@ -138,6 +159,9 @@ func Encode(pc geom.PointCloud, idx []int32, opts Options) (Encoded, error) {
 	}
 	if opts.BlockPack {
 		flags |= flagBlockPack
+	}
+	if opts.Context {
+		flags |= flagContext
 	}
 	out = varint.AppendUint(out, flags)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.Q))
@@ -370,7 +394,61 @@ func encodeGroup(pc geom.PointCloud, group []int32, rs []float64, opts Options, 
 	// into the output, so the scratch is safe to reuse immediately.
 	sp := streamScratch.Get().(*[]byte)
 	s := *sp
-	if opts.BlockPack {
+	if opts.Context {
+		// v5 dialect: the three angular streams each pick the smallest of
+		// their legacy coding, plain adaptive arithmetic, and the
+		// context-modeled coder; the winners land in the methods byte.
+		methodsAt := len(data)
+		data = append(data, 0)
+		if opts.BlockPack {
+			s = blockpack.PackUint64Sharded(s[:0], lens, opts.Shards, opts.Parallel)
+		} else {
+			s = arith.AppendCompressUints(s[:0], lens)
+		}
+		data = appendStream(data, s)
+
+		var legacy []byte
+		if opts.BlockPack {
+			legacy = blockpack.PackInt64(nil, dThetaHeads)
+		} else {
+			legacy = deflateBytes(varint.AppendInts(nil, dThetaHeads))
+		}
+		data = chooseIntStream(data, methodsAt, 0, legacy, dThetaHeads, 1, opts.Parallel)
+
+		if opts.BlockPack {
+			legacy = blockpack.PackInt64Sharded(nil, thetaTails, opts.Shards, opts.Parallel)
+		} else {
+			legacy = deflateBytes(varint.AppendInts(nil, thetaTails))
+		}
+		data = chooseIntStream(data, methodsAt, 2, legacy, thetaTails, opts.Shards, opts.Parallel)
+
+		if opts.BlockPack {
+			s = blockpack.PackInt64(s[:0], dPhiHeads)
+		} else {
+			s = arith.AppendCompressInts(s[:0], dPhiHeads)
+		}
+		data = appendStream(data, s)
+
+		switch {
+		case opts.BlockPack:
+			legacy = blockpack.PackInt64Sharded(nil, phiTails, opts.Shards, opts.Parallel)
+		case opts.Shards > 1:
+			legacy = arith.AppendCompressIntsSharded(nil, phiTails, opts.Shards, opts.Parallel)
+		default:
+			legacy = arith.AppendCompressInts(nil, phiTails)
+		}
+		data = chooseIntStream(data, methodsAt, 4, legacy, phiTails, opts.Shards, opts.Parallel)
+
+		switch {
+		case opts.BlockPack:
+			s = blockpack.PackInt64Sharded(s[:0], radials, opts.Shards, opts.Parallel)
+		case opts.Shards > 1:
+			s = arith.AppendCompressIntsSharded(s[:0], radials, opts.Shards, opts.Parallel)
+		default:
+			s = arith.AppendCompressInts(s[:0], radials)
+		}
+		data = appendStream(data, s)
+	} else if opts.BlockPack {
 		// v4 dialect: every integer stream blockpacks. The high-volume
 		// streams (lengths, tails, radials) keep the shard framing so
 		// sharded parallel decode composes; the tiny head streams pack
@@ -526,6 +604,29 @@ func decompressRefs(data []byte, n int) ([]int, error) {
 func appendStream(dst, stream []byte) []byte {
 	dst = varint.AppendUint(dst, uint64(len(stream)))
 	return append(dst, stream...)
+}
+
+// chooseIntStream appends the smallest coding of vs among the active
+// dialect's legacy bytes, plain adaptive arithmetic, and the context-modeled
+// magnitude-bucket coder, recording the winner's marker at bit position
+// shift of the methods byte at dst[methodsAt]. Ties go to the lowest marker,
+// so a stream the new coders cannot beat keeps its exact legacy bytes.
+func chooseIntStream(dst []byte, methodsAt int, shift uint, legacy []byte, vs []int64, shards int, parallel bool) []byte {
+	best, method := legacy, byte(intMethodLegacy)
+	var a []byte
+	if shards > 1 {
+		a = arith.AppendCompressIntsSharded(nil, vs, shards, parallel)
+	} else {
+		a = arith.AppendCompressInts(nil, vs)
+	}
+	if len(a) < len(best) {
+		best, method = a, intMethodArith
+	}
+	if c := ctxmodel.AppendIntsCtx(nil, vs, shards, parallel); len(c) < len(best) {
+		best, method = c, intMethodCtx
+	}
+	dst[methodsAt] |= method << shift
+	return appendStream(dst, best)
 }
 
 // flatePool recycles DEFLATE compressors; flate.NewWriter allocates large

@@ -27,14 +27,28 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	ctx, err := Encode(pc, []int32{0, 1, 2, 3, 4},
+		Options{Q: 0.02, Groups: 2, UTheta: 0.003, UPhi: 0.007, Context: true})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(enc.Data)
 	f.Add(enc.Data[:len(enc.Data)/3])
 	f.Add(sharded.Data)
 	f.Add(packed.Data)
+	f.Add(ctx.Data)
+	f.Add(ctx.Data[:2*len(ctx.Data)/3])
+	// Garble the per-group methods byte region so unknown method markers and
+	// reserved bits get exercised.
+	mut := append([]byte(nil), ctx.Data...)
+	if len(mut) > 16 {
+		mut[16] ^= 0xff
+	}
+	f.Add(mut)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		// The sharded and blockpack flags ride in the stream header, so
-		// plain Decode already covers the v3/v4 dialects; Salvage
+		// The sharded, blockpack, and context flags ride in the stream
+		// header, so plain Decode already covers the v3-v5 dialects; Salvage
 		// additionally exercises the per-group CRC recovery path.
 		_, _ = Decode(b)
 		_, _ = DecodeWith(b, DecodeOptions{Salvage: true})

@@ -34,6 +34,7 @@ func DecodeRadialRange(data []byte, rLo, rHi float64) (geom.PointCloud, error) {
 		plainDelta: flags&flagPlainDelta != 0,
 		sharded:    flags&flagSharded != 0,
 		blockpack:  flags&flagBlockPack != 0,
+		ctx:        flags&flagContext != 0,
 	}
 	cartesian := gf.cartesian
 
